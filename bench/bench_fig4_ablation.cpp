@@ -1,0 +1,80 @@
+// Fig. 4 reproduction: ablation study of the LMM-IR techniques on the
+// hidden testcases.  Configurations, as in the paper:
+//   EC     — plain encoder-decoder flow (no attention, no LNT)
+//   W-Att  — without the attention blocks (LNT on, mean-context fusion)
+//   W-LNT  — without the large-scale netlist transformer (attention on)
+//   W-Aug  — without Gaussian-noise augmentation (full model)
+//   United — every technique enabled
+// Expected shape (paper): United best on both metrics; dropping LNT costs
+// the most F1; dropping augmentation hurts MAE the most among the
+// technique removals.
+#include <cstdio>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "models/lmmir_model.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Config {
+  const char* name;
+  bool use_lnt;
+  bool use_attention;
+  bool augment;
+  double paper_f1;
+  double paper_mae;
+};
+
+constexpr Config kConfigs[] = {
+    {"EC", false, false, true, 0.27, 1.93},
+    {"W-Att", true, false, true, 0.30, 2.65},
+    {"W-LNT", false, true, true, 0.48, 1.96},
+    {"W-Aug", true, true, false, 0.13, 2.03},
+    {"United", true, true, true, 0.58, 1.35},
+};
+
+}  // namespace
+
+int main() {
+  using namespace lmmir;
+  core::Pipeline pipe;
+  std::printf("== Fig. 4: ablation on the hidden testcases ==\n");
+  std::printf("(side=%zu, scale=%.3f, epochs=%d+%d)\n\n",
+              pipe.options().sample.input_side, pipe.options().suite_scale,
+              pipe.options().train.pretrain_epochs,
+              pipe.options().train.finetune_epochs);
+
+  const data::Dataset dataset = pipe.build_training_dataset();
+  const auto tests = pipe.build_hidden_testset();
+
+  util::TextTable table;
+  table.set_header({"config", "F1", "MAE(1e-4V)", "paper F1", "paper MAE"});
+  std::vector<double> f1s;
+  for (const auto& cfg : kConfigs) {
+    std::fprintf(stderr, "[fig4] training %s ...\n", cfg.name);
+    models::LmmirConfig mc;
+    mc.use_lnt = cfg.use_lnt;
+    mc.use_attention = cfg.use_attention;
+    models::LMMIR model(mc);
+
+    train::TrainConfig tc = pipe.train_config();
+    tc.augment = cfg.augment;
+    train::fit(model, dataset, tc);
+    const auto rows = train::evaluate_testset(model, tests);
+    const auto& avg = rows.back();
+    f1s.push_back(avg.f1);
+    table.add_row({cfg.name, util::format_fixed(avg.f1, 2),
+                   util::format_fixed(avg.mae_1e4_volts, 2),
+                   util::format_fixed(cfg.paper_f1, 2),
+                   util::format_fixed(cfg.paper_mae, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  const bool united_best =
+      f1s.back() >= *std::max_element(f1s.begin(), f1s.end() - 1);
+  std::printf("\nshape check: United best F1: %s\n",
+              united_best ? "YES (matches paper)" : "no (see notes)");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig. 5 reproduction: IR-drop map visualization on testcase 10 —
+// ground truth vs IREDGe vs IRPnet vs Ours.  Writes heat-map PPM images
+// (fig5_*.ppm) and prints an ASCII rendering plus per-model hotspot
+// overlap so the comparison is visible in a terminal too.
+#include <cstdio>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "models/registry.hpp"
+#include "util/image_io.hpp"
+
+namespace {
+
+void write_map(const std::string& path, const lmmir::grid::Grid2D& g,
+               float lo, float hi) {
+  const auto img = lmmir::util::colorize(g.data(), g.cols(), g.rows(), lo, hi);
+  lmmir::util::write_ppm(path, img);
+}
+
+void ascii_render(const char* title, const lmmir::grid::Grid2D& g, float lo,
+                  float hi) {
+  static const char* shades = " .:-=+*#%@";
+  const std::size_t target = 30;
+  const std::size_t step = std::max<std::size_t>(1, g.rows() / target);
+  std::printf("%s (max %.2f%% of VDD)\n", title, static_cast<double>(g.max()));
+  for (std::size_t r = 0; r < g.rows(); r += step) {
+    for (std::size_t c = 0; c < g.cols(); c += step) {
+      const float t = hi > lo ? (g.at(r, c) - lo) / (hi - lo) : 0.0f;
+      const int idx = std::clamp(static_cast<int>(t * 9.0f), 0, 9);
+      std::putchar(shades[idx]);
+    }
+    std::putchar('\n');
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace lmmir;
+  core::Pipeline pipe;
+  std::printf("== Fig. 5: IR-drop prediction visualization (testcase10) ==\n\n");
+
+  const data::Dataset dataset = pipe.build_training_dataset();
+  const auto tests = pipe.build_hidden_testset();
+  const data::Sample* tc10 = nullptr;
+  for (const auto& t : tests)
+    if (t.name == "testcase10") tc10 = &t;
+  if (!tc10) {
+    std::fprintf(stderr, "testcase10 missing from suite\n");
+    return 1;
+  }
+
+  const float lo = 0.0f;
+  const float hi = tc10->truth_full.max();
+  write_map("fig5_ground_truth.ppm", tc10->truth_full, lo, hi);
+  ascii_render("G.T.", tc10->truth_full, lo, hi);
+
+  for (const char* name : {"IREDGe", "IRPnet", "LMM-IR"}) {
+    std::fprintf(stderr, "[fig5] training %s ...\n", name);
+    auto model = models::make_model(name);
+    train::fit(*model, dataset, pipe.train_config());
+    const grid::Grid2D pred = train::predict_map(*model, *tc10);
+    const std::string path =
+        std::string("fig5_") + name + ".ppm";
+    write_map(path, pred, lo, hi);
+    ascii_render(name, pred, lo, hi);
+
+    const auto m = eval::compute_metrics(pred, tc10->truth_full);
+    std::printf("%s: F1 %.3f, MAE %.2f (1e-4 V) -> %s\n\n", name, m.f1,
+                data::percent_mae_to_1e4_volts(m.mae, tc10->vdd),
+                path.c_str());
+  }
+  std::printf("wrote fig5_ground_truth.ppm + one map per model.\n"
+              "paper shape: IREDGe diffuse/misplaced, IRPnet near-empty, "
+              "Ours matches the ground-truth hotspot.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Microbenchmarks (google-benchmark) backing the paper's scaling claims:
+//  - SPICE parsing and point-cloud encoding stay linear in netlist size
+//    ("directly process netlists with 100k+ nodes", Sec. I);
+//  - grid_pool keeps the LNT input constant-size regardless of netlist
+//    size (the "large-scale" mechanism of Sec. III-C);
+//  - golden MNA solve cost vs node count (the simulation bottleneck that
+//    motivates ML prediction, Fig. 1);
+//  - the Fig. 3 contrast: 2-D rasterized netlist representation vs the
+//    lossless point-cloud encoding;
+//  - model inference building blocks (conv2d, attention) for TAT context.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "features/maps.hpp"
+#include "gen/began.hpp"
+#include "nn/attention.hpp"
+#include "pdn/circuit.hpp"
+#include "pdn/solver.hpp"
+#include "pointcloud/cloud.hpp"
+#include "pointcloud/pool.hpp"
+#include "spice/parser.hpp"
+#include "spice/writer.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace lmmir;
+
+spice::Netlist make_netlist(int side_um) {
+  gen::GeneratorConfig cfg;
+  cfg.name = "bench";
+  cfg.width_um = side_um;
+  cfg.height_um = side_um;
+  cfg.seed = 7;
+  cfg.use_default_stack();
+  return gen::generate_pdn(cfg);
+}
+
+void BM_SpiceParse(benchmark::State& state) {
+  const auto nl = make_netlist(static_cast<int>(state.range(0)));
+  const std::string text = spice::write_netlist_string(nl);
+  for (auto _ : state) {
+    auto parsed = spice::parse_netlist_string(text);
+    benchmark::DoNotOptimize(parsed.node_count());
+  }
+  state.counters["nodes"] = static_cast<double>(nl.node_count());
+  state.counters["elements"] = static_cast<double>(nl.element_count());
+}
+BENCHMARK(BM_SpiceParse)->Arg(32)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_PointCloudEncode(benchmark::State& state) {
+  const auto nl = make_netlist(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto cloud = pc::cloud_from_netlist(nl);
+    benchmark::DoNotOptimize(cloud.points.size());
+  }
+  state.counters["elements"] = static_cast<double>(nl.element_count());
+}
+BENCHMARK(BM_PointCloudEncode)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GridPool(benchmark::State& state) {
+  const auto nl = make_netlist(static_cast<int>(state.range(0)));
+  const auto cloud = pc::cloud_from_netlist(nl);
+  for (auto _ : state) {
+    auto tokens = pc::grid_pool(cloud, 8);
+    benchmark::DoNotOptimize(tokens.features.data());
+  }
+  state.counters["points"] = static_cast<double>(cloud.points.size());
+  state.counters["tokens"] = 64;  // constant regardless of netlist size
+}
+BENCHMARK(BM_GridPool)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GoldenSolve(benchmark::State& state) {
+  const auto nl = make_netlist(static_cast<int>(state.range(0)));
+  const pdn::Circuit circuit(nl);
+  for (auto _ : state) {
+    auto sol = pdn::solve_ir_drop(circuit);
+    benchmark::DoNotOptimize(sol.worst_drop);
+  }
+  state.counters["nodes"] = static_cast<double>(nl.node_count());
+}
+BENCHMARK(BM_GoldenSolve)->Arg(32)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+// Fig. 3 contrast: rasterizing the netlist to 2-D maps (lossy, the
+// "ordinary representation") vs the point-cloud encoding (lossless).
+void BM_Fig3_Rasterize2D(benchmark::State& state) {
+  const auto nl = make_netlist(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto maps = feat::compute_feature_maps(nl);
+    benchmark::DoNotOptimize(maps.current.data().data());
+  }
+}
+BENCHMARK(BM_Fig3_Rasterize2D)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_Fig3_PointCloud(benchmark::State& state) {
+  const auto nl = make_netlist(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto cloud = pc::cloud_from_netlist(nl);
+    auto tokens = pc::grid_pool(cloud, 8);
+    benchmark::DoNotOptimize(tokens.features.data());
+  }
+}
+BENCHMARK(BM_Fig3_PointCloud)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  util::Rng rng(1);
+  const int side = static_cast<int>(state.range(0));
+  auto x = tensor::Tensor::randn({1, 8, side, side}, rng);
+  auto w = tensor::Tensor::randn({8, 8, 3, 3}, rng, 0.1f);
+  auto b = tensor::Tensor::randn({8}, rng, 0.1f);
+  tensor::NoGradGuard no_grad;
+  for (auto _ : state) {
+    auto y = tensor::conv2d(x, w, b, 1, 1);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(32)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_CrossAttention(benchmark::State& state) {
+  util::Rng rng(2);
+  const int tokens = static_cast<int>(state.range(0));
+  nn::MultiHeadAttention attn(32, 2, rng);
+  attn.set_training(false);
+  auto q = tensor::Tensor::randn({1, 36, 32}, rng);
+  auto kv = tensor::Tensor::randn({1, tokens, 32}, rng);
+  tensor::NoGradGuard no_grad;
+  for (auto _ : state) {
+    auto y = attn.forward(q, kv);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_CrossAttention)->Arg(16)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Table II reproduction: statistics of the 10 hidden testcases.
+// Regenerates the suite at the configured scale (LMMIR_SCALE, default 1/8
+// of the contest pixel sizes) and prints node counts + shapes next to the
+// paper's full-scale reference numbers.
+#include <cstdio>
+#include <cstdlib>
+
+#include "gen/suite.hpp"
+#include "pdn/stats.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lmmir;
+  double scale = 0.125;
+  if (const char* s = std::getenv("LMMIR_SCALE")) scale = std::atof(s);
+
+  std::printf("== Table II: statistics of the testcases (scale %.3f) ==\n\n",
+              scale);
+  gen::SuiteOptions opts;
+  opts.scale = scale;
+  const auto suite = gen::table2_suite(opts);
+  const auto& refs = gen::table2_reference();
+
+  util::TextTable table;
+  table.set_header({"Testcase", "Nodes", "Shape", "paper Nodes", "paper Shape",
+                    "node ratio"});
+  double ratio_sum = 0.0;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const spice::Netlist nl = gen::generate_pdn(suite[i]);
+    const pdn::TestcaseStats st = pdn::compute_stats(nl, suite[i].name);
+    const double ratio =
+        static_cast<double>(st.nodes) / static_cast<double>(refs[i].paper_nodes);
+    ratio_sum += ratio;
+    table.add_row({st.name, std::to_string(st.nodes), st.shape_string(),
+                   std::to_string(refs[i].paper_nodes),
+                   std::to_string(refs[i].paper_side) + "x" +
+                       std::to_string(refs[i].paper_side),
+                   util::format_fixed(ratio, 4)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nmean node ratio %.4f (expected ~scale^2 = %.4f); shape is "
+              "measured in pixels.\n",
+              ratio_sum / static_cast<double>(suite.size()), scale * scale);
+  return 0;
+}

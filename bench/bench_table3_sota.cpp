@@ -1,0 +1,125 @@
+// Table III reproduction: F1 / MAE / TAT of the ICCAD-2023 1st & 2nd place
+// models, IREDGe, IRPnet and LMM-IR ("Ours") on the 10 hidden Table-II
+// testcases, plus the Avg and Ratio rows.
+//
+// Every model is trained from scratch on the same synthetic suite (the
+// 2nd-place entry gets its extra-augmentation regime, as in the contest),
+// then evaluated case by case.  Absolute numbers differ from the paper
+// (synthetic data, reduced scale, one CPU core vs an H100) — the shape to
+// check is the ordering: LMM-IR best average F1 and best-or-tied MAE;
+// IREDGe / IRPnet far behind; 1st place slowest.
+//
+// Scale knobs: LMMIR_INPUT_SIDE, LMMIR_SCALE, LMMIR_EPOCHS, ... (see
+// core/pipeline.hpp).  Paper reference values are printed alongside.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "models/registry.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct PaperRef {
+  double f1, mae, tat;
+};
+
+// Paper Table III "Avg" row per model (MAE in 1e-4 V, TAT in s).
+const std::map<std::string, PaperRef> kPaperAvg = {
+    {"1st-Place", {0.46, 1.35, 14.77}}, {"2nd-Place", {0.45, 1.50, 3.04}},
+    {"IREDGe", {0.13, 6.28, 2.02}},     {"IRPnet", {0.03, 3.98, 2.54}},
+    {"LMM-IR", {0.58, 1.35, 3.05}}};
+
+}  // namespace
+
+int main() {
+  using namespace lmmir;
+  core::Pipeline pipe;
+  std::printf("== Table III: comparison with state of the art ==\n");
+  std::printf("(training all 5 models on the synthetic suite; side=%zu, "
+              "scale=%.3f, epochs=%d+%d)\n\n",
+              pipe.options().sample.input_side, pipe.options().suite_scale,
+              pipe.options().train.pretrain_epochs,
+              pipe.options().train.finetune_epochs);
+
+  const data::Dataset dataset = pipe.build_training_dataset();
+  const std::vector<data::Sample> tests = pipe.build_hidden_testset();
+
+  // model -> per-case rows (last row is Avg)
+  std::vector<std::pair<std::string, std::vector<train::EvalCase>>> results;
+  for (const auto& spec : models::model_registry()) {
+    std::fprintf(stderr, "[table3] training %s ...\n", spec.name.c_str());
+    auto model = spec.make(0);
+    results.emplace_back(
+        spec.name, pipe.train_and_evaluate(*model, dataset, tests,
+                                           spec.augmentation_factor));
+  }
+
+  // Per-case table in the paper's layout.
+  util::TextTable table;
+  std::vector<std::string> header = {"Circuits"};
+  for (const auto& [name, rows] : results) {
+    header.push_back(name + " F1");
+    header.push_back("MAE");
+    header.push_back("TAT");
+    (void)rows;
+  }
+  table.set_header(header);
+  const std::size_t n_cases = tests.size();
+  for (std::size_t c = 0; c <= n_cases; ++c) {  // last = Avg
+    std::vector<std::string> row;
+    row.push_back(results.front().second[c].name);
+    if (c == n_cases) table.add_separator();
+    for (const auto& [name, rows] : results) {
+      row.push_back(util::format_fixed(rows[c].f1, 2));
+      row.push_back(util::format_fixed(rows[c].mae_1e4_volts, 2));
+      row.push_back(util::format_fixed(rows[c].tat_seconds, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  // Ratio row: metric / Ours (paper normalizes to its own model).
+  const auto& ours_avg = results.back().second[n_cases];
+  std::vector<std::string> ratio = {"Ratio"};
+  for (const auto& [name, rows] : results) {
+    const auto& avg = rows[n_cases];
+    ratio.push_back(util::format_fixed(
+        ours_avg.f1 > 0 ? avg.f1 / ours_avg.f1 : 0.0, 2));
+    ratio.push_back(util::format_fixed(
+        ours_avg.mae_1e4_volts > 0 ? avg.mae_1e4_volts / ours_avg.mae_1e4_volts
+                                   : 0.0, 2));
+    ratio.push_back(util::format_fixed(
+        ours_avg.tat_seconds > 0 ? avg.tat_seconds / ours_avg.tat_seconds
+                                 : 0.0, 2));
+  }
+  table.add_row(std::move(ratio));
+  std::printf("%s\n", table.render().c_str());
+  std::printf("MAE in 1e-4 V, TAT in seconds.\n\n");
+
+  // Shape check against the paper's Avg row.
+  std::printf("== shape vs paper (Avg row) ==\n");
+  util::TextTable shape;
+  shape.set_header({"model", "F1 (ours)", "F1 (paper)", "MAE (ours)",
+                    "MAE (paper)", "TAT (ours)", "TAT (paper)"});
+  for (const auto& [name, rows] : results) {
+    const auto& avg = rows[n_cases];
+    const auto ref = kPaperAvg.at(name);
+    shape.add_row({name, util::format_fixed(avg.f1, 2),
+                   util::format_fixed(ref.f1, 2),
+                   util::format_fixed(avg.mae_1e4_volts, 2),
+                   util::format_fixed(ref.mae, 2),
+                   util::format_fixed(avg.tat_seconds, 3),
+                   util::format_fixed(ref.tat, 2)});
+  }
+  std::printf("%s", shape.render().c_str());
+
+  const bool ours_best_f1 = [&] {
+    for (const auto& [name, rows] : results)
+      if (name != "LMM-IR" && rows[n_cases].f1 >= ours_avg.f1) return false;
+    return true;
+  }();
+  std::printf("\nshape check: LMM-IR best avg F1: %s\n",
+              ours_best_f1 ? "YES (matches paper)" : "no (see notes)");
+  return 0;
+}

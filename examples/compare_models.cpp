@@ -1,0 +1,47 @@
+// compare_models: train every registered predictor (contest winners,
+// IREDGe, IRPnet, LMM-IR) on the same data and print a Table-III-style
+// comparison on one held-out case — a fast preview of bench_table3_sota.
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "gen/suite.hpp"
+#include "models/registry.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lmmir;
+
+  core::PipelineOptions opts;
+  opts.sample.input_side = 32;
+  opts.sample.pc_grid = 4;
+  opts.suite_scale = 0.06;
+  opts.fake_cases = 6;
+  opts.real_cases = 2;
+  opts.train.pretrain_epochs = 1;
+  opts.train.finetune_epochs = 3;
+  core::Pipeline pipe(opts);
+
+  const data::Dataset dataset = pipe.build_training_dataset();
+  gen::SuiteOptions suite;
+  suite.scale = opts.suite_scale;
+  const auto test_cfgs = gen::table2_suite(suite);
+  const data::Sample held_out =
+      data::make_sample(test_cfgs.front(), opts.sample);
+
+  util::TextTable table;
+  table.set_header({"model", "params", "F1", "MAE(1e-4V)", "TAT(s)"});
+  for (const auto& spec : models::model_registry()) {
+    auto model = spec.make(0);
+    const auto rows = pipe.train_and_evaluate(*model, dataset, {held_out},
+                                              spec.augmentation_factor);
+    const auto& r = rows.front();  // single case; rows.back() is Avg
+    table.add_row({spec.name, std::to_string(model->parameter_count()),
+                   util::format_fixed(r.f1, 3),
+                   util::format_fixed(r.mae_1e4_volts, 2),
+                   util::format_fixed(r.tat_seconds, 3)});
+    std::printf("trained %s\n", spec.name.c_str());
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// generate_benchmarks: BeGAN-style suite generation.  Writes N synthetic
+// PDN benchmark directories (SPICE netlist + contest-format CSV features +
+// golden IR-drop ground truth), ready to train on or to feed back through
+// analyze_netlist / the data pipeline.
+//
+// Usage: generate_benchmarks [count] [out_dir] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "features/contest_io.hpp"
+#include "features/maps.hpp"
+#include "gen/suite.hpp"
+#include "pdn/circuit.hpp"
+#include "pdn/raster.hpp"
+#include "pdn/solver.hpp"
+#include "pdn/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lmmir;
+  const int count = argc > 1 ? std::atoi(argv[1]) : 5;
+  const std::string out_dir = argc > 2 ? argv[2] : "benchmarks";
+  const std::uint64_t seed = argc > 3
+      ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 2024;
+
+  gen::SuiteOptions suite;  // default 1/8 contest scale
+  const auto configs = gen::fake_training_suite(count, seed, suite);
+
+  for (const auto& cfg : configs) {
+    const spice::Netlist nl = gen::generate_pdn(cfg);
+    const pdn::Circuit circuit(nl);
+    const pdn::Solution sol = pdn::solve_ir_drop(circuit);
+    grid::Grid2D ir = pdn::rasterize_ir_drop(nl, sol);
+    const feat::FeatureMaps maps = feat::compute_feature_maps(nl);
+    const std::string dir = out_dir + "/" + cfg.name;
+    feat::write_contest_case(dir, nl, maps, ir);
+
+    const pdn::TestcaseStats st = pdn::compute_stats(nl, cfg.name);
+    std::printf("%-10s %6zu nodes  %-9s  worst drop %.2f%%  -> %s\n",
+                st.name.c_str(), st.nodes, st.shape_string().c_str(),
+                100.0 * sol.worst_drop / sol.vdd, dir.c_str());
+  }
+  std::printf("wrote %d benchmark case(s) under %s/\n", count,
+              out_dir.c_str());
+  return 0;
+}

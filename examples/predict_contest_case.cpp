@@ -1,0 +1,88 @@
+// predict_contest_case: deployment-style inference — load a trained
+// LMM-IR checkpoint and a contest-format case directory, predict the
+// IR-drop map, score it against the provided ground truth (when present)
+// and write prediction artifacts (CSV + heat map).
+//
+// Usage: predict_contest_case <case_dir> [checkpoint.bin]
+// With no arguments it trains a small model first (so the example is
+// runnable standalone), exports a generated case, then predicts it.
+#include <cstdio>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "features/contest_io.hpp"
+#include "models/lmmir_model.hpp"
+#include "nn/serialize.hpp"
+#include "pdn/circuit.hpp"
+#include "pdn/raster.hpp"
+#include "pdn/solver.hpp"
+#include "util/csv.hpp"
+#include "util/image_io.hpp"
+#include "util/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lmmir;
+
+  core::PipelineOptions opts;
+  opts.sample.input_side = 32;
+  opts.sample.pc_grid = 4;
+  opts.suite_scale = 0.06;
+  opts.fake_cases = 6;
+  opts.real_cases = 2;
+  opts.train.pretrain_epochs = 1;
+  opts.train.finetune_epochs = 25;
+  core::Pipeline pipe(opts);
+
+  models::LmmirConfig mc;
+  mc.base_channels = 8;  // deployment demo: small and fast
+  models::LMMIR model(mc);
+
+  std::string case_dir;
+  if (argc > 1) {
+    case_dir = argv[1];
+  } else {
+    // Standalone mode: fabricate a case directory to predict.
+    gen::GeneratorConfig cfg;
+    cfg.name = "predict_demo";
+    cfg.width_um = 40;
+    cfg.height_um = 40;
+    cfg.seed = 777;
+    cfg.use_default_stack();
+    const auto nl = gen::generate_pdn(cfg);
+    const auto sol = pdn::solve_ir_drop(pdn::Circuit(nl));
+    const auto ir = pdn::rasterize_ir_drop(nl, sol);
+    feat::write_contest_case("predict_demo_case", nl,
+                             feat::compute_feature_maps(nl), ir);
+    case_dir = "predict_demo_case";
+    std::printf("no case dir given; generated %s/\n", case_dir.c_str());
+  }
+
+  if (argc > 2) {
+    nn::load_checkpoint(model, argv[2]);
+    std::printf("loaded checkpoint %s\n", argv[2]);
+  } else {
+    std::printf("no checkpoint given; training a small model first...\n");
+    const auto dataset = pipe.build_training_dataset();
+    train::fit(model, dataset, pipe.train_config());
+    nn::save_checkpoint(model, "predict_demo_checkpoint.bin");
+    std::printf("saved predict_demo_checkpoint.bin for reuse\n");
+  }
+
+  const data::Sample sample =
+      data::make_sample_from_contest_dir(case_dir, opts.sample);
+  util::Stopwatch tat;
+  const grid::Grid2D pred = train::predict_map(model, sample);
+  std::printf("predicted %zux%zu map in %.3f s (%zu-node netlist)\n",
+              pred.rows(), pred.cols(), tat.seconds(), sample.node_count);
+
+  util::write_csv_file(case_dir + "/predicted_ir_drop.csv", pred.to_csv());
+  const auto img = util::colorize(pred.data(), pred.cols(), pred.rows(),
+                                  0.0f, std::max(1e-6f, pred.max()));
+  util::write_ppm(case_dir + "/predicted_ir_drop.ppm", img);
+  std::printf("wrote %s/predicted_ir_drop.{csv,ppm}\n", case_dir.c_str());
+
+  const auto m = eval::compute_metrics(pred, sample.truth_full);
+  std::printf("vs ground truth: F1 %.3f  CC %.3f  MAE %.2f (1e-4 V)\n", m.f1,
+              m.cc, data::percent_mae_to_1e4_volts(m.mae, sample.vdd));
+  return 0;
+}

@@ -1,0 +1,65 @@
+#pragma once
+// High-level one-call API tying the whole system together.  Examples and
+// benchmark binaries go through this facade; downstream users can too:
+//
+//   lmmir::core::Pipeline pipe;                  // defaults scale to 1 core
+//   auto model  = lmmir::models::make_model("LMM-IR");
+//   auto data   = pipe.build_training_dataset();
+//   lmmir::train::fit(*model, data, pipe.train_config());
+//   for (auto& row : pipe.evaluate_on_hidden_cases(*model)) ...
+//
+// Environment overrides (read once at construction):
+//   LMMIR_INPUT_SIDE, LMMIR_PC_GRID, LMMIR_SCALE, LMMIR_FAKE_CASES,
+//   LMMIR_REAL_CASES, LMMIR_EPOCHS, LMMIR_PRETRAIN_EPOCHS, LMMIR_SEED.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "models/common.hpp"
+#include "train/trainer.hpp"
+
+namespace lmmir::core {
+
+struct PipelineOptions {
+  data::SampleOptions sample;      // input side + token grid
+  double suite_scale = 0.125;      // Table-II linear scale
+  int fake_cases = 12;
+  int real_cases = 4;
+  int fake_oversample = 2;
+  int real_oversample = 4;
+  train::TrainConfig train;
+  std::uint64_t seed = 7;
+
+  /// Defaults overridden from LMMIR_* environment variables.
+  static PipelineOptions from_environment();
+};
+
+class Pipeline {
+ public:
+  Pipeline() : Pipeline(PipelineOptions::from_environment()) {}
+  explicit Pipeline(PipelineOptions options) : opts_(std::move(options)) {}
+
+  const PipelineOptions& options() const { return opts_; }
+  const train::TrainConfig& train_config() const { return opts_.train; }
+
+  /// Generate + featurize + golden-solve the training pool.
+  data::Dataset build_training_dataset() const;
+
+  /// The 10 hidden Table-II cases.
+  std::vector<data::Sample> build_hidden_testset() const;
+
+  /// Build a sample from an external SPICE netlist file.
+  data::Sample sample_from_netlist_file(const std::string& path) const;
+
+  /// Train (two-stage) and evaluate on the hidden cases in one call.
+  std::vector<train::EvalCase> train_and_evaluate(
+      models::IrModel& model, const data::Dataset& dataset,
+      const std::vector<data::Sample>& tests,
+      float extra_augmentation = 1.0f) const;
+
+ private:
+  PipelineOptions opts_;
+};
+
+}  // namespace lmmir::core

@@ -1,0 +1,91 @@
+#include "data/dataset.hpp"
+
+#include <stdexcept>
+
+#include "gen/suite.hpp"
+#include "tensor/ops.hpp"
+#include "util/log.hpp"
+
+namespace lmmir::data {
+
+Dataset build_training_dataset(const DatasetOptions& opts) {
+  Dataset ds;
+  gen::SuiteOptions suite;
+  suite.scale = opts.suite_scale;
+  const auto fakes =
+      gen::fake_training_suite(opts.fake_cases, opts.seed, suite);
+  const auto reals =
+      gen::real_training_suite(opts.real_cases, opts.seed + 101, suite);
+
+  for (const auto& cfg : fakes) {
+    ds.samples.push_back(make_sample(cfg, opts.sample));
+    for (int k = 0; k < opts.fake_oversample; ++k)
+      ds.epoch.push_back(ds.samples.size() - 1);
+  }
+  for (const auto& cfg : reals) {
+    ds.samples.push_back(make_sample(cfg, opts.sample));
+    for (int k = 0; k < opts.real_oversample; ++k)
+      ds.epoch.push_back(ds.samples.size() - 1);
+  }
+  util::log_info("dataset: ", ds.samples.size(), " cases, epoch size ",
+                 ds.epoch.size());
+  return ds;
+}
+
+std::vector<Sample> build_table2_testset(const SampleOptions& opts,
+                                         double suite_scale) {
+  gen::SuiteOptions suite;
+  suite.scale = suite_scale;
+  std::vector<Sample> out;
+  for (const auto& cfg : gen::table2_suite(suite))
+    out.push_back(make_sample(cfg, opts));
+  return out;
+}
+
+Batch make_batch(const std::vector<Sample>& samples,
+                 const std::vector<std::size_t>& indices, float noise_std,
+                 util::Rng& rng) {
+  if (indices.empty()) throw std::invalid_argument("make_batch: empty batch");
+  const Sample& first = samples.at(indices[0]);
+  const auto cs = first.circuit.shape();  // [C,S,S]
+  const auto ts = first.tokens.shape();   // [T,F]
+  const auto ys = first.target.shape();   // [1,S,S]
+  const int b = static_cast<int>(indices.size());
+
+  std::vector<float> circ;
+  std::vector<float> toks;
+  std::vector<float> targ;
+  circ.reserve(static_cast<std::size_t>(b) * first.circuit.numel());
+  toks.reserve(static_cast<std::size_t>(b) * first.tokens.numel());
+  targ.reserve(static_cast<std::size_t>(b) * first.target.numel());
+  for (std::size_t idx : indices) {
+    const Sample& s = samples.at(idx);
+    if (!tensor::same_shape(s.circuit.shape(), cs) ||
+        !tensor::same_shape(s.tokens.shape(), ts))
+      throw std::invalid_argument("make_batch: heterogeneous sample shapes");
+    circ.insert(circ.end(), s.circuit.data().begin(), s.circuit.data().end());
+    toks.insert(toks.end(), s.tokens.data().begin(), s.tokens.data().end());
+    targ.insert(targ.end(), s.target.data().begin(), s.target.data().end());
+  }
+  if (noise_std > 0.0f)
+    for (auto& v : circ) v += rng.normal(0.0f, noise_std);
+
+  Batch batch;
+  batch.circuit =
+      tensor::Tensor::from_data({b, cs[0], cs[1], cs[2]}, std::move(circ));
+  batch.tokens = tensor::Tensor::from_data({b, ts[0], ts[1]}, std::move(toks));
+  batch.target =
+      tensor::Tensor::from_data({b, ys[0], ys[1], ys[2]}, std::move(targ));
+  return batch;
+}
+
+tensor::Tensor slice_channels(const tensor::Tensor& circuit, int k) {
+  if (circuit.ndim() != 4)
+    throw std::invalid_argument("slice_channels: expects [B,C,S,S]");
+  if (k == circuit.dim(1)) return circuit;
+  if (k <= 0 || k > circuit.dim(1))
+    throw std::invalid_argument("slice_channels: bad channel count");
+  return tensor::slice_axis(circuit, 1, 0, k);
+}
+
+}  // namespace lmmir::data

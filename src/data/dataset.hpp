@@ -1,0 +1,56 @@
+#pragma once
+// Dataset assembly mirroring the paper's regime (Sec. IV-A): fake cases +
+// real-like cases, over-sampled (fake x10, real x20 at paper scale) and
+// augmented with Gaussian noise at batch time.
+#include <vector>
+
+#include "data/sample.hpp"
+#include "util/rng.hpp"
+
+namespace lmmir::data {
+
+struct DatasetOptions {
+  SampleOptions sample;
+  int fake_cases = 12;
+  int real_cases = 4;
+  int fake_oversample = 2;   // paper: 10
+  int real_oversample = 4;   // paper: 20
+  double suite_scale = 0.125;
+  std::uint64_t seed = 7;
+};
+
+/// The training pool: generated fake + real-like cases, with the
+/// over-sampling realized as repeated (index) entries so memory stays flat.
+struct Dataset {
+  std::vector<Sample> samples;       // unique cases
+  std::vector<std::size_t> epoch;    // indices into samples, over-sampled
+
+  std::size_t case_count() const { return samples.size(); }
+  std::size_t epoch_size() const { return epoch.size(); }
+};
+
+Dataset build_training_dataset(const DatasetOptions& opts);
+
+/// The 10 hidden Table-II evaluation cases.
+std::vector<Sample> build_table2_testset(const SampleOptions& opts,
+                                         double suite_scale = 0.125);
+
+/// A stacked minibatch (inputs carry no autograd tape).
+struct Batch {
+  tensor::Tensor circuit;  // [B, 6, S, S]
+  tensor::Tensor tokens;   // [B, T, F]
+  tensor::Tensor target;   // [B, 1, S, S]
+};
+
+/// Assemble a batch from dataset indices.  When noise_std > 0, Gaussian
+/// noise is added to the circuit channels (paper's augmentation, sigma
+/// drawn per batch from U(0, noise_std_max) by the caller).
+Batch make_batch(const std::vector<Sample>& samples,
+                 const std::vector<std::size_t>& indices, float noise_std,
+                 util::Rng& rng);
+
+/// Slice the canonical 6-channel stack down to the first k channels
+/// (IREDGe consumes 3, IRPnet 1). Returns the input unchanged for k == 6.
+tensor::Tensor slice_channels(const tensor::Tensor& circuit, int k);
+
+}  // namespace lmmir::data

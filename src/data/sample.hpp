@@ -1,0 +1,61 @@
+#pragma once
+// One training/evaluation sample: the six adjusted+normalized circuit
+// channels, the pooled netlist tokens, and the IR-drop target.
+//
+// Targets are stored as percent-of-VDD drop: case-independent scale,
+// invertible back to volts with the recorded vdd, and numerically friendly
+// for MSE (raw drops are 1e-3..1e-1 V).
+#include <string>
+
+#include "features/spatial.hpp"
+#include "gen/began.hpp"
+#include "grid/grid2d.hpp"
+#include "spice/netlist.hpp"
+#include "tensor/tensor.hpp"
+
+namespace lmmir::data {
+
+struct SampleOptions {
+  std::size_t input_side = 64;  // paper: 512; reduced default for 1 core
+  int pc_grid = 8;              // netlist token grid (G*G tokens)
+};
+
+/// Stored regression targets are percent-of-vdd x kTargetScale, keeping
+/// them O(0.1) so freshly initialized heads start in range; predictions
+/// are divided back before metric computation.
+inline constexpr float kTargetScale = 0.1f;
+
+struct Sample {
+  std::string name;
+  tensor::Tensor circuit;       // [6, S, S], channels normalized to [0,1]
+  tensor::Tensor tokens;        // [G*G, pc::kTokenFeatureDim]
+  tensor::Tensor target;        // [1, S, S], percent-of-vdd drop, adjusted
+  grid::Grid2D truth_full;      // percent-of-vdd at original resolution
+  feat::AdjustInfo adjust;      // pad/scale record for restoring predictions
+  double vdd = 0.0;
+  double golden_solve_seconds = 0.0;  // TAT of the golden solver (reference)
+  std::size_t node_count = 0;
+};
+
+/// Build a sample from an already-parsed netlist (solves the golden IR
+/// drop as ground truth).
+Sample make_sample(const spice::Netlist& netlist, const std::string& name,
+                   const SampleOptions& opts);
+
+/// Generate the netlist from a config, then build the sample.
+Sample make_sample(const gen::GeneratorConfig& config,
+                   const SampleOptions& opts);
+
+/// Build a sample from a contest-format case directory (see
+/// feat::read_contest_case).  The provided current / effective-distance /
+/// PDN-density CSVs are authoritative for channels 0-2; the three extra
+/// channels and the point cloud come from the netlist.  When the
+/// directory carries a ground-truth map it is used (volts); otherwise the
+/// golden solver produces it.
+Sample make_sample_from_contest_dir(const std::string& dir,
+                                    const SampleOptions& opts);
+
+/// Convert a percent-of-vdd MAE to the paper's 1e-4 V unit.
+double percent_mae_to_1e4_volts(double mae_percent, double vdd);
+
+}  // namespace lmmir::data

@@ -1,0 +1,63 @@
+#include "eval/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lmmir::eval {
+
+double pearson_cc(const grid::Grid2D& a, const grid::Grid2D& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    throw std::invalid_argument("pearson_cc: shape mismatch");
+  const std::size_t n = a.size();
+  if (n == 0) return 0.0;
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += a.data()[i];
+    mb += b.data()[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = a.data()[i] - ma;
+    const double db = b.data()[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+Metrics compute_metrics(const grid::Grid2D& prediction,
+                        const grid::Grid2D& truth,
+                        double threshold_fraction) {
+  if (prediction.rows() != truth.rows() || prediction.cols() != truth.cols())
+    throw std::invalid_argument("compute_metrics: shape mismatch");
+  Metrics m;
+  m.max_true = truth.max();
+  const double thresh = threshold_fraction * m.max_true;
+
+  double abs_err = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double p = prediction.data()[i];
+    const double t = truth.data()[i];
+    abs_err += std::abs(p - t);
+    const bool pos_true = t > thresh;
+    const bool pos_pred = p > thresh;
+    if (pos_true && pos_pred) ++m.tp;
+    else if (!pos_true && pos_pred) ++m.fp;
+    else if (pos_true && !pos_pred) ++m.fn;
+    else ++m.tn;
+  }
+  m.mae = truth.size() ? abs_err / static_cast<double>(truth.size()) : 0.0;
+  m.precision = (m.tp + m.fp) ? static_cast<double>(m.tp) / (m.tp + m.fp) : 0.0;
+  m.recall = (m.tp + m.fn) ? static_cast<double>(m.tp) / (m.tp + m.fn) : 0.0;
+  m.f1 = (m.precision + m.recall) > 0
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  m.cc = pearson_cc(prediction, truth);
+  return m;
+}
+
+}  // namespace lmmir::eval

@@ -1,0 +1,35 @@
+#pragma once
+// Evaluation metrics (paper Sec. II-D):
+//  - F1 with the contest's hotspot definition: pixels whose true IR drop
+//    exceeds 90 % of the true maximum are the positive class;
+//  - MAE between predicted and true maps;
+//  - TAT is a wall-clock measurement taken by the caller (Stopwatch).
+#include <cstddef>
+
+#include "grid/grid2d.hpp"
+
+namespace lmmir::eval {
+
+struct Metrics {
+  double f1 = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double mae = 0.0;       // same units as the input grids
+  double cc = 0.0;        // Pearson correlation (IREDGe-style secondary metric)
+  double max_true = 0.0;  // max of the ground truth (threshold basis)
+  std::size_t tp = 0, fp = 0, fn = 0, tn = 0;
+};
+
+/// Pearson correlation coefficient between two same-shape grids
+/// (0 when either field is constant). Exposed for direct use.
+double pearson_cc(const grid::Grid2D& a, const grid::Grid2D& b);
+
+/// Compare a prediction against ground truth (same shape).  The hotspot
+/// threshold is `threshold_fraction` x max(truth); both maps are binarized
+/// against that same absolute threshold, per the contest scoring.
+/// Throws std::invalid_argument on shape mismatch.
+Metrics compute_metrics(const grid::Grid2D& prediction,
+                        const grid::Grid2D& truth,
+                        double threshold_fraction = 0.9);
+
+}  // namespace lmmir::eval

@@ -1,0 +1,38 @@
+#include "features/contest_io.hpp"
+
+#include <filesystem>
+
+#include "spice/parser.hpp"
+#include "spice/writer.hpp"
+#include "util/csv.hpp"
+
+namespace lmmir::feat {
+
+namespace fs = std::filesystem;
+
+void write_contest_case(const std::string& dir, const spice::Netlist& nl,
+                        const FeatureMaps& maps, const grid::Grid2D& ir_drop) {
+  fs::create_directories(dir);
+  spice::write_netlist_file(dir + "/netlist.sp", nl);
+  util::write_csv_file(dir + "/current_map.csv", maps.current.to_csv());
+  util::write_csv_file(dir + "/eff_dist_map.csv",
+                       maps.effective_distance.to_csv());
+  util::write_csv_file(dir + "/pdn_density.csv", maps.pdn_density.to_csv());
+  if (!ir_drop.empty())
+    util::write_csv_file(dir + "/ir_drop_map.csv", ir_drop.to_csv(), 8);
+}
+
+ContestCase read_contest_case(const std::string& dir) {
+  ContestCase c;
+  c.netlist = spice::parse_netlist_file(dir + "/netlist.sp");
+  c.current = grid::Grid2D::from_csv(util::read_csv_file(dir + "/current_map.csv"));
+  c.effective_distance =
+      grid::Grid2D::from_csv(util::read_csv_file(dir + "/eff_dist_map.csv"));
+  c.pdn_density =
+      grid::Grid2D::from_csv(util::read_csv_file(dir + "/pdn_density.csv"));
+  const std::string gt = dir + "/ir_drop_map.csv";
+  if (fs::exists(gt)) c.ir_drop = grid::Grid2D::from_csv(util::read_csv_file(gt));
+  return c;
+}
+
+}  // namespace lmmir::feat

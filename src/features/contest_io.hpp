@@ -1,0 +1,30 @@
+#pragma once
+// ICCAD-2023-contest-style on-disk layout for a testcase directory:
+//   <dir>/current_map.csv, eff_dist_map.csv, pdn_density.csv,
+//   <dir>/ir_drop_map.csv  (ground truth), <dir>/netlist.sp
+// This lets benchmarks be exported / reloaded in the same format the
+// contest distributed.
+#include <string>
+
+#include "features/maps.hpp"
+#include "spice/netlist.hpp"
+
+namespace lmmir::feat {
+
+struct ContestCase {
+  spice::Netlist netlist;
+  grid::Grid2D current;
+  grid::Grid2D effective_distance;
+  grid::Grid2D pdn_density;
+  grid::Grid2D ir_drop;  // ground truth (may be empty when absent)
+};
+
+/// Write a case directory (creates it if missing).
+void write_contest_case(const std::string& dir, const spice::Netlist& nl,
+                        const FeatureMaps& maps, const grid::Grid2D& ir_drop);
+
+/// Read a case directory written by write_contest_case (or the contest).
+/// Throws std::runtime_error when mandatory files are missing.
+ContestCase read_contest_case(const std::string& dir);
+
+}  // namespace lmmir::feat

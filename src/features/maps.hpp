@@ -1,0 +1,44 @@
+#pragma once
+// Circuit-modality feature maps (paper Sec. II-A and III-A).
+//
+// The three contest-provided channels:
+//   1. current map          — per-pixel sum of current-source draw;
+//   2. effective distance   — 1 / Σᵢ 1/dist(p, voltage source i);
+//   3. PDN density          — stripe density of the power grid around p;
+// plus the three channels the paper adds:
+//   4. voltage-source map   — source volts at bump pixels;
+//   5. current-source map   — source amps at tap pixels (value plot);
+//   6. resistance map       — each resistor's ohms spread over the pixels
+//                             its segment overlaps.
+#include <array>
+
+#include "grid/grid2d.hpp"
+#include "spice/netlist.hpp"
+
+namespace lmmir::feat {
+
+inline constexpr int kChannelCount = 6;
+
+struct FeatureMaps {
+  grid::Grid2D current;
+  grid::Grid2D effective_distance;
+  grid::Grid2D pdn_density;
+  grid::Grid2D voltage_source;
+  grid::Grid2D current_source;
+  grid::Grid2D resistance;
+
+  /// Channel access in canonical order (see kChannelCount).
+  const grid::Grid2D& channel(int i) const;
+};
+
+grid::Grid2D current_map(const spice::Netlist& nl);
+grid::Grid2D effective_distance_map(const spice::Netlist& nl);
+grid::Grid2D pdn_density_map(const spice::Netlist& nl);
+grid::Grid2D voltage_source_map(const spice::Netlist& nl);
+grid::Grid2D current_source_map(const spice::Netlist& nl);
+grid::Grid2D resistance_map(const spice::Netlist& nl);
+
+/// All six channels at the netlist's pixel shape.
+FeatureMaps compute_feature_maps(const spice::Netlist& nl);
+
+}  // namespace lmmir::feat

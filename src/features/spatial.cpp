@@ -1,0 +1,60 @@
+#include "features/spatial.hpp"
+
+#include <stdexcept>
+
+namespace lmmir::feat {
+
+grid::Grid2D adjust_to_side(const grid::Grid2D& g, std::size_t side,
+                            AdjustInfo& info) {
+  if (side == 0) throw std::invalid_argument("adjust_to_side: side == 0");
+  info.orig_rows = g.rows();
+  info.orig_cols = g.cols();
+  info.side = side;
+  if (g.rows() <= side && g.cols() <= side) {
+    info.scaled = false;
+    return g.padded_to(side, side, 0.0f);
+  }
+  info.scaled = true;
+  return g.resized_bilinear(side, side);
+}
+
+grid::Grid2D restore_from_side(const grid::Grid2D& pred,
+                               const AdjustInfo& info) {
+  if (pred.rows() != info.side || pred.cols() != info.side)
+    throw std::invalid_argument("restore_from_side: prediction side mismatch");
+  if (!info.scaled) return pred.cropped_to(info.orig_rows, info.orig_cols);
+  return pred.resized_bilinear(info.orig_rows, info.orig_cols);
+}
+
+float channel_fixed_scale(int channel) {
+  switch (channel) {
+    case 0: return 2e-3f;   // current map: amps per pixel (hotspot peak scale)
+    case 1: return 60.0f;   // effective distance: microns
+    case 2: return 8.0f;    // PDN density: stripes per blurred pixel
+    case 3: return 1.2f;    // voltage-source map: volts (~vdd)
+    case 4: return 2e-3f;   // current-source map: amps
+    case 5: return 25.0f;   // resistance map: ohms per pixel
+    default: throw std::invalid_argument("channel_fixed_scale: bad channel");
+  }
+}
+
+grid::Grid2D normalize_channel_fixed(const grid::Grid2D& g, int channel) {
+  grid::Grid2D out = g;
+  out.scale(1.0f / channel_fixed_scale(channel));
+  return out;
+}
+
+grid::Grid2D normalize_channel(const grid::Grid2D& g, ChannelNorm& norm) {
+  norm.lo = g.min();
+  norm.hi = g.max();
+  grid::Grid2D out = g;
+  const float span = norm.hi - norm.lo;
+  if (span <= 0.0f) {
+    out.fill(0.0f);
+    return out;
+  }
+  for (auto& v : out.data()) v = (v - norm.lo) / span;
+  return out;
+}
+
+}  // namespace lmmir::feat

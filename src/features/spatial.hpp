@@ -1,0 +1,44 @@
+#pragma once
+// Spatial batch adjustment (paper Sec. III-A): testcase edge lengths range
+// widely (204–930 px at contest scale), but training batches need one side
+// length.  Grids smaller than the target are zero-padded (lossless);
+// larger grids are bilinearly scaled down.  The AdjustInfo records how to
+// map a model prediction back to the original resolution.
+#include "grid/grid2d.hpp"
+
+namespace lmmir::feat {
+
+struct AdjustInfo {
+  std::size_t orig_rows = 0;
+  std::size_t orig_cols = 0;
+  std::size_t side = 0;   // model input side length
+  bool scaled = false;    // true: resized; false: padded
+};
+
+/// Adjust a grid to side x side per the pad-or-scale rule.
+grid::Grid2D adjust_to_side(const grid::Grid2D& g, std::size_t side,
+                            AdjustInfo& info);
+
+/// Map a side x side prediction back to the original resolution.
+grid::Grid2D restore_from_side(const grid::Grid2D& pred,
+                               const AdjustInfo& info);
+
+/// Min-max normalize each channel into [0,1] (paper's per-channel
+/// normalization); returns the scale so predictions stay interpretable.
+struct ChannelNorm {
+  float lo = 0.0f;
+  float hi = 1.0f;
+};
+grid::Grid2D normalize_channel(const grid::Grid2D& g, ChannelNorm& norm);
+
+/// Fixed per-channel divisors for the canonical six-channel stack.  IR
+/// drop scales with absolute current and resistance, so those channels
+/// keep their physical magnitude (divided by a dataset-level constant)
+/// instead of per-sample min-max, which would erase the scale the model
+/// must regress.  Index order matches feat::FeatureMaps::channel.
+float channel_fixed_scale(int channel);
+
+/// Divide a channel by its fixed scale.
+grid::Grid2D normalize_channel_fixed(const grid::Grid2D& g, int channel);
+
+}  // namespace lmmir::feat

@@ -1,0 +1,62 @@
+#pragma once
+// BeGAN-style synthetic PDN benchmark generator.
+//
+// The ICCAD-2023 contest data and the BeGAN augmentation set are not
+// redistributable, so this module regenerates statistically similar
+// benchmarks: a multi-layer power grid (alternating horizontal/vertical
+// stripes, via-connected), current sources drawn from a Gaussian-mixture
+// power map tapped onto the m1 rails, and voltage-source bumps on the top
+// layer.  The output is an ordinary spice::Netlist, so everything
+// downstream (parser round-trip, golden solver, feature maps, point cloud)
+// treats generated and externally loaded benchmarks identically.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/grid2d.hpp"
+#include "spice/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace lmmir::gen {
+
+enum class Direction { Horizontal, Vertical };
+
+/// One routing layer of the PDN stripe stack.
+struct LayerSpec {
+  int layer = 1;              // metal index (m1 = standard-cell rails)
+  Direction dir = Direction::Horizontal;
+  double pitch_um = 2.0;      // stripe-to-stripe spacing
+  double offset_um = 0.5;     // first stripe position
+  double res_per_um = 0.4;    // wire resistance per µm (thin wires: higher)
+};
+
+struct GeneratorConfig {
+  std::string name = "case";
+  double width_um = 64.0;
+  double height_um = 64.0;
+  std::vector<LayerSpec> layers;      // ascending metal index, alternating dir
+  double via_resistance = 2.0;        // ohms per inter-layer via
+  double vdd = 1.1;                   // volts
+  double bump_pitch_um = 24.0;        // top-layer voltage-source array pitch
+  double total_current = 0.5;         // amps over the whole die
+  int n_hotspots = 3;                 // Gaussian-mixture current hotspots
+  double hotspot_sigma_min_um = 3.0;
+  double hotspot_sigma_max_um = 8.0;
+  double background_fraction = 0.35;  // share of current spread uniformly
+  std::uint64_t seed = 1;
+
+  /// Fill `layers` with a standard 4-layer stack scaled to the die size.
+  void use_default_stack();
+};
+
+/// Synthesize the per-µm² current-density map the current sources are
+/// drawn from (background + Gaussian hotspots, normalized to
+/// total_current). Exposed separately for tests and visualisation.
+grid::Grid2D synth_current_map(const GeneratorConfig& cfg, util::Rng& rng);
+
+/// Generate the full PDN netlist for a configuration.
+/// Throws std::invalid_argument on inconsistent configs (fewer than two
+/// layers, non-alternating directions, non-positive pitches).
+spice::Netlist generate_pdn(const GeneratorConfig& cfg);
+
+}  // namespace lmmir::gen

@@ -1,0 +1,106 @@
+#include "gen/suite.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lmmir::gen {
+
+const std::vector<Table2Reference>& table2_reference() {
+  static const std::vector<Table2Reference> ref = {
+      {"testcase7", 85591, 601},  {"testcase8", 83030, 601},
+      {"testcase9", 166734, 835}, {"testcase10", 159940, 835},
+      {"testcase13", 15768, 257}, {"testcase14", 15436, 257},
+      {"testcase15", 57508, 489}, {"testcase16", 55197, 489},
+      {"testcase19", 181206, 870}, {"testcase20", 174304, 870}};
+  return ref;
+}
+
+namespace {
+
+GeneratorConfig base_case(const std::string& name, double side_um,
+                          std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.name = name;
+  cfg.width_um = side_um;
+  cfg.height_um = side_um;
+  cfg.seed = seed;
+  cfg.use_default_stack();
+  cfg.bump_pitch_um = std::max(12.0, side_um / 3.0);
+  // Current budget grows with die area so drops stay in a realistic band.
+  cfg.total_current = 0.08 * (side_um * side_um) / (64.0 * 64.0);
+  cfg.n_hotspots = 2 + static_cast<int>(side_um / 32.0);
+  cfg.hotspot_sigma_min_um = std::max(2.0, side_um / 24.0);
+  cfg.hotspot_sigma_max_um = std::max(4.0, side_um / 10.0);
+  return cfg;
+}
+
+/// The paper notes several hidden cases differ from the training
+/// distribution; testcases 13/14 (the smallest) get an off-distribution
+/// stack: three layers, coarse rails, higher wire resistance.
+void make_off_distribution(GeneratorConfig& cfg) {
+  const double base = std::max(2.0, std::min(cfg.width_um, cfg.height_um) / 12.0);
+  cfg.layers.clear();
+  cfg.layers.push_back({1, Direction::Horizontal, base, base * 0.5, 0.65});
+  cfg.layers.push_back({2, Direction::Vertical, base, base * 0.5, 0.40});
+  cfg.layers.push_back({3, Direction::Horizontal, base * 2.0, base, 0.15});
+  cfg.background_fraction = 0.15;
+  cfg.n_hotspots = 1;
+  cfg.total_current *= 1.6;
+}
+
+}  // namespace
+
+std::vector<GeneratorConfig> table2_suite(const SuiteOptions& opts) {
+  std::vector<GeneratorConfig> suite;
+  std::uint64_t seed = 90001;
+  for (const auto& ref : table2_reference()) {
+    const double side = std::max(24.0, std::floor(ref.paper_side * opts.scale));
+    GeneratorConfig cfg = base_case(ref.name, side, seed);
+    seed += 7;
+    if (ref.name == std::string("testcase13") ||
+        ref.name == std::string("testcase14"))
+      make_off_distribution(cfg);
+    suite.push_back(std::move(cfg));
+  }
+  return suite;
+}
+
+std::vector<GeneratorConfig> fake_training_suite(int count, std::uint64_t seed,
+                                                 const SuiteOptions& opts) {
+  std::vector<GeneratorConfig> suite;
+  util::Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    const double lo = 200.0 * opts.scale;
+    const double hi = 700.0 * opts.scale;
+    const double side = std::max(24.0, rng.uniform_double(lo, hi));
+    GeneratorConfig cfg =
+        base_case("fake" + std::to_string(i), side, seed * 131 + static_cast<std::uint64_t>(i));
+    cfg.total_current *= rng.uniform_double(0.6, 1.6);
+    cfg.n_hotspots = rng.randint(1, 5);
+    cfg.background_fraction = rng.uniform_double(0.2, 0.5);
+    suite.push_back(std::move(cfg));
+  }
+  return suite;
+}
+
+std::vector<GeneratorConfig> real_training_suite(int count, std::uint64_t seed,
+                                                 const SuiteOptions& opts) {
+  // Sample near the Table-II sizes so the "real" training cases match the
+  // hidden-case distribution, as the contest's released real cases did.
+  std::vector<GeneratorConfig> suite;
+  util::Rng rng(seed);
+  const auto& refs = table2_reference();
+  for (int i = 0; i < count; ++i) {
+    const auto& ref = refs[static_cast<std::size_t>(i) % refs.size()];
+    const double side =
+        std::max(24.0, std::floor(ref.paper_side * opts.scale *
+                                  rng.uniform_double(0.9, 1.1)));
+    GeneratorConfig cfg =
+        base_case("real" + std::to_string(i), side, seed * 977 + static_cast<std::uint64_t>(i));
+    cfg.total_current *= rng.uniform_double(0.8, 1.3);
+    suite.push_back(std::move(cfg));
+  }
+  return suite;
+}
+
+}  // namespace lmmir::gen

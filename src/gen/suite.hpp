@@ -1,0 +1,40 @@
+#pragma once
+// Benchmark suites mirroring the paper's data regime:
+//  - table2_suite(): the 10 hidden evaluation testcases of Table II
+//    (7, 8, 9, 10, 13, 14, 15, 16, 19, 20), regenerated at a configurable
+//    linear scale (default 1/8 of the contest pixel sizes);
+//  - fake_training_suite(): BeGAN-like random "fake" cases;
+//  - real_training_suite(): cases drawn near the testcase distribution,
+//    standing in for the contest's 10 released real cases.
+#include <cstdint>
+#include <vector>
+
+#include "gen/began.hpp"
+
+namespace lmmir::gen {
+
+struct SuiteOptions {
+  /// Linear scale against the contest pixel sizes (1.0 = paper scale;
+  /// the default 1/8 gives ~1/64 of the node counts, solvable on one core).
+  double scale = 0.125;
+};
+
+/// Paper Table II reference statistics (full scale) for reporting.
+struct Table2Reference {
+  const char* name;
+  std::size_t paper_nodes;
+  std::size_t paper_side;  // square pixel shape
+};
+
+/// The ten hidden testcases in paper order.
+const std::vector<Table2Reference>& table2_reference();
+
+std::vector<GeneratorConfig> table2_suite(const SuiteOptions& opts = {});
+
+std::vector<GeneratorConfig> fake_training_suite(int count, std::uint64_t seed,
+                                                 const SuiteOptions& opts = {});
+
+std::vector<GeneratorConfig> real_training_suite(int count, std::uint64_t seed,
+                                                 const SuiteOptions& opts = {});
+
+}  // namespace lmmir::gen

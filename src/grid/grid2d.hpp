@@ -1,0 +1,77 @@
+#pragma once
+// Dense 2-D float field.  Every circuit-modality feature map (current map,
+// effective-distance map, PDN density, …) and every IR-drop map is a Grid2D.
+// The coordinate convention is (row, col) = (y, x); row 0 is the chip's
+// bottom edge (y = 0 µm) so grid indices match layout coordinates directly.
+#include <cstddef>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace lmmir::grid {
+
+class Grid2D {
+ public:
+  Grid2D() = default;
+  Grid2D(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Grid2D from_csv(const util::CsvMatrix& m);
+  util::CsvMatrix to_csv() const;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+
+  /// Clamped accessor: out-of-range indices read the nearest edge cell.
+  float at_clamped(long r, long c) const;
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+  void fill(float v);
+
+  float min() const;
+  float max() const;
+  float sum() const;
+  float mean() const;
+
+  /// Add another grid of identical shape (element-wise).
+  void accumulate(const Grid2D& other);
+  /// Multiply every cell by s.
+  void scale(float s);
+
+  /// Bilinear resample to (new_rows, new_cols).
+  Grid2D resized_bilinear(std::size_t new_rows, std::size_t new_cols) const;
+
+  /// Zero-pad at the bottom/right up to (new_rows, new_cols); the grid must
+  /// already fit. Mirrors the paper's pad-when-smaller rule (Sec. III-A).
+  Grid2D padded_to(std::size_t new_rows, std::size_t new_cols,
+                   float pad_value = 0.0f) const;
+
+  /// Top-left crop back to (new_rows, new_cols); inverse of padded_to.
+  Grid2D cropped_to(std::size_t new_rows, std::size_t new_cols) const;
+
+  /// Min-max normalize into [0,1]; constant grids become all-zero.
+  Grid2D normalized_minmax() const;
+
+  /// Separable Gaussian blur with the given sigma (in cells).
+  Grid2D blurred(float sigma) const;
+
+  /// Average-pool by an integer factor (trailing partial cells averaged).
+  Grid2D downsampled_avg(std::size_t factor) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// Mean absolute difference between two same-shape grids.
+float mean_abs_diff(const Grid2D& a, const Grid2D& b);
+
+}  // namespace lmmir::grid

@@ -1,0 +1,97 @@
+#include "models/blocks.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace lmmir::models {
+
+using namespace tensor;
+
+int unet_level_channels(int base, int level) {
+  return std::min(base * (1 << level), base * 8);
+}
+
+ConvBnRelu::ConvBnRelu(int in_channels, int out_channels, int kernel,
+                       util::Rng& rng, int stride, int padding)
+    : conv_(in_channels, out_channels, kernel, rng, stride, padding),
+      bn_(out_channels) {
+  register_module("conv", &conv_);
+  register_module("bn", &bn_);
+}
+
+Tensor ConvBnRelu::forward(const Tensor& x) {
+  return relu(bn_.forward(conv_.forward(x)));
+}
+
+EncoderStage::EncoderStage(int in_channels, int out_channels, util::Rng& rng)
+    : conv1_(in_channels, out_channels, 3, rng),
+      conv2_(out_channels, out_channels, 3, rng) {
+  register_module("conv1", &conv1_);
+  register_module("conv2", &conv2_);
+}
+
+EncoderStage::Out EncoderStage::forward(const Tensor& x) {
+  Out out;
+  out.skip = conv2_.forward(conv1_.forward(x));
+  out.pooled = maxpool2d(out.skip, 2, 2);
+  return out;
+}
+
+DecoderStage::DecoderStage(int in_channels, int skip_channels,
+                           bool attention_gate, util::Rng& rng)
+    : up_(in_channels, skip_channels, 2, rng, /*stride=*/2),
+      conv_(skip_channels * 2, skip_channels, 3, rng) {
+  register_module("up", &up_);
+  if (attention_gate) {
+    gate_ = std::make_unique<nn::AttentionGate>(
+        skip_channels, skip_channels, std::max(1, skip_channels / 2), rng);
+    register_module("gate", gate_.get());
+  }
+  register_module("conv", &conv_);
+}
+
+Tensor DecoderStage::forward(const Tensor& x, const Tensor& skip) {
+  const Tensor up = up_.forward(x);
+  const Tensor gated = gate_ ? gate_->forward(skip, up) : skip;
+  return conv_.forward(concat(up, gated, 1));
+}
+
+Tensor tokens_from_map(const Tensor& x) {
+  if (x.ndim() != 4) throw std::invalid_argument("tokens_from_map: NCHW");
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  return transpose_last2(reshape(x, {n, c, h * w}));
+}
+
+Tensor map_from_tokens(const Tensor& tokens, int h, int w) {
+  if (tokens.ndim() != 3)
+    throw std::invalid_argument("map_from_tokens: [N,T,D]");
+  const int n = tokens.dim(0), t = tokens.dim(1), d = tokens.dim(2);
+  if (t != h * w)
+    throw std::invalid_argument("map_from_tokens: token count != h*w");
+  return reshape(transpose_last2(tokens), {n, d, h, w});
+}
+
+Tensor mean_tokens(const Tensor& tokens) {
+  if (tokens.ndim() != 3)
+    throw std::invalid_argument("mean_tokens: [N,T,D]");
+  const int n = tokens.dim(0), t = tokens.dim(1), d = tokens.dim(2);
+  // [N,T,D] -> [N,D,T] -> [N*D, T] x [T,1] -> [N,D]
+  const Tensor flat = reshape(transpose_last2(tokens), {n * d, t});
+  const Tensor avg = Tensor::full({t, 1}, 1.0f / static_cast<float>(t));
+  return reshape(matmul(flat, avg), {n, d});
+}
+
+Tensor add_broadcast_tokens(const Tensor& tokens, const Tensor& v) {
+  if (tokens.ndim() != 3 || v.ndim() != 2)
+    throw std::invalid_argument("add_broadcast_tokens: [N,T,D] + [N,D]");
+  const int n = tokens.dim(0), t = tokens.dim(1), d = tokens.dim(2);
+  if (v.dim(0) != n || v.dim(1) != d)
+    throw std::invalid_argument("add_broadcast_tokens: vector shape mismatch");
+  // ones[N,T,1] x v[N,1,D] broadcasts v over the token axis.
+  const Tensor ones = Tensor::full({n, t, 1}, 1.0f);
+  return add(tokens, bmm(ones, reshape(v, {n, 1, d})));
+}
+
+}  // namespace lmmir::models

@@ -1,0 +1,70 @@
+#pragma once
+// Building blocks shared by the models: conv-BN-ReLU units, U-Net style
+// encoder/decoder stages with optional attention gates, and the
+// token-grid <-> feature-map adapters used around the fusion module.
+#include <memory>
+#include <vector>
+
+#include "nn/attention.hpp"
+#include "nn/layers.hpp"
+
+namespace lmmir::models {
+
+using nn::Tensor;
+
+/// Channel width of U-Net level `level` with base width `base`
+/// (doubling per level, capped at 8x) — shared by every encoder here.
+int unet_level_channels(int base, int level);
+
+/// Conv(k) -> BatchNorm -> ReLU.
+class ConvBnRelu : public nn::Layer {
+ public:
+  ConvBnRelu(int in_channels, int out_channels, int kernel, util::Rng& rng,
+             int stride = 1, int padding = 1);
+  Tensor forward(const Tensor& x) override;
+
+ private:
+  nn::Conv2d conv_;
+  nn::BatchNorm2d bn_;
+};
+
+/// One encoder level: two ConvBnRelu, exposing the pre-pool activation as
+/// the skip connection, then 2x max-pool.
+class EncoderStage : public nn::Module {
+ public:
+  EncoderStage(int in_channels, int out_channels, util::Rng& rng);
+
+  struct Out {
+    Tensor skip;    // pre-pool, full resolution of this level
+    Tensor pooled;  // 2x downsampled
+  };
+  Out forward(const Tensor& x);
+
+ private:
+  ConvBnRelu conv1_, conv2_;
+};
+
+/// One decoder level: 2x transposed-conv upsample, (optionally attention-
+/// gated) skip concat, then ConvBnRelu.
+class DecoderStage : public nn::Module {
+ public:
+  DecoderStage(int in_channels, int skip_channels, bool attention_gate,
+               util::Rng& rng);
+  Tensor forward(const Tensor& x, const Tensor& skip);
+
+ private:
+  nn::ConvTranspose2d up_;
+  std::unique_ptr<nn::AttentionGate> gate_;  // null when gating disabled
+  ConvBnRelu conv_;
+};
+
+/// [N,C,h,w] -> [N, h*w, C] token view.
+Tensor tokens_from_map(const Tensor& x);
+/// [N, h*w, C] -> [N,C,h,w].
+Tensor map_from_tokens(const Tensor& tokens, int h, int w);
+/// Mean over the token axis: [N,T,D] -> [N,D].
+Tensor mean_tokens(const Tensor& tokens);
+/// Broadcast a per-sample vector over all tokens: [N,T,D] + [N,D].
+Tensor add_broadcast_tokens(const Tensor& tokens, const Tensor& v);
+
+}  // namespace lmmir::models

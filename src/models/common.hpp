@@ -1,0 +1,36 @@
+#pragma once
+// Shared model interface.  Every predictor (LMM-IR and the four baselines)
+// maps a circuit-feature image (and optionally netlist tokens) to an
+// IR-drop map, so benchmarks and the trainer treat them uniformly.
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace lmmir::models {
+
+using nn::Tensor;
+
+/// The capability axes of the paper's Table I.
+struct Capabilities {
+  bool full_netlist = false;       // consumes the raw netlist (point cloud)
+  bool multimodal_fusion = false;  // fuses netlist + circuit modalities
+  bool extra_features = false;     // uses channels beyond the contest three
+  bool global_attention = false;   // any global attention mechanism
+};
+
+class IrModel : public nn::Module {
+ public:
+  /// circuit: [N, in_channels, S, S]; tokens: [N, T, pc::kTokenFeatureDim]
+  /// (pass an undefined tensor for single-modality models).
+  /// Returns the predicted IR-drop map [N, 1, S, S].
+  virtual Tensor forward(const Tensor& circuit, const Tensor& tokens) = 0;
+
+  virtual std::string name() const = 0;
+  virtual Capabilities capabilities() const = 0;
+  /// How many circuit channels the model consumes (3 = contest features
+  /// only, 6 = with the paper's extra maps). The data pipeline slices the
+  /// canonical 6-channel stack down to this.
+  virtual int in_channels() const = 0;
+};
+
+}  // namespace lmmir::models

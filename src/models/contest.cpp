@@ -1,0 +1,101 @@
+#include "models/contest.hpp"
+
+#include <algorithm>
+
+#include "tensor/ops.hpp"
+
+namespace lmmir::models {
+
+using namespace tensor;
+
+namespace {
+int level_channels(int base, int level) {
+  return unet_level_channels(base, level);
+}
+}  // namespace
+
+ContestUNet::ContestUNet(std::string name, const ContestConfig& config,
+                         bool gates, bool bottleneck_attention)
+    : name_(std::move(name)),
+      config_(config),
+      bottleneck_attention_(bottleneck_attention),
+      rng_(config.seed),
+      bottom_(level_channels(config.base_channels, config.levels - 1),
+              level_channels(config.base_channels, config.levels), 3, rng_),
+      head_(config.base_channels, 1, 1, rng_) {
+  int cin = in_channels();
+  std::vector<int> skips;
+  for (int l = 0; l < config.levels; ++l) {
+    const int cout = level_channels(config.base_channels, l);
+    enc_.push_back(std::make_unique<EncoderStage>(cin, cout, rng_));
+    register_module("enc" + std::to_string(l), enc_.back().get());
+    skips.push_back(cout);
+    cin = cout;
+  }
+  register_module("bottom", &bottom_);
+  const int cb = level_channels(config.base_channels, config.levels);
+  if (bottleneck_attention_) {
+    to_tokens_ = std::make_unique<nn::Conv2d>(cb, config.token_dim, 1, rng_);
+    from_tokens_ = std::make_unique<nn::Conv2d>(config.token_dim, cb, 1, rng_);
+    attn_ = std::make_unique<nn::TransformerBlock>(config.token_dim,
+                                                   config.heads, 2, rng_);
+    register_module("to_tokens", to_tokens_.get());
+    register_module("from_tokens", from_tokens_.get());
+    register_module("attn", attn_.get());
+  }
+  int dec_in = cb;
+  for (int l = config.levels - 1; l >= 0; --l) {
+    dec_.push_back(std::make_unique<DecoderStage>(
+        dec_in, skips[static_cast<std::size_t>(l)], gates, rng_));
+    register_module("dec" + std::to_string(l), dec_.back().get());
+    dec_in = skips[static_cast<std::size_t>(l)];
+  }
+  register_module("head", &head_);
+}
+
+Capabilities ContestUNet::capabilities() const {
+  Capabilities c;
+  c.extra_features = true;
+  c.global_attention = true;
+  return c;  // no netlist, no multimodal fusion
+}
+
+Tensor ContestUNet::forward(const Tensor& circuit, const Tensor& /*tokens*/) {
+  Tensor h = circuit;
+  std::vector<Tensor> skips;
+  for (auto& stage : enc_) {
+    auto s = stage->forward(h);
+    skips.push_back(s.skip);
+    h = s.pooled;
+  }
+  h = bottom_.forward(h);
+  if (bottleneck_attention_) {
+    const int th = h.dim(2), tw = h.dim(3);
+    Tensor t = tokens_from_map(to_tokens_->forward(h));
+    t = attn_->forward(t);
+    h = relu(add(h, from_tokens_->forward(map_from_tokens(t, th, tw))));
+  }
+  for (std::size_t i = 0; i < dec_.size(); ++i)
+    h = dec_[i]->forward(h, skips[dec_.size() - 1 - i]);
+  return head_.forward(h);
+}
+
+std::unique_ptr<ContestUNet> make_contest_first(std::uint64_t seed) {
+  ContestConfig cfg;
+  cfg.base_channels = 12;  // the heavyweight entry
+  cfg.levels = 4;          // deepest encoder of the field -> highest TAT
+  cfg.seed = seed;
+  return std::make_unique<ContestUNet>("1st-Place", cfg, /*gates=*/true,
+                                       /*bottleneck_attention=*/true);
+}
+
+std::unique_ptr<ContestUNet> make_contest_second(std::uint64_t seed) {
+  ContestConfig cfg;
+  cfg.base_channels = 6;  // the fast entry
+  cfg.levels = 2;
+  cfg.seed = seed;
+  return std::make_unique<ContestUNet>("2nd-Place", cfg, /*gates=*/false,
+                                       /*bottleneck_attention=*/true);
+}
+
+}  // namespace lmmir::models

@@ -1,0 +1,54 @@
+#include "models/iredge.hpp"
+
+#include <algorithm>
+
+namespace lmmir::models {
+
+namespace {
+int level_channels(int base, int level) {
+  return unet_level_channels(base, level);
+}
+}  // namespace
+
+IREDGe::IREDGe(const IredgeConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      bottom_(level_channels(config.base_channels, config.levels - 1),
+              level_channels(config.base_channels, config.levels), 3, rng_),
+      head_(config.base_channels, 1, 1, rng_) {
+  int cin = in_channels();
+  std::vector<int> skips;
+  for (int l = 0; l < config.levels; ++l) {
+    const int cout = level_channels(config.base_channels, l);
+    enc_.push_back(std::make_unique<EncoderStage>(cin, cout, rng_));
+    register_module("enc" + std::to_string(l), enc_.back().get());
+    skips.push_back(cout);
+    cin = cout;
+  }
+  register_module("bottom", &bottom_);
+  int dec_in = level_channels(config.base_channels, config.levels);
+  for (int l = config.levels - 1; l >= 0; --l) {
+    dec_.push_back(std::make_unique<DecoderStage>(
+        dec_in, skips[static_cast<std::size_t>(l)], /*attention_gate=*/false,
+        rng_));
+    register_module("dec" + std::to_string(l), dec_.back().get());
+    dec_in = skips[static_cast<std::size_t>(l)];
+  }
+  register_module("head", &head_);
+}
+
+Tensor IREDGe::forward(const Tensor& circuit, const Tensor& /*tokens*/) {
+  Tensor h = circuit;
+  std::vector<Tensor> skips;
+  for (auto& stage : enc_) {
+    auto s = stage->forward(h);
+    skips.push_back(s.skip);
+    h = s.pooled;
+  }
+  h = bottom_.forward(h);
+  for (std::size_t i = 0; i < dec_.size(); ++i)
+    h = dec_[i]->forward(h, skips[dec_.size() - 1 - i]);
+  return head_.forward(h);
+}
+
+}  // namespace lmmir::models

@@ -1,0 +1,38 @@
+#pragma once
+// IREDGe baseline [Chhabria et al., ASP-DAC 2021]: a plain convolutional
+// encoder-decoder (U-Net) over the three contest feature maps.  No
+// attention, no netlist modality, no extra features — the paper attributes
+// its weak hidden-case F1 (0.13 avg) to exactly these limitations.
+#include <memory>
+#include <vector>
+
+#include "models/blocks.hpp"
+#include "models/common.hpp"
+
+namespace lmmir::models {
+
+struct IredgeConfig {
+  int base_channels = 8;
+  int levels = 3;
+  std::uint64_t seed = 0x17edce;
+};
+
+class IREDGe : public IrModel {
+ public:
+  explicit IREDGe(const IredgeConfig& config = {});
+
+  Tensor forward(const Tensor& circuit, const Tensor& tokens) override;
+  std::string name() const override { return "IREDGe"; }
+  Capabilities capabilities() const override { return {}; }  // all absent
+  int in_channels() const override { return 3; }
+
+ private:
+  IredgeConfig config_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<EncoderStage>> enc_;
+  ConvBnRelu bottom_;
+  std::vector<std::unique_ptr<DecoderStage>> dec_;
+  nn::Conv2d head_;
+};
+
+}  // namespace lmmir::models

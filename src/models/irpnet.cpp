@@ -1,0 +1,47 @@
+#include "models/irpnet.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace lmmir::models {
+
+using namespace tensor;
+
+IRPnet::ShapeAdaptiveBlock::ShapeAdaptiveBlock(int cin, int cout, int k,
+                                               util::Rng& rng)
+    : horiz_(cin, cout, 1, k, rng, /*stride=*/1, /*pad_h=*/0, /*pad_w=*/k / 2),
+      vert_(cin, cout, k, 1, rng, /*stride=*/1, /*pad_h=*/k / 2, /*pad_w=*/0),
+      square_(cin, cout, 3, rng, /*stride=*/1, /*padding=*/1),
+      bn_(cout) {
+  register_module("horiz", &horiz_);
+  register_module("vert", &vert_);
+  register_module("square", &square_);
+  register_module("bn", &bn_);
+}
+
+Tensor IRPnet::ShapeAdaptiveBlock::forward(const Tensor& x) {
+  const Tensor sum = add(add(horiz_.forward(x), vert_.forward(x)),
+                         square_.forward(x));
+  return relu(bn_.forward(sum));
+}
+
+IRPnet::IRPnet(const IrpnetConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      head_(config.channels, 1, 1, rng_) {
+  int cin = in_channels();
+  for (int b = 0; b < config.blocks; ++b) {
+    blocks_.push_back(std::make_unique<ShapeAdaptiveBlock>(
+        cin, config.channels, config.k, rng_));
+    register_module("block" + std::to_string(b), blocks_.back().get());
+    cin = config.channels;
+  }
+  register_module("head", &head_);
+}
+
+Tensor IRPnet::forward(const Tensor& circuit, const Tensor& /*tokens*/) {
+  Tensor h = circuit;
+  for (auto& b : blocks_) h = b->forward(h);
+  return head_.forward(h);
+}
+
+}  // namespace lmmir::models

@@ -1,0 +1,52 @@
+#pragma once
+// IRPnet baseline [Meng et al., DATE 2024]: a physics-constrained CNN with
+// shape-adaptive kernels.  Each block runs three parallel branches — a
+// horizontal 1xk, a vertical kx1 (matching PDN stripe geometry) and a
+// square kxk — whose sum feeds BN+ReLU.  The network stays at full
+// resolution (drop is driven by local current in its physics prior), which
+// is exactly why it fails to generalize to hidden cases whose global bump
+// topology differs (paper: 0.03 avg F1).
+#include <memory>
+#include <vector>
+
+#include "models/blocks.hpp"
+#include "models/common.hpp"
+
+namespace lmmir::models {
+
+struct IrpnetConfig {
+  int channels = 8;
+  int blocks = 3;
+  int k = 5;  // shape-adaptive kernel extent
+  std::uint64_t seed = 0x14b9e7;
+};
+
+class IRPnet : public IrModel {
+ public:
+  explicit IRPnet(const IrpnetConfig& config = {});
+
+  Tensor forward(const Tensor& circuit, const Tensor& tokens) override;
+  std::string name() const override { return "IRPnet"; }
+  Capabilities capabilities() const override { return {}; }
+  /// Physics-constrained: consumes the current map only.
+  int in_channels() const override { return 1; }
+
+ private:
+  /// One shape-adaptive block: 1xk + kx1 + 3x3 branches, summed.
+  class ShapeAdaptiveBlock : public nn::Module {
+   public:
+    ShapeAdaptiveBlock(int cin, int cout, int k, util::Rng& rng);
+    Tensor forward(const Tensor& x);
+
+   private:
+    nn::Conv2d horiz_, vert_, square_;
+    nn::BatchNorm2d bn_;
+  };
+
+  IrpnetConfig config_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<ShapeAdaptiveBlock>> blocks_;
+  nn::Conv2d head_;
+};
+
+}  // namespace lmmir::models

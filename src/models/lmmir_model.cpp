@@ -1,0 +1,170 @@
+#include "models/lmmir_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace lmmir::models {
+
+using namespace tensor;
+
+int CircuitEncoder::level_channels(int base, int level) {
+  return unet_level_channels(base, level);
+}
+
+CircuitEncoder::CircuitEncoder(int in_channels, int base_channels, int levels,
+                               util::Rng& rng)
+    : stem_(in_channels, base_channels, 7, rng, /*stride=*/1, /*padding=*/3),
+      stem_bn_(base_channels),
+      bottom_(level_channels(base_channels, levels - 1),
+              level_channels(base_channels, levels), 3, rng) {
+  register_module("stem", &stem_);
+  register_module("stem_bn", &stem_bn_);
+  for (int l = 0; l < levels; ++l) {
+    const int cin = l == 0 ? base_channels : level_channels(base_channels, l - 1);
+    const int cout = level_channels(base_channels, l);
+    stages_.push_back(std::make_unique<EncoderStage>(cin, cout, rng));
+    register_module("stage" + std::to_string(l), stages_.back().get());
+    skip_channels_.push_back(cout);
+  }
+  register_module("bottom", &bottom_);
+  bottleneck_channels_ = level_channels(base_channels, levels);
+}
+
+CircuitEncoder::Out CircuitEncoder::forward(const Tensor& x) {
+  Out out;
+  Tensor h = relu(stem_bn_.forward(stem_.forward(x)));
+  for (auto& stage : stages_) {
+    auto s = stage->forward(h);
+    out.skips.push_back(s.skip);
+    h = s.pooled;
+  }
+  out.bottleneck = bottom_.forward(h);
+  return out;
+}
+
+LNT::LNT(int token_dim, int blocks, int heads, int mlp_ratio, util::Rng& rng)
+    : embed_(pc::kTokenFeatureDim, token_dim, rng), embed_norm_(token_dim) {
+  register_module("embed", &embed_);
+  register_module("embed_norm", &embed_norm_);
+  for (int b = 0; b < blocks; ++b) {
+    blocks_.push_back(
+        std::make_unique<nn::TransformerBlock>(token_dim, heads, mlp_ratio, rng));
+    register_module("block" + std::to_string(b), blocks_.back().get());
+  }
+}
+
+Tensor LNT::forward(const Tensor& raw_tokens) {
+  if (raw_tokens.ndim() != 3 ||
+      raw_tokens.dim(2) != pc::kTokenFeatureDim)
+    throw std::invalid_argument(
+        "LNT: expects [N,T," + std::to_string(pc::kTokenFeatureDim) + "]");
+  Tensor t = embed_norm_.forward(relu(embed_.forward(raw_tokens)));
+  for (auto& b : blocks_) t = b->forward(t);
+  return t;
+}
+
+FusionModule::FusionModule(int dim, int heads, util::Rng& rng)
+    : cross_(dim, heads, rng), norm_(dim), proj_(dim, dim, rng) {
+  register_module("cross", &cross_);
+  register_module("norm", &norm_);
+  register_module("proj", &proj_);
+}
+
+Tensor FusionModule::forward(const Tensor& circuit_tokens,
+                             const Tensor& netlist_tokens) {
+  Tensor f = add(circuit_tokens, cross_.forward(circuit_tokens, netlist_tokens));
+  f = norm_.forward(f);
+  return relu(proj_.forward(f));
+}
+
+LMMIR::LMMIR(const LmmirConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      encoder_(config.in_channels, config.base_channels, config.levels, rng_),
+      to_tokens_(encoder_.bottleneck_channels(), config.token_dim, 1, rng_),
+      from_tokens_(config.token_dim, encoder_.bottleneck_channels(), 1, rng_),
+      head_(config.base_channels, 1, 1, rng_) {
+  register_module("encoder", &encoder_);
+  register_module("to_tokens", &to_tokens_);
+  register_module("from_tokens", &from_tokens_);
+  if (config.use_attention) {
+    self_attn_ = std::make_unique<nn::TransformerBlock>(
+        config.token_dim, config.heads, config.mlp_ratio, rng_);
+    register_module("self_attn", self_attn_.get());
+  }
+  if (config.use_lnt) {
+    lnt_ = std::make_unique<LNT>(config.token_dim, config.lnt_blocks,
+                                 config.heads, config.mlp_ratio, rng_);
+    register_module("lnt", lnt_.get());
+    if (config.use_attention) {
+      fusion_ = std::make_unique<FusionModule>(config.token_dim, config.heads,
+                                               rng_);
+      register_module("fusion", fusion_.get());
+    } else {
+      // Attention-less fusion fallback: mean netlist context broadcast
+      // over the circuit tokens (used by the W-Att ablation).
+      context_proj_ = std::make_unique<nn::Linear>(config.token_dim,
+                                                   config.token_dim, rng_);
+      register_module("context_proj", context_proj_.get());
+    }
+  }
+  // Decoder mirrors the encoder: one stage per level, gated when
+  // use_attention is on.
+  const auto& skips = encoder_.skip_channels();
+  int cin = encoder_.bottleneck_channels();
+  for (int l = config.levels - 1; l >= 0; --l) {
+    decoder_.push_back(std::make_unique<DecoderStage>(
+        cin, skips[static_cast<std::size_t>(l)], config.use_attention, rng_));
+    register_module("dec" + std::to_string(l), decoder_.back().get());
+    cin = skips[static_cast<std::size_t>(l)];
+  }
+}
+
+Capabilities LMMIR::capabilities() const {
+  Capabilities c;
+  c.full_netlist = config_.use_lnt;
+  c.multimodal_fusion = config_.use_lnt;
+  c.extra_features = config_.in_channels > 3;
+  c.global_attention = config_.use_attention;
+  return c;
+}
+
+Tensor LMMIR::forward(const Tensor& circuit, const Tensor& tokens) {
+  auto enc = encoder_.forward(circuit);
+  const int h = enc.bottleneck.dim(2);
+  const int w = enc.bottleneck.dim(3);
+
+  // Bottleneck -> token space.
+  Tensor circ_tokens = tokens_from_map(to_tokens_.forward(enc.bottleneck));
+  if (self_attn_) circ_tokens = self_attn_->forward(circ_tokens);
+
+  if (lnt_) {
+    if (!tokens.defined())
+      throw std::invalid_argument("LMMIR: netlist tokens required (use_lnt)");
+    const Tensor netlist_tokens = lnt_->forward(tokens);
+    if (fusion_) {
+      circ_tokens = fusion_->forward(circ_tokens, netlist_tokens);
+    } else {
+      const Tensor context =
+          context_proj_->forward(mean_tokens(netlist_tokens));
+      circ_tokens = add_broadcast_tokens(circ_tokens, context);
+    }
+  }
+
+  // Token space -> bottleneck map; residual keeps the encoder signal.
+  Tensor fused = relu(add(
+      enc.bottleneck,
+      from_tokens_.forward(map_from_tokens(circ_tokens, h, w))));
+
+  // Decoder with skip connections.
+  Tensor y = fused;
+  for (std::size_t i = 0; i < decoder_.size(); ++i) {
+    const std::size_t skip_idx = decoder_.size() - 1 - i;
+    y = decoder_[i]->forward(y, enc.skips[skip_idx]);
+  }
+  return head_.forward(y);
+}
+
+}  // namespace lmmir::models

@@ -1,0 +1,122 @@
+#pragma once
+// LMM-IR (paper Sec. III, Fig. 2): dual-stream multimodal predictor.
+//
+//   circuit image --> CircuitEncoder (U-Net encoder, skips kept)
+//                         |  bottleneck tokens  <- optional self-attention
+//   netlist cloud --> LNT (embed + transformer blocks over super-points)
+//                         |
+//        CrossAttention fusion (circuit queries attend to netlist tokens)
+//                         |
+//   Decoder: 4x [deconv up, attention-gated skip concat, conv], 1x1 head.
+//
+// The ablation switches in LmmirConfig reproduce Fig. 4's configurations
+// (EC / W-Att / W-LNT / United); W-Aug is a training-side switch.
+#include <memory>
+#include <vector>
+
+#include "models/blocks.hpp"
+#include "models/common.hpp"
+#include "pointcloud/pool.hpp"
+
+namespace lmmir::models {
+
+struct LmmirConfig {
+  int in_channels = 6;     // the paper's six circuit maps
+  int base_channels = 12;  // encoder width at full resolution
+  int levels = 3;          // encoder downsampling levels (paper: 4)
+  int token_dim = 32;      // shared embedding width D
+  int lnt_blocks = 2;      // transformer depth N
+  int heads = 2;
+  int mlp_ratio = 2;
+  bool use_lnt = true;        // Fig.4 "W-LNT" sets this false
+  bool use_attention = true;  // Fig.4 "W-Att": no self-attn / gates / cross-attn
+  std::uint64_t seed = 0x1a2b3c;
+
+  /// Fig. 4 "EC": plain encoder-decoder (both streams of extras off).
+  static LmmirConfig encoder_decoder_only() {
+    LmmirConfig c;
+    c.use_lnt = false;
+    c.use_attention = false;
+    return c;
+  }
+};
+
+class CircuitEncoder : public nn::Module {
+ public:
+  CircuitEncoder(int in_channels, int base_channels, int levels,
+                 util::Rng& rng);
+
+  struct Out {
+    Tensor bottleneck;
+    std::vector<Tensor> skips;  // [0] = full resolution ... [levels-1]
+  };
+  Out forward(const Tensor& x);
+
+  int bottleneck_channels() const { return bottleneck_channels_; }
+  const std::vector<int>& skip_channels() const { return skip_channels_; }
+
+ private:
+  nn::Conv2d stem_;
+  nn::BatchNorm2d stem_bn_;
+  std::vector<std::unique_ptr<EncoderStage>> stages_;
+  ConvBnRelu bottom_;
+  int bottleneck_channels_ = 0;
+  std::vector<int> skip_channels_;
+
+  static int level_channels(int base, int level);
+};
+
+/// Large-scale Netlist Transformer: embeds pooled super-point tokens and
+/// runs self-attention transformer blocks over them (paper Sec. III-C).
+class LNT : public nn::Module {
+ public:
+  LNT(int token_dim, int blocks, int heads, int mlp_ratio, util::Rng& rng);
+
+  /// raw tokens [N, T, pc::kTokenFeatureDim] -> embedded [N, T, token_dim].
+  Tensor forward(const Tensor& raw_tokens);
+
+ private:
+  nn::Linear embed_;
+  nn::LayerNorm embed_norm_;
+  std::vector<std::unique_ptr<nn::TransformerBlock>> blocks_;
+};
+
+/// Cross-attention fusion (paper Sec. III-D): circuit tokens query the
+/// netlist tokens; residual + LayerNorm + Linear/ReLU projection.
+class FusionModule : public nn::Module {
+ public:
+  FusionModule(int dim, int heads, util::Rng& rng);
+  Tensor forward(const Tensor& circuit_tokens, const Tensor& netlist_tokens);
+
+ private:
+  nn::MultiHeadAttention cross_;
+  nn::LayerNorm norm_;
+  nn::Linear proj_;
+};
+
+class LMMIR : public IrModel {
+ public:
+  explicit LMMIR(const LmmirConfig& config);
+
+  Tensor forward(const Tensor& circuit, const Tensor& tokens) override;
+  std::string name() const override { return "LMM-IR"; }
+  Capabilities capabilities() const override;
+  int in_channels() const override { return config_.in_channels; }
+
+  const LmmirConfig& config() const { return config_; }
+
+ private:
+  LmmirConfig config_;
+  util::Rng rng_;
+  CircuitEncoder encoder_;
+  nn::Conv2d to_tokens_;    // 1x1: bottleneck channels -> token_dim
+  nn::Conv2d from_tokens_;  // 1x1: token_dim -> bottleneck channels
+  std::unique_ptr<nn::TransformerBlock> self_attn_;  // when use_attention
+  std::unique_ptr<LNT> lnt_;                         // when use_lnt
+  std::unique_ptr<FusionModule> fusion_;             // when use_lnt
+  std::unique_ptr<nn::Linear> context_proj_;  // mean-context fallback fusion
+  std::vector<std::unique_ptr<DecoderStage>> decoder_;
+  nn::Conv2d head_;
+};
+
+}  // namespace lmmir::models

@@ -1,0 +1,58 @@
+#include "models/registry.hpp"
+
+#include <stdexcept>
+
+#include "models/contest.hpp"
+#include "models/iredge.hpp"
+#include "models/irpnet.hpp"
+#include "models/lmmir_model.hpp"
+
+namespace lmmir::models {
+
+const std::vector<ModelSpec>& model_registry() {
+  static const std::vector<ModelSpec> registry = [] {
+    std::vector<ModelSpec> r;
+    r.push_back({"1st-Place",
+                 [](std::uint64_t seed) -> std::unique_ptr<IrModel> {
+                   return make_contest_first(seed ? seed : 0xc0de57);
+                 },
+                 1.0f});
+    r.push_back({"2nd-Place",
+                 [](std::uint64_t seed) -> std::unique_ptr<IrModel> {
+                   return make_contest_second(seed ? seed : 0xc0de58);
+                 },
+                 1.6f});  // their ~5400-case augmented regime vs 3310
+    r.push_back({"IREDGe",
+                 [](std::uint64_t seed) -> std::unique_ptr<IrModel> {
+                   IredgeConfig cfg;
+                   if (seed) cfg.seed = seed;
+                   return std::make_unique<IREDGe>(cfg);
+                 },
+                 1.0f});
+    r.push_back({"IRPnet",
+                 [](std::uint64_t seed) -> std::unique_ptr<IrModel> {
+                   IrpnetConfig cfg;
+                   if (seed) cfg.seed = seed;
+                   return std::make_unique<IRPnet>(cfg);
+                 },
+                 1.0f});
+    r.push_back({"LMM-IR",
+                 [](std::uint64_t seed) -> std::unique_ptr<IrModel> {
+                   LmmirConfig cfg;
+                   if (seed) cfg.seed = seed;
+                   return std::make_unique<LMMIR>(cfg);
+                 },
+                 1.0f});
+    return r;
+  }();
+  return registry;
+}
+
+std::unique_ptr<IrModel> make_model(const std::string& name,
+                                    std::uint64_t seed) {
+  for (const auto& spec : model_registry())
+    if (spec.name == name) return spec.make(seed);
+  throw std::invalid_argument("make_model: unknown model '" + name + "'");
+}
+
+}  // namespace lmmir::models

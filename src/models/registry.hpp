@@ -1,0 +1,32 @@
+#pragma once
+// Model registry: every predictor the paper compares, constructible by
+// name, with its Table-I capability row and its training-regime hints
+// (the 2nd-place team's extra augmentation is a data-side property, so it
+// lives here rather than in the architecture).
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/common.hpp"
+
+namespace lmmir::models {
+
+struct ModelSpec {
+  std::string name;
+  std::function<std::unique_ptr<IrModel>(std::uint64_t seed)> make;
+  /// Over-sampling multiplier relative to the standard regime (the paper
+  /// notes the 2nd-place team generated ~5400 cases vs the contest 3310).
+  float augmentation_factor = 1.0f;
+};
+
+/// All five Table-III entrants, in the paper's column order:
+/// 1st-Place, 2nd-Place, IREDGe, IRPnet, LMM-IR.
+const std::vector<ModelSpec>& model_registry();
+
+/// Construct by registry name; throws std::invalid_argument for unknown
+/// names.
+std::unique_ptr<IrModel> make_model(const std::string& name,
+                                    std::uint64_t seed = 0);
+
+}  // namespace lmmir::models

@@ -1,0 +1,99 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lmmir::nn {
+
+using namespace tensor;
+
+MultiHeadAttention::MultiHeadAttention(int dim, int heads, util::Rng& rng)
+    : dim_(dim),
+      heads_(heads),
+      head_dim_(dim / heads),
+      wq_(dim, dim, rng),
+      wk_(dim, dim, rng),
+      wv_(dim, dim, rng),
+      wo_(dim, dim, rng) {
+  if (dim % heads != 0)
+    throw std::invalid_argument("MultiHeadAttention: dim % heads != 0");
+  register_module("wq", &wq_);
+  register_module("wk", &wk_);
+  register_module("wv", &wv_);
+  register_module("wo", &wo_);
+}
+
+Tensor MultiHeadAttention::forward(const Tensor& query,
+                                   const Tensor& key_value) {
+  if (query.ndim() != 3 || key_value.ndim() != 3)
+    throw std::invalid_argument("MultiHeadAttention: expects [B,T,D]");
+  if (query.dim(2) != dim_ || key_value.dim(2) != dim_)
+    throw std::invalid_argument("MultiHeadAttention: channel mismatch");
+  if (query.dim(0) != key_value.dim(0))
+    throw std::invalid_argument("MultiHeadAttention: batch mismatch");
+
+  const Tensor q = wq_.forward(query);       // [B,Tq,D]
+  const Tensor k = wk_.forward(key_value);   // [B,Tk,D]
+  const Tensor v = wv_.forward(key_value);   // [B,Tk,D]
+
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  Tensor merged;  // accumulate per-head outputs along the channel axis
+  for (int h = 0; h < heads_; ++h) {
+    const int off = h * head_dim_;
+    const Tensor qh = slice_axis(q, 2, off, head_dim_);  // [B,Tq,dh]
+    const Tensor kh = slice_axis(k, 2, off, head_dim_);  // [B,Tk,dh]
+    const Tensor vh = slice_axis(v, 2, off, head_dim_);  // [B,Tk,dh]
+    // softmax(Q Kᵀ / sqrt(dh)) V    (Eq. 2)
+    const Tensor scores = scale(bmm(qh, transpose_last2(kh)), inv_sqrt);
+    const Tensor attn = softmax_lastdim(scores);          // [B,Tq,Tk]
+    const Tensor oh = bmm(attn, vh);                      // [B,Tq,dh]
+    merged = merged.defined() ? concat(merged, oh, 2) : oh;
+  }
+  return wo_.forward(merged);
+}
+
+TransformerBlock::TransformerBlock(int dim, int heads, int mlp_ratio,
+                                   util::Rng& rng)
+    : norm1_(dim),
+      norm2_(dim),
+      attn_(dim, heads, rng),
+      fc1_(dim, dim * mlp_ratio, rng),
+      fc2_(dim * mlp_ratio, dim, rng) {
+  register_module("norm1", &norm1_);
+  register_module("norm2", &norm2_);
+  register_module("attn", &attn_);
+  register_module("fc1", &fc1_);
+  register_module("fc2", &fc2_);
+}
+
+Tensor TransformerBlock::forward(const Tensor& tokens) {
+  // Pre-norm residual: x + Attn(LN(x)), then x + MLP(LN(x)).
+  Tensor x = tokens;
+  {
+    const Tensor n = norm1_.forward(x);
+    x = add(x, attn_.forward(n, n));
+  }
+  {
+    const Tensor n = norm2_.forward(x);
+    x = add(x, fc2_.forward(relu(fc1_.forward(n))));
+  }
+  return x;
+}
+
+AttentionGate::AttentionGate(int skip_channels, int gate_channels,
+                             int inter_channels, util::Rng& rng)
+    : theta_x_(skip_channels, inter_channels, 1, rng),
+      phi_g_(gate_channels, inter_channels, 1, rng),
+      psi_(inter_channels, 1, 1, rng) {
+  register_module("theta_x", &theta_x_);
+  register_module("phi_g", &phi_g_);
+  register_module("psi", &psi_);
+}
+
+Tensor AttentionGate::forward(const Tensor& skip, const Tensor& gate) {
+  const Tensor f = relu(add(theta_x_.forward(skip), phi_g_.forward(gate)));
+  const Tensor alpha = sigmoid(psi_.forward(f));  // [N,1,H,W]
+  return mul_broadcast_channel(skip, alpha);
+}
+
+}  // namespace lmmir::nn

@@ -1,0 +1,56 @@
+#pragma once
+// Attention blocks (paper Sec. II-C / III-D):
+//  - MultiHeadAttention: the scaled-dot-product attention of Eq. (1)-(2),
+//    usable as self-attention (q == kv) inside the LNT and as
+//    cross-attention in the multimodal fusion module;
+//  - TransformerBlock: pre-norm attention + MLP used by the LNT;
+//  - AttentionGate: the Attention-U-Net gate [Oktay et al.] applied to the
+//    decoder skip connections.
+#include "nn/layers.hpp"
+
+namespace lmmir::nn {
+
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(int dim, int heads, util::Rng& rng);
+
+  /// query [B,Tq,D], key/value source [B,Tk,D] -> [B,Tq,D].
+  Tensor forward(const Tensor& query, const Tensor& key_value);
+
+  int dim() const { return dim_; }
+  int heads() const { return heads_; }
+
+ private:
+  int dim_, heads_, head_dim_;
+  Linear wq_, wk_, wv_, wo_;
+};
+
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(int dim, int heads, int mlp_ratio, util::Rng& rng);
+
+  /// tokens [B,T,D] -> [B,T,D] with pre-norm residual attention + MLP.
+  Tensor forward(const Tensor& tokens);
+
+ private:
+  LayerNorm norm1_, norm2_;
+  MultiHeadAttention attn_;
+  Linear fc1_, fc2_;
+};
+
+/// Attention gate on a U-Net skip connection: the gating signal (decoder
+/// state) suppresses irrelevant skip activations; the paper credits this
+/// with reducing false positives on small hotspots.
+class AttentionGate : public Module {
+ public:
+  AttentionGate(int skip_channels, int gate_channels, int inter_channels,
+                util::Rng& rng);
+
+  /// skip [N,Cs,H,W], gate [N,Cg,H,W] (same spatial size) -> gated skip.
+  Tensor forward(const Tensor& skip, const Tensor& gate);
+
+ private:
+  Conv2d theta_x_, phi_g_, psi_;
+};
+
+}  // namespace lmmir::nn

@@ -1,0 +1,77 @@
+#include "nn/module.hpp"
+
+#include <stdexcept>
+
+namespace lmmir::nn {
+
+std::vector<NamedParam> Module::named_parameters() const {
+  std::vector<NamedParam> out;
+  collect_params("", out);
+  return out;
+}
+
+std::vector<Tensor> Module::parameters() const {
+  std::vector<Tensor> out;
+  for (auto& np : named_parameters()) out.push_back(np.tensor);
+  return out;
+}
+
+std::vector<NamedBuffer> Module::named_buffers() const {
+  std::vector<NamedBuffer> out;
+  collect_buffers("", out);
+  return out;
+}
+
+std::size_t Module::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& np : named_parameters()) n += np.tensor.numel();
+  return n;
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->set_training(training);
+}
+
+void Module::zero_grad() {
+  for (auto& p : parameters()) p.zero_grad();
+}
+
+Tensor Module::register_parameter(const std::string& name, Tensor t) {
+  if (!t.defined())
+    throw std::invalid_argument("register_parameter: undefined tensor");
+  t.set_requires_grad(true);
+  params_.emplace_back(name, t);
+  return t;
+}
+
+void Module::register_buffer(const std::string& name,
+                             std::vector<float>* values) {
+  if (values == nullptr)
+    throw std::invalid_argument("register_buffer: null buffer");
+  buffers_.emplace_back(name, values);
+}
+
+void Module::register_module(const std::string& name, Module* child) {
+  if (child == nullptr)
+    throw std::invalid_argument("register_module: null child");
+  children_.emplace_back(name, child);
+}
+
+void Module::collect_params(const std::string& prefix,
+                            std::vector<NamedParam>& out) const {
+  for (const auto& [name, t] : params_)
+    out.push_back({prefix.empty() ? name : prefix + "." + name, t});
+  for (const auto& [name, child] : children_)
+    child->collect_params(prefix.empty() ? name : prefix + "." + name, out);
+}
+
+void Module::collect_buffers(const std::string& prefix,
+                             std::vector<NamedBuffer>& out) const {
+  for (const auto& [name, b] : buffers_)
+    out.push_back({prefix.empty() ? name : prefix + "." + name, b});
+  for (const auto& [name, child] : children_)
+    child->collect_buffers(prefix.empty() ? name : prefix + "." + name, out);
+}
+
+}  // namespace lmmir::nn

@@ -1,0 +1,84 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+namespace lmmir::nn {
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr_in, float momentum)
+    : Optimizer(std::move(params)), lr(lr_in), momentum_(momentum) {
+  velocity_.resize(params_.size());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (p.grad().empty()) continue;
+    auto& vel = velocity_[i];
+    if (momentum_ > 0.0f) {
+      if (vel.size() != p.numel()) vel.assign(p.numel(), 0.0f);
+      for (std::size_t j = 0; j < p.numel(); ++j) {
+        vel[j] = momentum_ * vel[j] + p.grad()[j];
+        p.data()[j] -= lr * vel[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < p.numel(); ++j)
+        p.data()[j] -= lr * p.grad()[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr_in, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr(lr_in),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (p.grad().empty()) continue;
+    auto& m = m_[i];
+    auto& v = v_[i];
+    if (m.size() != p.numel()) m.assign(p.numel(), 0.0f);
+    if (v.size() != p.numel()) v.assign(p.numel(), 0.0f);
+    for (std::size_t j = 0; j < p.numel(); ++j) {
+      float g = p.grad()[j];
+      if (weight_decay_ > 0.0f) g += weight_decay_ * p.data()[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      p.data()[j] -= lr * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+float clip_grad_norm(const std::vector<Tensor>& params, float max_norm) {
+  double total = 0.0;
+  for (const auto& p : params)
+    for (float g : p.grad()) total += static_cast<double>(g) * g;
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float s = max_norm / norm;
+    for (const auto& p : params) {
+      auto& impl = *p.impl();
+      for (auto& g : impl.grad) g *= s;
+    }
+  }
+  return norm;
+}
+
+}  // namespace lmmir::nn

@@ -1,0 +1,56 @@
+#pragma once
+// Optimizers.  The paper trains with Adam (lr 1e-3); SGD is provided for
+// ablations and tests.
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace lmmir::nn {
+
+using tensor::Tensor;
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  void zero_grad();
+  virtual void step() = 0;
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+  void step() override;
+
+  float lr;
+
+ private:
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr = 1e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void step() override;
+
+  float lr;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  long t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+/// Clip the global L2 norm of all parameter gradients to max_norm.
+/// Returns the pre-clip norm.
+float clip_grad_norm(const std::vector<Tensor>& params, float max_norm);
+
+}  // namespace lmmir::nn

@@ -1,0 +1,21 @@
+#pragma once
+// Binary checkpoint format for Module parameters and buffers.
+//
+// Layout: magic "LMMC" + u32 version + u64 entry count, then per entry:
+// u32 name length, name bytes, u32 rank, u32 dims..., float data.
+// Buffers are stored as rank-1 entries under their hierarchical name.
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace lmmir::nn {
+
+/// Save all named parameters + buffers of a module.
+void save_checkpoint(const Module& module, const std::string& path);
+
+/// Load a checkpoint saved by save_checkpoint into a module with the SAME
+/// architecture. Throws std::runtime_error on missing entries or shape
+/// mismatches (a wrong-architecture checkpoint never loads silently).
+void load_checkpoint(Module& module, const std::string& path);
+
+}  // namespace lmmir::nn

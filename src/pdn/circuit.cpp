@@ -1,0 +1,105 @@
+#include "pdn/circuit.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace lmmir::pdn {
+
+namespace {
+
+// Union-find over node ids.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+Circuit::Circuit(const spice::Netlist& netlist) : netlist_(&netlist) {
+  const std::size_t n = netlist.node_count();
+  pinned_mask_.assign(n, 0);
+  pinned_volts_.assign(n, 0.0);
+
+  for (const auto& e : netlist.elements()) {
+    if (e.type != spice::ElementType::VoltageSource) continue;
+    // PDN convention: V <power-node> 0 <vdd>  (either terminal order).
+    spice::NodeId power = e.node1;
+    if (power == spice::kGroundNode) power = e.node2;
+    if (power == spice::kGroundNode)
+      throw std::runtime_error("Circuit: voltage source with both terminals grounded");
+    if (e.node1 != spice::kGroundNode && e.node2 != spice::kGroundNode)
+      throw std::runtime_error(
+          "Circuit: voltage source must have one ground terminal (PDN netlist)");
+    const auto idx = static_cast<std::size_t>(power);
+    if (!pinned_mask_[idx]) {
+      pinned_mask_[idx] = 1;
+      pinned_volts_[idx] = e.value;
+      pinned_.push_back({power, e.value});
+    }
+    vdd_ = std::max(vdd_, e.value);
+  }
+
+  // Connected components over resistor edges.
+  DisjointSet ds(n);
+  for (const auto& e : netlist.elements()) {
+    if (e.type != spice::ElementType::Resistor) continue;
+    if (e.node1 == spice::kGroundNode || e.node2 == spice::kGroundNode)
+      continue;  // resistors to ground do not merge power-net components
+    ds.unite(static_cast<std::size_t>(e.node1),
+             static_cast<std::size_t>(e.node2));
+  }
+  component_.assign(n, -1);
+  std::vector<int> root_to_comp(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = ds.find(i);
+    if (root_to_comp[r] < 0) root_to_comp[r] = component_count_++;
+    component_[i] = root_to_comp[r];
+  }
+  powered_.assign(static_cast<std::size_t>(component_count_), 0);
+  for (const auto& p : pinned_)
+    powered_[static_cast<std::size_t>(component_[static_cast<std::size_t>(p.node)])] = 1;
+
+  const std::size_t orphans = unpowered_node_count();
+  if (orphans > 0)
+    util::log_warn("Circuit: ", orphans,
+                   " node(s) in islands with no voltage source");
+}
+
+bool Circuit::is_pinned(spice::NodeId id) const {
+  return id != spice::kGroundNode &&
+         pinned_mask_[static_cast<std::size_t>(id)] != 0;
+}
+
+double Circuit::pinned_voltage(spice::NodeId id) const {
+  return pinned_volts_.at(static_cast<std::size_t>(id));
+}
+
+bool Circuit::component_powered(spice::NodeId id) const {
+  if (id == spice::kGroundNode) return true;
+  return powered_[static_cast<std::size_t>(
+             component_[static_cast<std::size_t>(id)])] != 0;
+}
+
+std::size_t Circuit::unpowered_node_count() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < component_.size(); ++i)
+    if (!powered_[static_cast<std::size_t>(component_[i])]) ++n;
+  return n;
+}
+
+}  // namespace lmmir::pdn

@@ -1,0 +1,54 @@
+#pragma once
+// PDN circuit view over a spice::Netlist: classifies nodes (pinned by a
+// voltage source vs. free unknowns), finds connected components, and
+// exposes the element lists the MNA solver stamps from.
+#include <vector>
+
+#include "spice/netlist.hpp"
+
+namespace lmmir::pdn {
+
+struct PinnedNode {
+  spice::NodeId node;
+  double volts;
+};
+
+class Circuit {
+ public:
+  /// Build from a parsed netlist. Voltage sources must have one terminal at
+  /// ground; others throw std::runtime_error (not a PDN-style netlist).
+  explicit Circuit(const spice::Netlist& netlist);
+
+  const spice::Netlist& netlist() const { return *netlist_; }
+
+  /// Nodes held at a fixed voltage by a source (deduplicated).
+  const std::vector<PinnedNode>& pinned() const { return pinned_; }
+  bool is_pinned(spice::NodeId id) const;
+  double pinned_voltage(spice::NodeId id) const;
+
+  /// Nominal supply voltage: the maximum source value (0 when no sources).
+  double vdd() const { return vdd_; }
+
+  /// Connected-component label per node (resistor edges only).
+  const std::vector<int>& component() const { return component_; }
+  int component_count() const { return component_count_; }
+
+  /// True if the node's resistive component contains at least one pinned
+  /// node; nodes in unpowered islands cannot be solved and are reported.
+  bool component_powered(spice::NodeId id) const;
+
+  /// Count of nodes living in unpowered islands (diagnostic).
+  std::size_t unpowered_node_count() const;
+
+ private:
+  const spice::Netlist* netlist_;
+  std::vector<PinnedNode> pinned_;
+  std::vector<char> pinned_mask_;      // per node
+  std::vector<double> pinned_volts_;   // per node
+  std::vector<int> component_;         // per node
+  std::vector<char> powered_;          // per component
+  int component_count_ = 0;
+  double vdd_ = 0.0;
+};
+
+}  // namespace lmmir::pdn

@@ -1,0 +1,67 @@
+#include "pdn/optimize.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace lmmir::pdn {
+
+using spice::ElementType;
+using spice::kGroundNode;
+
+StrengthenResult strengthen_pdn(const spice::Netlist& netlist,
+                                const StrengthenOptions& opts) {
+  if (opts.resistance_scale <= 0.0 || opts.resistance_scale >= 1.0)
+    throw std::invalid_argument("strengthen_pdn: resistance_scale in (0,1)");
+  if (opts.target_fraction <= 0.0 || opts.hotspot_fraction <= 0.0 ||
+      opts.hotspot_fraction > 1.0)
+    throw std::invalid_argument("strengthen_pdn: bad fractions");
+
+  StrengthenResult res;
+  res.netlist = netlist;
+
+  for (int iter = 0; iter <= opts.max_iterations; ++iter) {
+    const Circuit circuit(res.netlist);
+    const Solution sol = solve_ir_drop(circuit);
+    if (iter == 0) res.initial_worst_drop = sol.worst_drop;
+    res.final_worst_drop = sol.worst_drop;
+
+    const double target = opts.target_fraction * sol.vdd;
+    if (sol.worst_drop <= target) {
+      res.met_target = true;
+      return res;
+    }
+    if (iter == opts.max_iterations) break;
+
+    // Mark violating nodes.
+    const double hotspot = opts.hotspot_fraction * sol.worst_drop;
+    std::vector<char> violating(res.netlist.node_count(), 0);
+    for (std::size_t i = 0; i < sol.ir_drop.size(); ++i)
+      if (sol.ir_drop[i] >= hotspot) violating[i] = 1;
+
+    // Upsize every resistor touching a violating node.
+    std::size_t upsized = 0;
+    const auto& elements = res.netlist.elements();
+    for (std::size_t i = 0; i < elements.size(); ++i) {
+      const auto& e = elements[i];
+      if (e.type != ElementType::Resistor) continue;
+      const bool touches =
+          (e.node1 != kGroundNode &&
+           violating[static_cast<std::size_t>(e.node1)]) ||
+          (e.node2 != kGroundNode &&
+           violating[static_cast<std::size_t>(e.node2)]);
+      if (!touches) continue;
+      res.netlist.set_element_value(i, e.value * opts.resistance_scale);
+      ++upsized;
+    }
+    res.resistors_upsized += upsized;
+    ++res.iterations;
+    util::log_info("strengthen_pdn: iter ", iter, " worst ", sol.worst_drop,
+                   " V, upsized ", upsized, " segment(s)");
+    if (upsized == 0) break;  // nothing left to improve
+  }
+  return res;
+}
+
+}  // namespace lmmir::pdn

@@ -1,0 +1,37 @@
+#pragma once
+// Iterative IR-drop violation fixing (the workflow the paper's
+// introduction motivates: "addressing IR drop violations frequently
+// demands iterative analysis").  Each round golden-solves the PDN, finds
+// the hotspot nodes, and upsizes (scales down the resistance of) the wire
+// segments incident to them — the standard strap-widening ECO — until the
+// worst drop meets the target or the iteration budget runs out.
+#include "pdn/solver.hpp"
+#include "spice/netlist.hpp"
+
+namespace lmmir::pdn {
+
+struct StrengthenOptions {
+  /// Stop when worst drop <= target_fraction * vdd.
+  double target_fraction = 0.04;
+  /// Nodes with drop >= hotspot_fraction * worst are "violating".
+  double hotspot_fraction = 0.9;
+  /// Resistance multiplier applied to upsized segments (0 < s < 1).
+  double resistance_scale = 0.6;
+  int max_iterations = 5;
+};
+
+struct StrengthenResult {
+  spice::Netlist netlist;        // the strengthened PDN
+  int iterations = 0;            // ECO rounds actually executed
+  double initial_worst_drop = 0; // volts
+  double final_worst_drop = 0;   // volts
+  std::size_t resistors_upsized = 0;  // total across rounds
+  bool met_target = false;
+};
+
+/// Run the strengthening loop. Throws like solve_ir_drop on unsolvable
+/// inputs; validates option ranges.
+StrengthenResult strengthen_pdn(const spice::Netlist& netlist,
+                                const StrengthenOptions& opts = {});
+
+}  // namespace lmmir::pdn

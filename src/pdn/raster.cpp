@@ -1,0 +1,94 @@
+#include "pdn/raster.hpp"
+
+#include <stdexcept>
+
+namespace lmmir::pdn {
+
+void fill_holes_by_diffusion(grid::Grid2D& g, const std::vector<char>& assigned) {
+  if (assigned.size() != g.size())
+    throw std::invalid_argument("fill_holes_by_diffusion: mask size mismatch");
+  const std::size_t rows = g.rows();
+  const std::size_t cols = g.cols();
+  std::vector<char> done = assigned;
+
+  // Multi-pass BFS-style dilation: each pass assigns every empty pixel that
+  // touches at least one assigned pixel to the mean of its assigned
+  // neighbors.  Terminates in O(max(rows, cols)) passes.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    std::vector<char> next = done;
+    grid::Grid2D snapshot = g;
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (done[r * cols + c]) continue;
+        float acc = 0.0f;
+        int cnt = 0;
+        const long lr = static_cast<long>(r);
+        const long lc = static_cast<long>(c);
+        const long drc[4][2] = {{-1, 0}, {1, 0}, {0, -1}, {0, 1}};
+        for (const auto& d : drc) {
+          const long rr = lr + d[0];
+          const long cc = lc + d[1];
+          if (rr < 0 || cc < 0 || rr >= static_cast<long>(rows) ||
+              cc >= static_cast<long>(cols))
+            continue;
+          if (done[static_cast<std::size_t>(rr) * cols + static_cast<std::size_t>(cc)]) {
+            acc += snapshot.at(static_cast<std::size_t>(rr), static_cast<std::size_t>(cc));
+            ++cnt;
+          }
+        }
+        if (cnt > 0) {
+          g.at(r, c) = acc / static_cast<float>(cnt);
+          next[r * cols + c] = 1;
+          progress = true;
+        }
+      }
+    }
+    done.swap(next);
+  }
+}
+
+grid::Grid2D rasterize_node_values(const spice::Netlist& netlist,
+                                   const std::vector<double>& values,
+                                   const RasterOptions& opts) {
+  if (values.size() != netlist.node_count())
+    throw std::invalid_argument("rasterize_node_values: value count mismatch");
+  const auto shape = netlist.pixel_shape();
+  if (shape.rows == 0 || shape.cols == 0)
+    throw std::runtime_error("rasterize_node_values: netlist has no located nodes");
+  grid::Grid2D out(shape.rows, shape.cols, 0.0f);
+  grid::Grid2D counts(shape.rows, shape.cols, 0.0f);
+  std::vector<char> assigned(out.size(), 0);
+
+  for (std::size_t i = 0; i < netlist.node_count(); ++i) {
+    const auto& node = netlist.node(static_cast<spice::NodeId>(i));
+    if (!node.parsed) continue;
+    if (opts.max_layer > 0 && node.parsed->layer > opts.max_layer) continue;
+    const auto r = static_cast<std::size_t>(node.parsed->y / spice::kDbuPerMicron);
+    const auto c = static_cast<std::size_t>(node.parsed->x / spice::kDbuPerMicron);
+    if (r >= out.rows() || c >= out.cols()) continue;
+    const float v = static_cast<float>(values[i]);
+    if (opts.combine_max) {
+      if (!assigned[r * out.cols() + c] || v > out.at(r, c)) out.at(r, c) = v;
+    } else {
+      out.at(r, c) += v;
+      counts.at(r, c) += 1.0f;
+    }
+    assigned[r * out.cols() + c] = 1;
+  }
+  if (!opts.combine_max)
+    for (std::size_t i = 0; i < out.size(); ++i)
+      if (counts.data()[i] > 0) out.data()[i] /= counts.data()[i];
+
+  if (opts.fill_holes) fill_holes_by_diffusion(out, assigned);
+  return out;
+}
+
+grid::Grid2D rasterize_ir_drop(const spice::Netlist& netlist,
+                               const Solution& solution,
+                               const RasterOptions& opts) {
+  return rasterize_node_values(netlist, solution.ir_drop, opts);
+}
+
+}  // namespace lmmir::pdn

@@ -1,0 +1,35 @@
+#pragma once
+// Rasterization of per-node solver results onto the 1 µm feature-map grid,
+// producing the ground-truth IR-drop map the models regress against.
+#include "grid/grid2d.hpp"
+#include "pdn/solver.hpp"
+#include "spice/netlist.hpp"
+
+namespace lmmir::pdn {
+
+struct RasterOptions {
+  /// Only nodes with layer <= max_layer contribute (0 = all layers).
+  /// The contest ground truth is reported at the standard-cell rail (m1).
+  int max_layer = 1;
+  /// Combine multiple nodes per pixel with max (true) or mean (false).
+  bool combine_max = true;
+  /// Diffuse values into pixels that received no node (hole filling), so
+  /// the map is dense like the contest CSVs.
+  bool fill_holes = true;
+};
+
+/// Rasterize per-node IR drop to the netlist's pixel shape.
+grid::Grid2D rasterize_ir_drop(const spice::Netlist& netlist,
+                               const Solution& solution,
+                               const RasterOptions& opts = {});
+
+/// Rasterize an arbitrary per-node scalar field (voltage, drop, ...).
+grid::Grid2D rasterize_node_values(const spice::Netlist& netlist,
+                                   const std::vector<double>& values,
+                                   const RasterOptions& opts = {});
+
+/// Fill zero/unassigned pixels by iterative neighbor averaging; `assigned`
+/// marks pixels that already have a value. Exposed for testing.
+void fill_holes_by_diffusion(grid::Grid2D& g, const std::vector<char>& assigned);
+
+}  // namespace lmmir::pdn

@@ -1,0 +1,109 @@
+#include "pdn/solver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "spice/netlist.hpp"
+#include "util/log.hpp"
+
+namespace lmmir::pdn {
+
+using spice::ElementType;
+using spice::kGroundNode;
+using spice::NodeId;
+
+Solution solve_ir_drop(const Circuit& circuit, const SolveOptions& opts) {
+  const auto& nl = circuit.netlist();
+  const std::size_t n = nl.node_count();
+  if (circuit.pinned().empty())
+    throw std::runtime_error("solve_ir_drop: netlist has no voltage source");
+
+  // Map solvable free nodes to unknown indices.
+  std::vector<std::ptrdiff_t> unknown_of(n, -1);
+  std::size_t n_unknown = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    if (circuit.is_pinned(id)) continue;
+    if (!circuit.component_powered(id)) continue;
+    unknown_of[i] = static_cast<std::ptrdiff_t>(n_unknown++);
+  }
+
+  sparse::CooBuilder coo(n_unknown);
+  std::vector<double> rhs(n_unknown, 0.0);
+
+  auto stamp_conductance = [&](NodeId a, NodeId b, double g) {
+    const bool a_ground = a == kGroundNode;
+    const bool b_ground = b == kGroundNode;
+    const std::ptrdiff_t ua = a_ground ? -1 : unknown_of[static_cast<std::size_t>(a)];
+    const std::ptrdiff_t ub = b_ground ? -1 : unknown_of[static_cast<std::size_t>(b)];
+    const bool a_pinned = !a_ground && circuit.is_pinned(a);
+    const bool b_pinned = !b_ground && circuit.is_pinned(b);
+
+    if (ua >= 0) {
+      coo.add(static_cast<std::size_t>(ua), static_cast<std::size_t>(ua), g);
+      if (ub >= 0) coo.add(static_cast<std::size_t>(ua), static_cast<std::size_t>(ub), -g);
+      else if (b_pinned) rhs[static_cast<std::size_t>(ua)] += g * circuit.pinned_voltage(b);
+      // b at ground contributes nothing to the rhs.
+    }
+    if (ub >= 0) {
+      coo.add(static_cast<std::size_t>(ub), static_cast<std::size_t>(ub), g);
+      if (ua >= 0) coo.add(static_cast<std::size_t>(ub), static_cast<std::size_t>(ua), -g);
+      else if (a_pinned) rhs[static_cast<std::size_t>(ub)] += g * circuit.pinned_voltage(a);
+    }
+  };
+
+  for (const auto& e : nl.elements()) {
+    switch (e.type) {
+      case ElementType::Resistor:
+        stamp_conductance(e.node1, e.node2, 1.0 / e.value);
+        break;
+      case ElementType::CurrentSource: {
+        // SPICE convention: e.value amps flow from node1 through the source
+        // to node2, i.e. the source removes current from node1's KCL.
+        const NodeId from = e.node1;
+        const NodeId to = e.node2;
+        if (from != kGroundNode) {
+          const auto u = unknown_of[static_cast<std::size_t>(from)];
+          if (u >= 0) rhs[static_cast<std::size_t>(u)] -= e.value;
+        }
+        if (to != kGroundNode) {
+          const auto u = unknown_of[static_cast<std::size_t>(to)];
+          if (u >= 0) rhs[static_cast<std::size_t>(u)] += e.value;
+        }
+        break;
+      }
+      case ElementType::VoltageSource:
+        break;  // realized as Dirichlet pins by Circuit
+    }
+  }
+
+  const auto csr = sparse::CsrMatrix::from_coo(coo);
+  const auto cg = sparse::conjugate_gradient(csr, rhs, opts.cg);
+  if (!cg.converged)
+    util::log_warn("solve_ir_drop: CG stopped at residual ", cg.residual,
+                   " after ", cg.iterations, " iterations");
+
+  Solution sol;
+  sol.vdd = circuit.vdd();
+  sol.unknowns = n_unknown;
+  sol.cg_iterations = cg.iterations;
+  sol.cg_residual = cg.residual;
+  sol.converged = cg.converged;
+  sol.node_voltage.assign(n, sol.vdd);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    if (circuit.is_pinned(id))
+      sol.node_voltage[i] = circuit.pinned_voltage(id);
+    else if (unknown_of[i] >= 0)
+      sol.node_voltage[i] = cg.x[static_cast<std::size_t>(unknown_of[i])];
+    // unpowered islands stay at vdd (zero drop), matching Circuit's warning
+  }
+  sol.ir_drop.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sol.ir_drop[i] = sol.vdd - sol.node_voltage[i];
+    sol.worst_drop = std::max(sol.worst_drop, sol.ir_drop[i]);
+  }
+  return sol;
+}
+
+}  // namespace lmmir::pdn

@@ -1,0 +1,36 @@
+#pragma once
+// Golden static IR-drop solver.  Performs reduced modified nodal analysis:
+// voltage-source-pinned nodes are eliminated (Dirichlet boundary), the
+// remaining conductance system G v = i is SPD and solved with
+// Jacobi-preconditioned CG.  This is the "commercial tool" stand-in that
+// produces ground truth for every experiment.
+#include <vector>
+
+#include "pdn/circuit.hpp"
+#include "sparse/cg.hpp"
+
+namespace lmmir::pdn {
+
+struct SolveOptions {
+  sparse::CgOptions cg;
+};
+
+struct Solution {
+  /// Voltage per netlist node (pinned nodes hold their source value;
+  /// unpowered-island nodes are reported at vdd, i.e. zero drop).
+  std::vector<double> node_voltage;
+  /// IR drop per node: vdd - voltage.
+  std::vector<double> ir_drop;
+  double vdd = 0.0;
+  double worst_drop = 0.0;
+  std::size_t unknowns = 0;       // size of the reduced system
+  std::size_t cg_iterations = 0;
+  double cg_residual = 0.0;
+  bool converged = false;
+};
+
+/// Solve the static IR drop of the circuit. Throws std::runtime_error when
+/// the netlist has no voltage source at all.
+Solution solve_ir_drop(const Circuit& circuit, const SolveOptions& opts = {});
+
+}  // namespace lmmir::pdn

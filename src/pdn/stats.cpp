@@ -1,0 +1,24 @@
+#include "pdn/stats.hpp"
+
+namespace lmmir::pdn {
+
+std::string TestcaseStats::shape_string() const {
+  return std::to_string(cols) + "x" + std::to_string(rows);
+}
+
+TestcaseStats compute_stats(const spice::Netlist& netlist,
+                            const std::string& name) {
+  TestcaseStats s;
+  s.name = name;
+  s.nodes = netlist.node_count();
+  s.resistors = netlist.count(spice::ElementType::Resistor);
+  s.current_sources = netlist.count(spice::ElementType::CurrentSource);
+  s.voltage_sources = netlist.count(spice::ElementType::VoltageSource);
+  const auto shape = netlist.pixel_shape();
+  s.rows = shape.rows;
+  s.cols = shape.cols;
+  s.layers = netlist.max_layer();
+  return s;
+}
+
+}  // namespace lmmir::pdn

@@ -1,0 +1,26 @@
+#pragma once
+// Testcase statistics in the shape of the paper's Table II.
+#include <string>
+
+#include "spice/netlist.hpp"
+
+namespace lmmir::pdn {
+
+struct TestcaseStats {
+  std::string name;
+  std::size_t nodes = 0;        // interned circuit nodes
+  std::size_t resistors = 0;
+  std::size_t current_sources = 0;
+  std::size_t voltage_sources = 0;
+  std::size_t rows = 0;         // pixel shape
+  std::size_t cols = 0;
+  int layers = 0;
+
+  /// "601x601"-style shape string as printed in Table II.
+  std::string shape_string() const;
+};
+
+TestcaseStats compute_stats(const spice::Netlist& netlist,
+                            const std::string& name = "");
+
+}  // namespace lmmir::pdn

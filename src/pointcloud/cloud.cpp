@@ -1,0 +1,108 @@
+#include "pointcloud/cloud.hpp"
+
+#include <algorithm>
+
+namespace lmmir::pc {
+
+using spice::ElementType;
+using spice::kDbuPerMicron;
+using spice::kGroundNode;
+using spice::Netlist;
+using spice::NodeId;
+
+namespace {
+
+struct Located {
+  float x = 0, y = 0;
+  int layer = 0;
+  bool ok = false;
+};
+
+Located locate(const Netlist& nl, NodeId id) {
+  Located l;
+  if (id == kGroundNode) return l;
+  const auto& node = nl.node(id);
+  if (!node.parsed) return l;
+  l.x = static_cast<float>(node.parsed->x) / kDbuPerMicron;
+  l.y = static_cast<float>(node.parsed->y) / kDbuPerMicron;
+  l.layer = node.parsed->layer;
+  l.ok = true;
+  return l;
+}
+
+}  // namespace
+
+Cloud cloud_from_netlist(const Netlist& nl) {
+  Cloud cloud;
+  cloud.points.reserve(nl.element_count());
+  const auto shape = nl.pixel_shape();
+  cloud.width_um = static_cast<float>(shape.cols);
+  cloud.height_um = static_cast<float>(shape.rows);
+  cloud.max_layer = std::max(1, nl.max_layer());
+
+  for (const auto& e : nl.elements()) {
+    const Located a = locate(nl, e.node1);
+    const Located b = locate(nl, e.node2);
+    if (!a.ok && !b.ok) continue;  // free-form element, not representable
+    const Located& primary = a.ok ? a : b;
+    const Located& secondary = b.ok ? b : a;
+
+    Point p;
+    p.x1 = primary.x;
+    p.y1 = primary.y;
+    p.layer1 = static_cast<std::int8_t>(primary.layer);
+    p.x2 = secondary.x;
+    p.y2 = secondary.y;
+    p.layer2 = static_cast<std::int8_t>(secondary.layer);
+    p.value = static_cast<float>(e.value);
+    switch (e.type) {
+      case ElementType::Resistor:
+        p.type = 0;
+        cloud.max_resistance = std::max(cloud.max_resistance, p.value);
+        break;
+      case ElementType::CurrentSource:
+        p.type = 1;
+        cloud.max_current = std::max(cloud.max_current, p.value);
+        break;
+      case ElementType::VoltageSource:
+        p.type = 2;
+        cloud.max_voltage = std::max(cloud.max_voltage, p.value);
+        break;
+    }
+    cloud.points.push_back(p);
+  }
+  return cloud;
+}
+
+void encode_point(const Cloud& cloud, const Point& p, float* out) {
+  const float iw = cloud.width_um > 0 ? 1.0f / cloud.width_um : 0.0f;
+  const float ih = cloud.height_um > 0 ? 1.0f / cloud.height_um : 0.0f;
+  float vnorm = 0.0f;
+  switch (p.type) {
+    case 0:
+      vnorm = cloud.max_resistance > 0 ? p.value / cloud.max_resistance : 0.0f;
+      break;
+    case 1:
+      vnorm = cloud.max_current > 0 ? p.value / cloud.max_current : 0.0f;
+      break;
+    case 2:
+      vnorm = cloud.max_voltage > 0 ? p.value / cloud.max_voltage : 0.0f;
+      break;
+    default: break;
+  }
+  const float il = 1.0f / static_cast<float>(cloud.max_layer);
+  out[0] = p.x1 * iw;
+  out[1] = p.y1 * ih;
+  out[2] = p.x2 * iw;
+  out[3] = p.y2 * ih;
+  out[4] = vnorm;
+  out[5] = p.type == 0 ? 1.0f : 0.0f;
+  out[6] = p.type == 1 ? 1.0f : 0.0f;
+  out[7] = p.type == 2 ? 1.0f : 0.0f;
+  out[8] = static_cast<float>(p.layer1) * il;
+  out[9] = static_cast<float>(p.layer2) * il;
+  out[10] = p.is_via() ? 1.0f : 0.0f;
+  out[11] = 1.0f;  // presence flag (distinguishes real points after pooling)
+}
+
+}  // namespace lmmir::pc

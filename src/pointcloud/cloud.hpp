@@ -1,0 +1,51 @@
+#pragma once
+// Netlist -> point cloud encoding (paper Sec. III-B / Fig. 3).
+//
+// Every netlist element becomes one point carrying its full attributes:
+// both endpoint coordinates (x1,y1), (x2,y2), the element value, the
+// element type (R / I / V) and both endpoint layers — so, unlike 2-D
+// rasterized representations, nothing about inter-layer structure (vias)
+// is lost.  Element counts are unbounded: a 10^6-element netlist is a
+// 10^6-point cloud.
+#include <cstdint>
+#include <vector>
+
+#include "spice/netlist.hpp"
+
+namespace lmmir::pc {
+
+struct Point {
+  float x1 = 0, y1 = 0;  // first endpoint, microns
+  float x2 = 0, y2 = 0;  // second endpoint (== first for I/V sources)
+  float value = 0;       // ohms / amps / volts
+  std::int8_t type = 0;  // 0 = R, 1 = I, 2 = V
+  std::int8_t layer1 = 0;
+  std::int8_t layer2 = 0;
+
+  /// Inter-layer resistor (layer1 != layer2).
+  bool is_via() const { return type == 0 && layer1 != layer2; }
+};
+
+struct Cloud {
+  std::vector<Point> points;
+  float width_um = 0;   // die extent used for coordinate normalization
+  float height_um = 0;
+  int max_layer = 1;
+  float max_resistance = 0;
+  float max_current = 0;
+  float max_voltage = 0;
+};
+
+/// Build the cloud from a netlist. Elements with a free-form (unlocatable)
+/// PDN-side node are skipped; ground endpoints reuse the located endpoint.
+Cloud cloud_from_netlist(const spice::Netlist& nl);
+
+/// Per-point normalized feature vector width (see encode_point).
+inline constexpr int kPointFeatureDim = 12;
+
+/// Normalized features of one point:
+/// [x1,y1,x2,y2 (die-relative), value (per-type max-normalized),
+///  onehot R/I/V, layer1, layer2 (layer-count-relative), is_via]
+void encode_point(const Cloud& cloud, const Point& p, float* out12);
+
+}  // namespace lmmir::pc

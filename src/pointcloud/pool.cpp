@@ -1,0 +1,71 @@
+#include "pointcloud/pool.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lmmir::pc {
+
+TokenGrid grid_pool(const Cloud& cloud, int grid) {
+  if (grid <= 0) throw std::invalid_argument("grid_pool: grid must be > 0");
+  TokenGrid out;
+  out.grid = grid;
+  const std::size_t cells = out.token_count();
+  out.features.assign(cells * kTokenFeatureDim, 0.0f);
+  if (cloud.points.empty()) return out;
+
+  std::vector<std::size_t> counts(cells, 0);
+  const float gw = cloud.width_um > 0 ? static_cast<float>(grid) / cloud.width_um : 0.0f;
+  const float gh = cloud.height_um > 0 ? static_cast<float>(grid) / cloud.height_um : 0.0f;
+
+  float enc[kPointFeatureDim];
+  for (const auto& p : cloud.points) {
+    const float mx = 0.5f * (p.x1 + p.x2);
+    const float my = 0.5f * (p.y1 + p.y2);
+    const int cx = std::clamp(static_cast<int>(mx * gw), 0, grid - 1);
+    const int cy = std::clamp(static_cast<int>(my * gh), 0, grid - 1);
+    const std::size_t cell = static_cast<std::size_t>(cy) * grid +
+                             static_cast<std::size_t>(cx);
+    encode_point(cloud, p, enc);
+    float* f = out.features.data() + cell * kTokenFeatureDim;
+    for (int i = 0; i < kPointFeatureDim; ++i) f[i] += enc[i];
+    ++counts[cell];
+  }
+
+  // Mean features; the extra channel is log-scaled population (log keeps
+  // dense m1 cells from dwarfing sparse top-layer cells).
+  double max_count = 1.0;
+  for (auto c : counts) max_count = std::max(max_count, static_cast<double>(c));
+  const float inv_log_max = static_cast<float>(1.0 / std::log1p(max_count));
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    float* f = out.features.data() + cell * kTokenFeatureDim;
+    if (counts[cell] > 0) {
+      const float inv = 1.0f / static_cast<float>(counts[cell]);
+      for (int i = 0; i < kPointFeatureDim; ++i) f[i] *= inv;
+      f[kPointFeatureDim] =
+          std::log1p(static_cast<float>(counts[cell])) * inv_log_max;
+    }
+  }
+  return out;
+}
+
+Cloud random_downsample(const Cloud& cloud, std::size_t max_points,
+                        util::Rng& rng) {
+  if (cloud.points.size() <= max_points) return cloud;
+  Cloud out = cloud;
+  // Partial Fisher-Yates: choose max_points without replacement.
+  std::vector<std::size_t> idx(cloud.points.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  for (std::size_t i = 0; i < max_points; ++i) {
+    const std::size_t j = static_cast<std::size_t>(
+        rng.randint(static_cast<int>(i), static_cast<int>(idx.size()) - 1));
+    std::swap(idx[i], idx[j]);
+  }
+  out.points.clear();
+  out.points.reserve(max_points);
+  for (std::size_t i = 0; i < max_points; ++i)
+    out.points.push_back(cloud.points[idx[i]]);
+  return out;
+}
+
+}  // namespace lmmir::pc

@@ -1,0 +1,37 @@
+#pragma once
+// Fixed-size token grids from unbounded point clouds.
+//
+// The paper's LNT must ingest netlists of 10^5..10^6 elements.  Full
+// quadratic self-attention over that many points is infeasible, so the
+// cloud is reduced to a fixed GxG grid of "super-points": every point is
+// binned by its midpoint, and each cell aggregates the mean encoded
+// features of its points (plus a normalized population count).  Empty
+// cells stay zero — "no PDN structure here" is itself signal.  The output
+// is a [G*G, kPointFeatureDim+1] matrix, constant-size regardless of the
+// netlist, which is what makes the approach scale.
+#include <cstddef>
+#include <vector>
+
+#include "pointcloud/cloud.hpp"
+#include "util/rng.hpp"
+
+namespace lmmir::pc {
+
+inline constexpr int kTokenFeatureDim = kPointFeatureDim + 1;
+
+struct TokenGrid {
+  int grid = 0;                 // G (tokens are G*G rows)
+  std::vector<float> features;  // [G*G, kTokenFeatureDim] row-major
+
+  std::size_t token_count() const { return static_cast<std::size_t>(grid) * grid; }
+};
+
+/// Grid-pool the cloud into G*G super-point tokens.
+TokenGrid grid_pool(const Cloud& cloud, int grid);
+
+/// Uniform random down-sampling to at most max_points (utility for
+/// experiments on sampling-based alternatives; grid_pool does not need it).
+Cloud random_downsample(const Cloud& cloud, std::size_t max_points,
+                        util::Rng& rng);
+
+}  // namespace lmmir::pc

@@ -1,0 +1,70 @@
+#include "sparse/cg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lmmir::sparse {
+
+namespace {
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+double norm2(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+}  // namespace
+
+CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
+                            const CgOptions& opts) {
+  const std::size_t n = a.dim();
+  if (b.size() != n)
+    throw std::invalid_argument("conjugate_gradient: rhs size mismatch");
+
+  CgResult res;
+  res.x.assign(n, 0.0);
+  if (n == 0) {
+    res.converged = true;
+    return res;
+  }
+
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    res.converged = true;
+    return res;
+  }
+
+  // Jacobi preconditioner M = diag(A); guard against zero diagonals.
+  std::vector<double> inv_diag = a.diagonal();
+  for (auto& d : inv_diag) d = (d != 0.0) ? 1.0 / d : 1.0;
+
+  std::vector<double> r = b;  // r = b - A*0
+  std::vector<double> z(n), p(n), ap(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  p = z;
+  double rz = dot(r, z);
+
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    a.multiply(p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // matrix not SPD (or breakdown)
+    const double alpha = rz / pap;
+    for (std::size_t i = 0; i < n; ++i) {
+      res.x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    res.iterations = it + 1;
+    res.residual = norm2(r) / bnorm;
+    if (res.residual < opts.tolerance) {
+      res.converged = true;
+      return res;
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return res;
+}
+
+}  // namespace lmmir::sparse

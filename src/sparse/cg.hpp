@@ -1,0 +1,28 @@
+#pragma once
+// Jacobi-preconditioned Conjugate Gradient.  PDN conductance matrices are
+// SPD and diagonally dominant, for which Jacobi-CG converges in a few
+// hundred iterations even on 10^5-node systems.
+#include <cstddef>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace lmmir::sparse {
+
+struct CgOptions {
+  std::size_t max_iterations = 20000;
+  double tolerance = 1e-10;  // on ||r|| / ||b||
+};
+
+struct CgResult {
+  std::vector<double> x;
+  std::size_t iterations = 0;
+  double residual = 0.0;  // final relative residual
+  bool converged = false;
+};
+
+/// Solve A x = b for SPD A. Throws std::invalid_argument on size mismatch.
+CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
+                            const CgOptions& opts = {});
+
+}  // namespace lmmir::sparse

@@ -1,0 +1,47 @@
+#include "sparse/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lmmir::sparse {
+
+std::vector<double> cholesky_solve(const DenseMatrix& a,
+                                   const std::vector<double>& b) {
+  const std::size_t n = a.dim();
+  if (b.size() != n)
+    throw std::invalid_argument("cholesky_solve: rhs size mismatch");
+
+  // L lower-triangular with A = L Lᵀ.
+  DenseMatrix l(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        if (s <= 0.0)
+          throw std::runtime_error("cholesky_solve: matrix not SPD");
+        l.at(i, j) = std::sqrt(s);
+      } else {
+        l.at(i, j) = s / l.at(j, j);
+      }
+    }
+  }
+
+  // Forward solve L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l.at(i, k) * y[k];
+    y[i] = s / l.at(i, i);
+  }
+  // Back solve Lᵀ x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l.at(k, ii) * x[k];
+    x[ii] = s / l.at(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace lmmir::sparse

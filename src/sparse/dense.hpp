@@ -1,0 +1,29 @@
+#pragma once
+// Small dense SPD solver (Cholesky).  Used to cross-check the sparse CG
+// solver in tests and to solve tiny hand-built circuits exactly.
+#include <cstddef>
+#include <vector>
+
+namespace lmmir::sparse {
+
+/// Row-major square dense matrix.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  explicit DenseMatrix(std::size_t n) : n_(n), a_(n * n, 0.0) {}
+
+  std::size_t dim() const { return n_; }
+  double at(std::size_t r, std::size_t c) const { return a_[r * n_ + c]; }
+  double& at(std::size_t r, std::size_t c) { return a_[r * n_ + c]; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> a_;
+};
+
+/// Solve A x = b by Cholesky factorization (A must be SPD).
+/// Throws std::runtime_error if the matrix is not positive definite.
+std::vector<double> cholesky_solve(const DenseMatrix& a,
+                                   const std::vector<double>& b);
+
+}  // namespace lmmir::sparse

@@ -1,0 +1,92 @@
+#include "spice/netlist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lmmir::spice {
+
+NodeId Netlist::intern_node(const std::string& raw_name) {
+  if (is_ground(raw_name)) return kGroundNode;
+  auto it = node_index_.find(raw_name);
+  if (it != node_index_.end()) return it->second;
+  Node n;
+  n.raw_name = raw_name;
+  NodeName parsed;
+  if (parse_node_name(raw_name, parsed)) n.parsed = parsed;
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  node_index_.emplace(raw_name, id);
+  return id;
+}
+
+std::optional<NodeId> Netlist::find_node(const std::string& raw_name) const {
+  if (is_ground(raw_name)) return kGroundNode;
+  auto it = node_index_.find(raw_name);
+  if (it == node_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Netlist::add_resistor(const std::string& name, NodeId a, NodeId b,
+                           double ohms) {
+  elements_.push_back({ElementType::Resistor, name, a, b, ohms});
+}
+
+void Netlist::add_current_source(const std::string& name, NodeId from,
+                                 NodeId to, double amps) {
+  elements_.push_back({ElementType::CurrentSource, name, from, to, amps});
+}
+
+void Netlist::add_voltage_source(const std::string& name, NodeId plus,
+                                 NodeId minus, double volts) {
+  elements_.push_back({ElementType::VoltageSource, name, plus, minus, volts});
+}
+
+void Netlist::set_element_value(std::size_t element_index, double value) {
+  Element& e = elements_.at(element_index);
+  if (e.type == ElementType::Resistor && value <= 0.0)
+    throw std::invalid_argument("set_element_value: non-positive resistance");
+  e.value = value;
+}
+
+std::size_t Netlist::count(ElementType t) const {
+  return static_cast<std::size_t>(
+      std::count_if(elements_.begin(), elements_.end(),
+                    [t](const Element& e) { return e.type == t; }));
+}
+
+int Netlist::max_layer() const {
+  int layer = 0;
+  for (const auto& n : nodes_)
+    if (n.parsed) layer = std::max(layer, n.parsed->layer);
+  return layer;
+}
+
+Netlist::Bounds Netlist::bounds() const {
+  Bounds b;
+  for (const auto& n : nodes_) {
+    if (!n.parsed) continue;
+    if (!b.valid) {
+      b.min_x = b.max_x = n.parsed->x;
+      b.min_y = b.max_y = n.parsed->y;
+      b.valid = true;
+    } else {
+      b.min_x = std::min(b.min_x, n.parsed->x);
+      b.max_x = std::max(b.max_x, n.parsed->x);
+      b.min_y = std::min(b.min_y, n.parsed->y);
+      b.max_y = std::max(b.max_y, n.parsed->y);
+    }
+  }
+  return b;
+}
+
+Netlist::PixelShape Netlist::pixel_shape() const {
+  const Bounds b = bounds();
+  PixelShape s;
+  if (!b.valid) return s;
+  s.cols = static_cast<std::size_t>(b.max_x / kDbuPerMicron) + 1;
+  s.rows = static_cast<std::size_t>(b.max_y / kDbuPerMicron) + 1;
+  return s;
+}
+
+}  // namespace lmmir::spice

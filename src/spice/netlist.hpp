@@ -1,0 +1,85 @@
+#pragma once
+// In-memory PDN netlist: the list of R / I / V elements plus an interned
+// node table.  This is the shared data model between the parser, the golden
+// solver, the feature extractor, and the point-cloud encoder.
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/node_name.hpp"
+
+namespace lmmir::spice {
+
+enum class ElementType { Resistor, CurrentSource, VoltageSource };
+
+/// Index of an interned node within Netlist; kGroundNode marks "0".
+using NodeId = std::int32_t;
+inline constexpr NodeId kGroundNode = -1;
+
+struct Element {
+  ElementType type = ElementType::Resistor;
+  std::string name;      // e.g. "R1023" (without leading type letter: "1023")
+  NodeId node1 = kGroundNode;
+  NodeId node2 = kGroundNode;
+  double value = 0.0;    // ohms / amps / volts
+};
+
+/// Interned node: parsed coordinates when the name follows the contest
+/// grammar, or just the raw name for free-form nodes.
+struct Node {
+  std::string raw_name;
+  std::optional<NodeName> parsed;  // nullopt for free-form names
+};
+
+class Netlist {
+ public:
+  /// Intern a node by raw name; returns kGroundNode for "0".
+  NodeId intern_node(const std::string& raw_name);
+
+  /// Look up an interned node id; returns nullopt if never interned.
+  std::optional<NodeId> find_node(const std::string& raw_name) const;
+
+  void add_resistor(const std::string& name, NodeId a, NodeId b, double ohms);
+  void add_current_source(const std::string& name, NodeId from, NodeId to,
+                          double amps);
+  void add_voltage_source(const std::string& name, NodeId plus, NodeId minus,
+                          double volts);
+
+  /// Replace an element's value (PDN optimization: wire upsizing rewrites
+  /// resistor values in place). Throws std::out_of_range / invalid_argument.
+  void set_element_value(std::size_t element_index, double value);
+
+  const std::vector<Element>& elements() const { return elements_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& node(NodeId id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t element_count() const { return elements_.size(); }
+  std::size_t count(ElementType t) const;
+
+  /// Highest metal layer index among parsed nodes (0 when none parse).
+  int max_layer() const;
+
+  /// Bounding box over parsed node coordinates, in DBU.
+  struct Bounds {
+    std::int64_t min_x = 0, min_y = 0, max_x = 0, max_y = 0;
+    bool valid = false;
+  };
+  Bounds bounds() const;
+
+  /// Chip extent in feature-map pixels (ceil(max/µm) + 1 in each axis).
+  struct PixelShape {
+    std::size_t rows = 0;  // y extent
+    std::size_t cols = 0;  // x extent
+  };
+  PixelShape pixel_shape() const;
+
+ private:
+  std::vector<Element> elements_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::string, NodeId> node_index_;
+};
+
+}  // namespace lmmir::spice

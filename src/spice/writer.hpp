@@ -1,0 +1,21 @@
+#pragma once
+// Netlist serializer producing contest-style SPICE text; the inverse of the
+// parser (round-trip is tested).
+#include <ostream>
+#include <string>
+
+#include "spice/netlist.hpp"
+
+namespace lmmir::spice {
+
+/// Write the netlist. A header comment and ".end" are included.
+void write_netlist(std::ostream& out, const Netlist& nl,
+                   const std::string& title = "lmmir PDN");
+
+std::string write_netlist_string(const Netlist& nl,
+                                 const std::string& title = "lmmir PDN");
+
+void write_netlist_file(const std::string& path, const Netlist& nl,
+                        const std::string& title = "lmmir PDN");
+
+}  // namespace lmmir::spice

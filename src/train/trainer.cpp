@@ -1,0 +1,162 @@
+#include "train/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/optim.hpp"
+#include "tensor/ops.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace lmmir::train {
+
+using tensor::Tensor;
+
+namespace {
+
+/// One optimization pass over the epoch list with the given target
+/// builder; returns the mean batch loss.
+template <typename TargetFn>
+float run_epoch(models::IrModel& model, const data::Dataset& dataset,
+                const TrainConfig& config, nn::Adam& opt, util::Rng& rng,
+                TargetFn&& make_target) {
+  std::vector<std::size_t> order = dataset.epoch;
+  rng.shuffle(order);
+  double loss_sum = 0.0;
+  std::size_t batches = 0;
+  for (std::size_t i = 0; i < order.size(); i += config.batch_size) {
+    const std::size_t end = std::min(order.size(), i + config.batch_size);
+    std::vector<std::size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(i),
+                                 order.begin() + static_cast<std::ptrdiff_t>(end));
+    const float noise = config.augment
+                            ? rng.uniform(0.0f, config.noise_std_max)
+                            : 0.0f;
+    data::Batch batch = data::make_batch(dataset.samples, idx, noise, rng);
+    const Tensor input =
+        data::slice_channels(batch.circuit, model.in_channels());
+
+    opt.zero_grad();
+    const Tensor pred = model.forward(input, batch.tokens);
+    const Tensor target = make_target(batch);
+    Tensor loss;
+    if (config.hotspot_weight > 0.0f) {
+      // mean( w .* (p - t)^2 ), w = 1 + hw * (t / max t)^2 (constant).
+      float tmax = 0.0f;
+      for (float v : target.data()) tmax = std::max(tmax, v);
+      std::vector<float> w(target.numel(), 1.0f);
+      if (tmax > 0.0f)
+        for (std::size_t j = 0; j < w.size(); ++j) {
+          const float r = target.data()[j] / tmax;
+          w[j] += config.hotspot_weight * r * r;
+        }
+      const Tensor weights = Tensor::from_data(target.shape(), std::move(w));
+      const Tensor diff = tensor::sub(pred, target);
+      loss = tensor::mean_all(
+          tensor::mul(tensor::mul(diff, diff), weights));
+    } else {
+      loss = tensor::mse_loss(pred, target);
+    }
+    loss.backward();
+    nn::clip_grad_norm(opt.params(), config.clip_norm);
+    opt.step();
+
+    loss_sum += loss.item();
+    ++batches;
+  }
+  return batches ? static_cast<float>(loss_sum / static_cast<double>(batches))
+                 : 0.0f;
+}
+
+}  // namespace
+
+TrainHistory fit(models::IrModel& model, const data::Dataset& dataset,
+                 const TrainConfig& config) {
+  TrainHistory hist;
+  util::Stopwatch watch;
+  util::Rng rng(config.seed);
+  model.set_training(true);
+
+  nn::Adam opt(model.parameters(), config.lr);
+
+  // Stage 1: reconstruction pre-training — the decoder reproduces the
+  // (clean) current map from the noisy multimodal input.
+  for (int e = 0; e < config.pretrain_epochs; ++e) {
+    const float loss =
+        run_epoch(model, dataset, config, opt, rng, [](const data::Batch& b) {
+          return data::slice_channels(b.circuit, 1);
+        });
+    hist.pretrain_loss.push_back(loss);
+    if (config.verbose)
+      util::log_info("pretrain epoch ", e, " loss ", loss);
+    opt.lr *= config.lr_decay;
+  }
+
+  // Stage 2: IR-drop fine-tuning.
+  for (int e = 0; e < config.finetune_epochs; ++e) {
+    const float loss =
+        run_epoch(model, dataset, config, opt, rng,
+                  [](const data::Batch& b) { return b.target; });
+    hist.finetune_loss.push_back(loss);
+    if (config.verbose)
+      util::log_info("finetune epoch ", e, " loss ", loss);
+    opt.lr *= config.lr_decay;
+  }
+
+  model.set_training(false);
+  hist.seconds = watch.seconds();
+  return hist;
+}
+
+grid::Grid2D predict_map(models::IrModel& model, const data::Sample& sample) {
+  tensor::NoGradGuard no_grad;
+  model.set_training(false);
+  util::Rng rng(0);
+  data::Batch batch = data::make_batch({sample}, {0}, 0.0f, rng);
+  const Tensor input = data::slice_channels(batch.circuit, model.in_channels());
+  const Tensor pred = model.forward(input, batch.tokens);
+
+  const std::size_t side = static_cast<std::size_t>(pred.dim(2));
+  grid::Grid2D map(side, side);
+  map.data() = pred.data();
+  map.scale(1.0f / data::kTargetScale);  // back to percent-of-vdd
+  return feat::restore_from_side(map, sample.adjust);
+}
+
+EvalCase evaluate_case(models::IrModel& model, const data::Sample& sample) {
+  EvalCase ec;
+  ec.name = sample.name;
+  util::Stopwatch watch;
+  const grid::Grid2D pred = predict_map(model, sample);
+  ec.tat_seconds = watch.seconds();
+  ec.golden_seconds = sample.golden_solve_seconds;
+  ec.raw = eval::compute_metrics(pred, sample.truth_full);
+  ec.f1 = ec.raw.f1;
+  ec.mae_1e4_volts = data::percent_mae_to_1e4_volts(ec.raw.mae, sample.vdd);
+  return ec;
+}
+
+std::vector<EvalCase> evaluate_testset(models::IrModel& model,
+                                       const std::vector<data::Sample>& tests) {
+  std::vector<EvalCase> rows;
+  rows.reserve(tests.size() + 1);
+  EvalCase avg;
+  avg.name = "Avg";
+  for (const auto& s : tests) {
+    rows.push_back(evaluate_case(model, s));
+    avg.f1 += rows.back().f1;
+    avg.mae_1e4_volts += rows.back().mae_1e4_volts;
+    avg.tat_seconds += rows.back().tat_seconds;
+    avg.golden_seconds += rows.back().golden_seconds;
+  }
+  if (!tests.empty()) {
+    const double n = static_cast<double>(tests.size());
+    avg.f1 /= n;
+    avg.mae_1e4_volts /= n;
+    avg.tat_seconds /= n;
+    avg.golden_seconds /= n;
+  }
+  rows.push_back(avg);
+  return rows;
+}
+
+}  // namespace lmmir::train

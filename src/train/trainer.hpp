@@ -1,0 +1,68 @@
+#pragma once
+// Two-stage training (paper Sec. III-D): a reconstruction pre-train that
+// teaches the joint circuit+netlist representation, then fine-tuning on
+// the IR-drop regression, both with Adam + MSE.
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "eval/metrics.hpp"
+#include "models/common.hpp"
+
+namespace lmmir::train {
+
+struct TrainConfig {
+  int pretrain_epochs = 1;
+  int finetune_epochs = 6;
+  /// The paper uses 1e-3 over 200 epochs x 3310 cases; the reduced regime
+  /// compensates its ~100x fewer optimizer steps with a higher rate.
+  float lr = 3e-3f;
+  float lr_decay = 0.96f;     // per-epoch multiplicative decay
+  int batch_size = 2;
+  /// Hotspot-weighted MSE: per-pixel weight 1 + w*(t/max t)^2. The paper
+  /// trains plain MSE at 200 epochs x 3310 cases and lets attention focus
+  /// the hot regions; at this reduced step budget the explicit weight
+  /// recovers the same emphasis. 0 disables (plain MSE).
+  float hotspot_weight = 4.0f;
+  bool augment = true;        // Gaussian-noise augmentation (Fig.4 "W-Aug")
+  /// Max noise sigma, drawn per batch from U(0, max). The paper uses
+  /// (0, 1e-3) on its normalization; against this library's fixed-divisor
+  /// feature scale that amplitude is a no-op, so the default keeps the
+  /// same *relative* strength (~1% of the feature range).
+  float noise_std_max = 1e-2f;
+  float clip_norm = 5.0f;
+  std::uint64_t seed = 42;
+  bool verbose = false;
+};
+
+struct TrainHistory {
+  std::vector<float> pretrain_loss;  // mean epoch loss
+  std::vector<float> finetune_loss;
+  double seconds = 0.0;
+};
+
+/// Train a model on the dataset's (over-sampled) epoch list.
+TrainHistory fit(models::IrModel& model, const data::Dataset& dataset,
+                 const TrainConfig& config);
+
+/// Per-case evaluation record in Table-III units.
+struct EvalCase {
+  std::string name;
+  double f1 = 0.0;
+  double mae_1e4_volts = 0.0;     // MAE, 1e-4 V (paper's unit)
+  double tat_seconds = 0.0;       // model inference wall clock
+  double golden_seconds = 0.0;    // golden solver wall clock (reference)
+  eval::Metrics raw;              // metrics in percent units
+};
+
+/// Run inference on one sample, restore to original resolution, score.
+EvalCase evaluate_case(models::IrModel& model, const data::Sample& sample);
+
+/// Evaluate a whole test set; the last entry is the "Avg" row.
+std::vector<EvalCase> evaluate_testset(models::IrModel& model,
+                                       const std::vector<data::Sample>& tests);
+
+/// Predict one sample and return the restored full-resolution map
+/// (percent-of-vdd units) — used by the visualization benches.
+grid::Grid2D predict_map(models::IrModel& model, const data::Sample& sample);
+
+}  // namespace lmmir::train

@@ -1,0 +1,66 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_utils.hpp"
+
+namespace lmmir::util {
+
+CsvMatrix read_csv_string(const std::string& text) {
+  CsvMatrix m;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    auto cells = split(trimmed, ',');
+    if (m.cols == 0) {
+      m.cols = cells.size();
+    } else if (cells.size() != m.cols) {
+      throw std::runtime_error("csv: ragged row at line " +
+                               std::to_string(lineno));
+    }
+    for (const auto& cell : cells) {
+      double v = 0.0;
+      if (!parse_double(cell, v))
+        throw std::runtime_error("csv: bad cell '" + cell + "' at line " +
+                                 std::to_string(lineno));
+      m.values.push_back(static_cast<float>(v));
+    }
+    ++m.rows;
+  }
+  return m;
+}
+
+CsvMatrix read_csv_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("csv: cannot open " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return read_csv_string(ss.str());
+}
+
+std::string write_csv_string(const CsvMatrix& m, int decimals) {
+  std::ostringstream out;
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    for (std::size_t c = 0; c < m.cols; ++c) {
+      if (c) out << ',';
+      out << format_fixed(m.at(r, c), decimals);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void write_csv_file(const std::string& path, const CsvMatrix& m, int decimals) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("csv: cannot open for write " + path);
+  f << write_csv_string(m, decimals);
+  if (!f) throw std::runtime_error("csv: write failed for " + path);
+}
+
+}  // namespace lmmir::util

@@ -1,0 +1,33 @@
+#pragma once
+// CSV matrix I/O in the ICCAD-2023 contest convention: one float per cell,
+// comma separated, one matrix row per line, no header.
+#include <string>
+#include <vector>
+
+namespace lmmir::util {
+
+/// Row-major matrix of floats as read from / written to CSV.
+struct CsvMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<float> values;  // rows * cols, row-major
+
+  float at(std::size_t r, std::size_t c) const { return values[r * cols + c]; }
+  float& at(std::size_t r, std::size_t c) { return values[r * cols + c]; }
+};
+
+/// Parse CSV text into a matrix. Throws std::runtime_error on ragged rows
+/// or unparsable cells.
+CsvMatrix read_csv_string(const std::string& text);
+
+/// Read a CSV file. Throws std::runtime_error if the file cannot be opened.
+CsvMatrix read_csv_file(const std::string& path);
+
+/// Serialize with the given precision (default 6 significant decimals).
+std::string write_csv_string(const CsvMatrix& m, int decimals = 6);
+
+/// Write a CSV file. Throws std::runtime_error on I/O failure.
+void write_csv_file(const std::string& path, const CsvMatrix& m,
+                    int decimals = 6);
+
+}  // namespace lmmir::util

@@ -1,0 +1,72 @@
+#include "util/image_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace lmmir::util {
+
+void heat_color(float t, std::uint8_t& r, std::uint8_t& g, std::uint8_t& b) {
+  t = std::clamp(t, 0.0f, 1.0f);
+  // Piecewise-linear blue → cyan → green → yellow → red ramp.
+  struct Stop { float t; float r, g, b; };
+  static constexpr Stop stops[] = {
+      {0.00f, 0.05f, 0.05f, 0.45f}, {0.25f, 0.00f, 0.70f, 0.90f},
+      {0.50f, 0.10f, 0.80f, 0.25f}, {0.75f, 0.95f, 0.90f, 0.10f},
+      {1.00f, 0.90f, 0.10f, 0.05f}};
+  const Stop* lo = &stops[0];
+  const Stop* hi = &stops[4];
+  for (int i = 0; i < 4; ++i) {
+    if (t >= stops[i].t && t <= stops[i + 1].t) {
+      lo = &stops[i];
+      hi = &stops[i + 1];
+      break;
+    }
+  }
+  const float span = hi->t - lo->t;
+  const float u = span > 0 ? (t - lo->t) / span : 0.0f;
+  r = static_cast<std::uint8_t>(255.0f * (lo->r + u * (hi->r - lo->r)));
+  g = static_cast<std::uint8_t>(255.0f * (lo->g + u * (hi->g - lo->g)));
+  b = static_cast<std::uint8_t>(255.0f * (lo->b + u * (hi->b - lo->b)));
+}
+
+RgbImage colorize(const std::vector<float>& field, std::size_t width,
+                  std::size_t height, float lo, float hi) {
+  if (field.size() != width * height)
+    throw std::invalid_argument("colorize: field size mismatch");
+  RgbImage img;
+  img.width = width;
+  img.height = height;
+  img.pixels.resize(width * height * 3);
+  const float span = hi - lo;
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    const float t = span > 0 ? (field[i] - lo) / span : 0.0f;
+    heat_color(t, img.pixels[3 * i], img.pixels[3 * i + 1],
+               img.pixels[3 * i + 2]);
+  }
+  return img;
+}
+
+void write_pgm(const std::string& path, const GrayImage& img) {
+  if (img.pixels.size() != img.width * img.height)
+    throw std::invalid_argument("write_pgm: size mismatch");
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("write_pgm: cannot open " + path);
+  f << "P5\n" << img.width << ' ' << img.height << "\n255\n";
+  f.write(reinterpret_cast<const char*>(img.pixels.data()),
+          static_cast<std::streamsize>(img.pixels.size()));
+  if (!f) throw std::runtime_error("write_pgm: write failed for " + path);
+}
+
+void write_ppm(const std::string& path, const RgbImage& img) {
+  if (img.pixels.size() != img.width * img.height * 3)
+    throw std::invalid_argument("write_ppm: size mismatch");
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("write_ppm: cannot open " + path);
+  f << "P6\n" << img.width << ' ' << img.height << "\n255\n";
+  f.write(reinterpret_cast<const char*>(img.pixels.data()),
+          static_cast<std::streamsize>(img.pixels.size()));
+  if (!f) throw std::runtime_error("write_ppm: write failed for " + path);
+}
+
+}  // namespace lmmir::util

@@ -1,0 +1,35 @@
+#pragma once
+// PGM / PPM writers used to emit IR-drop heat maps (Fig. 5 reproduction).
+// Binary formats (P5 / P6) keep files small and viewable everywhere.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lmmir::util {
+
+/// 8-bit grayscale image, row-major.
+struct GrayImage {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<std::uint8_t> pixels;  // height * width
+};
+
+/// 8-bit RGB image, row-major, 3 bytes per pixel.
+struct RgbImage {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<std::uint8_t> pixels;  // height * width * 3
+};
+
+/// Map [0,1] to a blue→cyan→yellow→red heat palette (values are clamped).
+void heat_color(float t, std::uint8_t& r, std::uint8_t& g, std::uint8_t& b);
+
+/// Normalize a float field to [0,1] by (v - lo) / (hi - lo) and colorize.
+/// If hi <= lo the output is all-blue (degenerate field).
+RgbImage colorize(const std::vector<float>& field, std::size_t width,
+                  std::size_t height, float lo, float hi);
+
+void write_pgm(const std::string& path, const GrayImage& img);
+void write_ppm(const std::string& path, const RgbImage& img);
+
+}  // namespace lmmir::util

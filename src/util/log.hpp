@@ -1,0 +1,49 @@
+#pragma once
+// Minimal leveled logger.  Free functions write to stderr; the level is a
+// process-wide setting so libraries can log without threading a logger
+// object through every API.
+#include <sstream>
+#include <string>
+
+namespace lmmir::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Set the global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (a newline is appended).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::Debug)
+    log_message(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::Info)
+    log_message(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::Warn)
+    log_message(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::Error)
+    log_message(LogLevel::Error, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace lmmir::util

@@ -1,0 +1,60 @@
+#pragma once
+// Deterministic random number generation.  Every stochastic component in the
+// library takes an explicit Rng (or seed) so experiments are reproducible.
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace lmmir::util {
+
+/// Thin wrapper over std::mt19937_64 with the distributions the library uses.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed1234abcdefULL) : engine_(seed) {}
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo = 0.0f, float hi = 1.0f) {
+    return std::uniform_real_distribution<float>(lo, hi)(engine_);
+  }
+  /// Uniform double in [lo, hi).
+  double uniform_double(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+  /// Normal with the given mean / standard deviation.
+  float normal(float mean = 0.0f, float stddev = 1.0f) {
+    return std::normal_distribution<float>(mean, stddev)(engine_);
+  }
+  /// Uniform integer in [lo, hi] (inclusive).
+  int randint(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+  /// Bernoulli trial.
+  bool chance(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  /// n normal samples.
+  std::vector<float> normal_vec(std::size_t n, float mean = 0.0f,
+                                float stddev = 1.0f) {
+    std::vector<float> v(n);
+    for (auto& x : v) x = normal(mean, stddev);
+    return v;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(randint(0, static_cast<int>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child stream (for per-case generators).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace lmmir::util

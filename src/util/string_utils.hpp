@@ -1,0 +1,32 @@
+#pragma once
+// Small string helpers shared by the SPICE parser and CSV reader.
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lmmir::util {
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on any run of whitespace; empty tokens are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Split on a single-character delimiter; empty tokens are kept.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// ASCII lower-case copy.
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse a double; returns false on malformed input instead of throwing.
+bool parse_double(std::string_view s, double& out);
+
+/// Parse a long; returns false on malformed input.
+bool parse_long(std::string_view s, long& out);
+
+/// printf-style float formatting ("%.*f") returning std::string.
+std::string format_fixed(double v, int decimals);
+
+}  // namespace lmmir::util

@@ -1,0 +1,70 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_utils.hpp"
+
+namespace lmmir::util {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  double d;
+  return parse_double(s, d);
+}
+}  // namespace
+
+void TextTable::set_header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+  // Column widths over header + all rows.
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<std::size_t> width(ncols, 0);
+  auto measure = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      width[i] = std::max(width[i], cells[i].size());
+  };
+  measure(header_);
+  for (const auto& r : rows_)
+    if (!r.separator) measure(r.cells);
+
+  std::size_t total = 0;
+  for (auto w : width) total += w + 3;
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string cell = i < cells.size() ? cells[i] : "";
+      const bool right = looks_numeric(cell);
+      out << ' ';
+      if (right)
+        out << std::string(width[i] - cell.size(), ' ') << cell;
+      else
+        out << cell << std::string(width[i] - cell.size(), ' ');
+      out << " |";
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) {
+    if (r.separator)
+      out << std::string(total, '-') << '\n';
+    else
+      emit(r.cells);
+  }
+  return out.str();
+}
+
+}  // namespace lmmir::util

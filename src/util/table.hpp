@@ -1,0 +1,34 @@
+#pragma once
+// Plain-text table formatter used by the benchmark binaries to print
+// paper-style tables (Table I / II / III) with aligned columns.
+#include <string>
+#include <vector>
+
+namespace lmmir::util {
+
+class TextTable {
+ public:
+  /// Set (or replace) the header row.
+  void set_header(std::vector<std::string> cells);
+
+  /// Append one data row; rows may have differing cell counts.
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator at the current position.
+  void add_separator();
+
+  /// Render with column alignment. Numeric-looking cells are right-aligned.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace lmmir::util

@@ -1,0 +1,47 @@
+#pragma once
+// Numeric gradient checking for the autograd engine: central differences
+// against the analytic backward pass.
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+
+namespace lmmir::testing {
+
+/// Check d(scalar fn)/d(inputs[i]) for every input element against central
+/// differences.  fn must rebuild the graph from the given inputs each call
+/// and return a scalar tensor.
+inline void expect_gradients_match(
+    std::vector<tensor::Tensor> inputs,
+    const std::function<tensor::Tensor(const std::vector<tensor::Tensor>&)>& fn,
+    float eps = 1e-2f, float rtol = 5e-2f, float atol = 5e-3f) {
+  for (auto& in : inputs) in.set_requires_grad(true);
+
+  tensor::Tensor out = fn(inputs);
+  ASSERT_EQ(out.numel(), 1u) << "gradcheck target must be scalar";
+  out.backward();
+
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    auto& input = inputs[t];
+    ASSERT_FALSE(input.grad().empty())
+        << "input " << t << " received no gradient";
+    for (std::size_t i = 0; i < input.numel(); ++i) {
+      const float saved = input.data()[i];
+      input.data()[i] = saved + eps;
+      const float up = fn(inputs).item();
+      input.data()[i] = saved - eps;
+      const float down = fn(inputs).item();
+      input.data()[i] = saved;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float analytic = input.grad()[i];
+      const float tol = atol + rtol * std::abs(numeric);
+      EXPECT_NEAR(analytic, numeric, tol)
+          << "input " << t << " element " << i;
+    }
+  }
+}
+
+}  // namespace lmmir::testing

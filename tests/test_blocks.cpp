@@ -1,0 +1,142 @@
+// models/blocks + LNT + fusion: numeric correctness of the token/map
+// adapters and behavioural checks on the multimodal components.
+#include <gtest/gtest.h>
+
+#include "models/blocks.hpp"
+#include "models/lmmir_model.hpp"
+#include "pointcloud/pool.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace lmmir;
+using models::add_broadcast_tokens;
+using models::map_from_tokens;
+using models::mean_tokens;
+using models::tokens_from_map;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(TokenAdapters, MapTokensRoundTrip) {
+  util::Rng rng(1);
+  auto x = Tensor::randn({2, 5, 3, 4}, rng);
+  auto tokens = tokens_from_map(x);
+  EXPECT_EQ(tokens.shape(), (Shape{2, 12, 5}));
+  auto back = map_from_tokens(tokens, 3, 4);
+  ASSERT_EQ(back.shape(), x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    EXPECT_FLOAT_EQ(back.data()[i], x.data()[i]);
+}
+
+TEST(TokenAdapters, TokensIndexing) {
+  // Pixel (h,w) of channel c must land at token h*W+w, feature c.
+  auto x = Tensor::zeros({1, 2, 2, 2});
+  // channel 1, position (1,0) -> linear idx: ((0*2+1)*2+1)*2+0 = 6
+  x.data()[6] = 42.0f;
+  auto tokens = tokens_from_map(x);  // [1, 4, 2]
+  EXPECT_FLOAT_EQ(tokens.data()[2 * 2 + 1], 42.0f);  // token 2, feature 1
+}
+
+TEST(TokenAdapters, MeanTokensExactValue) {
+  auto t = Tensor::from_data({1, 3, 2}, {1, 10, 2, 20, 3, 30});
+  auto m = mean_tokens(t);
+  EXPECT_EQ(m.shape(), (Shape{1, 2}));
+  EXPECT_NEAR(m.data()[0], 2.0f, 1e-6f);
+  EXPECT_NEAR(m.data()[1], 20.0f, 1e-6f);
+}
+
+TEST(TokenAdapters, BroadcastAddExactValue) {
+  auto t = Tensor::zeros({1, 3, 2});
+  auto v = Tensor::from_data({1, 2}, {5.0f, -1.0f});
+  auto y = add_broadcast_tokens(t, v);
+  for (int tok = 0; tok < 3; ++tok) {
+    EXPECT_FLOAT_EQ(y.data()[static_cast<std::size_t>(tok * 2)], 5.0f);
+    EXPECT_FLOAT_EQ(y.data()[static_cast<std::size_t>(tok * 2 + 1)], -1.0f);
+  }
+}
+
+TEST(TokenAdapters, GradientsFlowThroughMeanTokens) {
+  auto t = Tensor::full({1, 4, 2}, 1.0f, /*requires_grad=*/true);
+  auto loss = tensor::sum_all(mean_tokens(t));
+  loss.backward();
+  ASSERT_EQ(t.grad().size(), 8u);
+  for (float g : t.grad()) EXPECT_NEAR(g, 0.25f, 1e-6f);
+}
+
+TEST(Lnt, OutputShapeAndTokenCountPreserved) {
+  util::Rng rng(2);
+  models::LNT lnt(16, 2, 2, 2, rng);
+  auto raw = Tensor::randn({2, 64, pc::kTokenFeatureDim}, rng, 0.3f);
+  auto out = lnt.forward(raw);
+  EXPECT_EQ(out.shape(), (Shape{2, 64, 16}));
+}
+
+TEST(Lnt, RejectsWrongFeatureDim) {
+  util::Rng rng(3);
+  models::LNT lnt(16, 1, 2, 2, rng);
+  auto bad = Tensor::randn({1, 8, 7}, rng);
+  EXPECT_THROW(lnt.forward(bad), std::invalid_argument);
+}
+
+TEST(Lnt, SensitiveToNetlistContent) {
+  // Different token grids must produce different embeddings — the LNT
+  // cannot be a constant function of its input.
+  util::Rng rng(4);
+  models::LNT lnt(16, 2, 2, 2, rng);
+  auto a = Tensor::randn({1, 16, pc::kTokenFeatureDim}, rng, 0.3f);
+  auto b = Tensor::randn({1, 16, pc::kTokenFeatureDim}, rng, 0.3f);
+  auto ya = lnt.forward(a);
+  auto yb = lnt.forward(b);
+  double diff = 0;
+  for (std::size_t i = 0; i < ya.numel(); ++i)
+    diff += std::abs(static_cast<double>(ya.data()[i]) - yb.data()[i]);
+  EXPECT_GT(diff / static_cast<double>(ya.numel()), 1e-3);
+}
+
+TEST(Fusion, OutputShapeAndNetlistInfluence) {
+  util::Rng rng(5);
+  models::FusionModule fusion(16, 2, rng);
+  auto circ = Tensor::randn({1, 9, 16}, rng, 0.5f);
+  auto net_a = Tensor::randn({1, 32, 16}, rng, 0.5f);
+  auto net_b = Tensor::randn({1, 32, 16}, rng, 0.5f);
+  auto ya = fusion.forward(circ, net_a);
+  auto yb = fusion.forward(circ, net_b);
+  EXPECT_EQ(ya.shape(), circ.shape());
+  // Cross-attention must propagate netlist information.
+  double diff = 0;
+  for (std::size_t i = 0; i < ya.numel(); ++i)
+    diff += std::abs(static_cast<double>(ya.data()[i]) - yb.data()[i]);
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(Encoder, SkipResolutionsHalve) {
+  util::Rng rng(6);
+  models::CircuitEncoder enc(6, 8, 3, rng);
+  auto x = Tensor::randn({1, 6, 32, 32}, rng, 0.3f);
+  auto out = enc.forward(x);
+  ASSERT_EQ(out.skips.size(), 3u);
+  EXPECT_EQ(out.skips[0].dim(2), 32);
+  EXPECT_EQ(out.skips[1].dim(2), 16);
+  EXPECT_EQ(out.skips[2].dim(2), 8);
+  EXPECT_EQ(out.bottleneck.dim(2), 4);
+  EXPECT_EQ(out.bottleneck.dim(1), enc.bottleneck_channels());
+}
+
+TEST(Decoder, StageDoublesResolutionAndFusesSkip) {
+  util::Rng rng(7);
+  models::DecoderStage stage(16, 8, /*attention_gate=*/true, rng);
+  auto x = Tensor::randn({1, 16, 4, 4}, rng, 0.3f);
+  auto skip = Tensor::randn({1, 8, 8, 8}, rng, 0.3f);
+  auto y = stage.forward(x, skip);
+  EXPECT_EQ(y.shape(), (Shape{1, 8, 8, 8}));
+}
+
+TEST(ConvBnRelu, OutputNonNegative) {
+  util::Rng rng(8);
+  models::ConvBnRelu block(3, 4, 3, rng);
+  auto x = Tensor::randn({2, 3, 6, 6}, rng);
+  auto y = block.forward(x);
+  for (float v : y.data()) EXPECT_GE(v, 0.0f);
+}
+
+}  // namespace

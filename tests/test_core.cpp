@@ -1,0 +1,93 @@
+// core::Pipeline: environment-variable configuration and facade plumbing.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/pipeline.hpp"
+
+namespace {
+
+using namespace lmmir;
+
+/// RAII environment variable override.
+class EnvVar {
+ public:
+  EnvVar(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old) saved_ = old;
+    had_ = old != nullptr;
+    ::setenv(name, value, 1);
+  }
+  ~EnvVar() {
+    if (had_) ::setenv(name_, saved_.c_str(), 1);
+    else ::unsetenv(name_);
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(PipelineEnv, DefaultsWhenUnset) {
+  ::unsetenv("LMMIR_INPUT_SIDE");
+  ::unsetenv("LMMIR_EPOCHS");
+  const auto o = core::PipelineOptions::from_environment();
+  EXPECT_EQ(o.sample.input_side, 48u);
+  EXPECT_EQ(o.sample.pc_grid, 8);
+  EXPECT_EQ(o.train.finetune_epochs, 55);
+  EXPECT_GT(o.fake_cases, 0);
+}
+
+TEST(PipelineEnv, OverridesApply) {
+  EnvVar side("LMMIR_INPUT_SIDE", "32");
+  EnvVar epochs("LMMIR_EPOCHS", "7");
+  EnvVar scale("LMMIR_SCALE", "0.05");
+  EnvVar seed("LMMIR_SEED", "99");
+  const auto o = core::PipelineOptions::from_environment();
+  EXPECT_EQ(o.sample.input_side, 32u);
+  EXPECT_EQ(o.train.finetune_epochs, 7);
+  EXPECT_DOUBLE_EQ(o.suite_scale, 0.05);
+  EXPECT_EQ(o.seed, 99u);
+  EXPECT_EQ(o.train.seed, 100u);  // derived, offset from master seed
+}
+
+TEST(PipelineEnv, MalformedValuesFallBack) {
+  EnvVar side("LMMIR_INPUT_SIDE", "abc");
+  EnvVar scale("LMMIR_SCALE", "0.1x");
+  const auto o = core::PipelineOptions::from_environment();
+  EXPECT_EQ(o.sample.input_side, 48u);
+  EXPECT_DOUBLE_EQ(o.suite_scale, 0.09);
+}
+
+TEST(Pipeline, OptionsAccessibleAndStable) {
+  core::PipelineOptions o;
+  o.sample.input_side = 16;
+  o.fake_cases = 2;
+  core::Pipeline pipe(o);
+  EXPECT_EQ(pipe.options().sample.input_side, 16u);
+  EXPECT_EQ(pipe.train_config().finetune_epochs, o.train.finetune_epochs);
+}
+
+TEST(Pipeline, HiddenTestsetRespectsScale) {
+  core::PipelineOptions o;
+  o.sample.input_side = 16;
+  o.sample.pc_grid = 4;
+  // 0.08 keeps every scaled side above the generator's 24 µm floor so the
+  // Table-II size ordering is observable.
+  o.suite_scale = 0.08;
+  core::Pipeline pipe(o);
+  const auto tests = pipe.build_hidden_testset();
+  ASSERT_EQ(tests.size(), 10u);
+  // Sizes ordered as in Table II: tc13/14 smallest, tc19/20 largest.
+  EXPECT_LT(tests[4].truth_full.rows(), tests[0].truth_full.rows());
+  EXPECT_LE(tests[2].truth_full.rows(), tests[8].truth_full.rows());
+}
+
+TEST(Pipeline, MissingNetlistFileThrows) {
+  core::Pipeline pipe(core::PipelineOptions{});
+  EXPECT_THROW(pipe.sample_from_netlist_file("does_not_exist.sp"),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// data: sample assembly, dataset over-sampling, batching, augmentation.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "data/dataset.hpp"
+#include "features/contest_io.hpp"
+#include "gen/began.hpp"
+#include "pdn/circuit.hpp"
+#include "pdn/raster.hpp"
+#include "pdn/solver.hpp"
+#include "pointcloud/pool.hpp"
+
+namespace {
+
+using namespace lmmir;
+
+data::SampleOptions tiny_opts() {
+  data::SampleOptions o;
+  o.input_side = 24;
+  o.pc_grid = 4;
+  return o;
+}
+
+gen::GeneratorConfig tiny_case(std::uint64_t seed = 31) {
+  gen::GeneratorConfig cfg;
+  cfg.name = "tiny";
+  cfg.width_um = 28;
+  cfg.height_um = 28;
+  cfg.seed = seed;
+  cfg.use_default_stack();
+  return cfg;
+}
+
+TEST(Sample, ShapesAndMetadata) {
+  const auto s = data::make_sample(tiny_case(), tiny_opts());
+  EXPECT_EQ(s.circuit.shape(), (tensor::Shape{6, 24, 24}));
+  EXPECT_EQ(s.tokens.shape(), (tensor::Shape{16, pc::kTokenFeatureDim}));
+  EXPECT_EQ(s.target.shape(), (tensor::Shape{1, 24, 24}));
+  EXPECT_GT(s.vdd, 0.0);
+  EXPECT_GT(s.node_count, 0u);
+  EXPECT_EQ(s.truth_full.rows(), 28u);
+  EXPECT_GE(s.golden_solve_seconds, 0.0);
+}
+
+TEST(Sample, TargetScaleInvertible) {
+  const auto s = data::make_sample(tiny_case(), tiny_opts());
+  // truth_full is percent; target is percent * kTargetScale, pad region 0.
+  float max_target = 0;
+  for (float v : s.target.data()) max_target = std::max(max_target, v);
+  EXPECT_NEAR(max_target / data::kTargetScale, s.truth_full.max(), 0.05f);
+}
+
+TEST(Sample, PadVsScalePath) {
+  auto opts = tiny_opts();
+  // 28 µm die, side 24: scaled; side 48: padded.
+  const auto scaled = data::make_sample(tiny_case(), opts);
+  EXPECT_TRUE(scaled.adjust.scaled);
+  opts.input_side = 48;
+  const auto padded = data::make_sample(tiny_case(), opts);
+  EXPECT_FALSE(padded.adjust.scaled);
+  EXPECT_EQ(padded.circuit.shape()[1], 48);
+}
+
+TEST(Sample, MaeUnitConversion) {
+  // 1% of 1.1 V = 0.011 V = 110 x 1e-4 V.
+  EXPECT_NEAR(data::percent_mae_to_1e4_volts(1.0, 1.1), 110.0, 1e-9);
+}
+
+TEST(Dataset, OversamplingCounts) {
+  data::DatasetOptions opts;
+  opts.sample = tiny_opts();
+  opts.fake_cases = 3;
+  opts.real_cases = 2;
+  opts.fake_oversample = 2;
+  opts.real_oversample = 5;
+  opts.suite_scale = 0.05;
+  const auto ds = data::build_training_dataset(opts);
+  EXPECT_EQ(ds.case_count(), 5u);
+  EXPECT_EQ(ds.epoch_size(), 3u * 2u + 2u * 5u);
+  for (std::size_t idx : ds.epoch) EXPECT_LT(idx, ds.samples.size());
+}
+
+TEST(Dataset, Table2TestsetNamesAndOrder) {
+  const auto tests = data::build_table2_testset(tiny_opts(), 0.05);
+  ASSERT_EQ(tests.size(), 10u);
+  EXPECT_EQ(tests.front().name, "testcase7");
+  EXPECT_EQ(tests.back().name, "testcase20");
+}
+
+TEST(Batch, StacksSamples) {
+  const auto s1 = data::make_sample(tiny_case(1), tiny_opts());
+  const auto s2 = data::make_sample(tiny_case(2), tiny_opts());
+  util::Rng rng(5);
+  const auto b = data::make_batch({s1, s2}, {0, 1}, 0.0f, rng);
+  EXPECT_EQ(b.circuit.shape(), (tensor::Shape{2, 6, 24, 24}));
+  EXPECT_EQ(b.tokens.shape(), (tensor::Shape{2, 16, pc::kTokenFeatureDim}));
+  EXPECT_EQ(b.target.shape(), (tensor::Shape{2, 1, 24, 24}));
+  // First sample occupies the first block unchanged (no noise).
+  for (std::size_t i = 0; i < s1.circuit.numel(); ++i)
+    EXPECT_FLOAT_EQ(b.circuit.data()[i], s1.circuit.data()[i]);
+}
+
+TEST(Batch, NoiseAugmentationPerturbsOnlyCircuit) {
+  const auto s = data::make_sample(tiny_case(3), tiny_opts());
+  util::Rng rng(6);
+  const auto clean = data::make_batch({s}, {0}, 0.0f, rng);
+  const auto noisy = data::make_batch({s}, {0}, 1e-3f, rng);
+  double diff = 0;
+  for (std::size_t i = 0; i < clean.circuit.numel(); ++i)
+    diff += std::abs(static_cast<double>(clean.circuit.data()[i]) -
+                     noisy.circuit.data()[i]);
+  EXPECT_GT(diff, 0.0);
+  for (std::size_t i = 0; i < clean.target.numel(); ++i)
+    EXPECT_FLOAT_EQ(clean.target.data()[i], noisy.target.data()[i]);
+}
+
+TEST(Batch, EmptyIndicesRejected) {
+  util::Rng rng(7);
+  EXPECT_THROW(data::make_batch({}, {}, 0.0f, rng), std::invalid_argument);
+}
+
+TEST(Sample, ContestDirectoryIngestion) {
+  // Export a generated case in contest format, re-ingest it, and check the
+  // provided ground truth + maps drive the sample.
+  const auto cfg = tiny_case(41);
+  const auto nl = gen::generate_pdn(cfg);
+  const auto sol = pdn::solve_ir_drop(pdn::Circuit(nl));
+  const auto ir = pdn::rasterize_ir_drop(nl, sol);
+  const auto maps = feat::compute_feature_maps(nl);
+  const std::string dir = "contest_sample_tmp";
+  feat::write_contest_case(dir, nl, maps, ir);
+
+  const auto s = data::make_sample_from_contest_dir(dir, tiny_opts());
+  const auto direct = data::make_sample(nl, "direct", tiny_opts());
+  // Same ground truth (volts -> percent) up to CSV round-off.
+  EXPECT_NEAR(s.truth_full.max(), direct.truth_full.max(), 0.05f);
+  EXPECT_EQ(s.circuit.shape(), direct.circuit.shape());
+  // Channels 0-2 come from the CSVs; they match the direct build closely.
+  double diff = 0;
+  for (std::size_t i = 0; i < 3u * 24u * 24u; ++i)
+    diff += std::abs(static_cast<double>(s.circuit.data()[i]) -
+                     direct.circuit.data()[i]);
+  EXPECT_LT(diff / (3.0 * 24 * 24), 1e-3);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SliceChannels, SelectsLeadingChannels) {
+  const auto s = data::make_sample(tiny_case(4), tiny_opts());
+  util::Rng rng(8);
+  const auto b = data::make_batch({s}, {0}, 0.0f, rng);
+  const auto three = data::slice_channels(b.circuit, 3);
+  EXPECT_EQ(three.shape(), (tensor::Shape{1, 3, 24, 24}));
+  // Channel 0 (current map) preserved exactly.
+  for (int i = 0; i < 24 * 24; ++i)
+    EXPECT_FLOAT_EQ(three.data()[static_cast<std::size_t>(i)],
+                    b.circuit.data()[static_cast<std::size_t>(i)]);
+  const auto all = data::slice_channels(b.circuit, 6);
+  EXPECT_EQ(all.shape(), b.circuit.shape());
+  EXPECT_THROW(data::slice_channels(b.circuit, 7), std::invalid_argument);
+  EXPECT_THROW(data::slice_channels(b.circuit, 0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// eval: F1 hotspot metric semantics, MAE, degenerate cases.
+#include <gtest/gtest.h>
+
+#include "eval/metrics.hpp"
+
+namespace {
+
+using lmmir::eval::compute_metrics;
+using lmmir::grid::Grid2D;
+
+Grid2D make(std::initializer_list<float> values, std::size_t cols) {
+  Grid2D g(values.size() / cols, cols);
+  std::size_t i = 0;
+  for (float v : values) g.data()[i++] = v;
+  return g;
+}
+
+TEST(Metrics, PerfectPrediction) {
+  const Grid2D t = make({0.1f, 0.2f, 0.9f, 1.0f}, 2);
+  const auto m = compute_metrics(t, t);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  // Threshold 0.9: only the 1.0 cell is positive.
+  EXPECT_EQ(m.tp, 1u);
+  EXPECT_EQ(m.tn, 3u);
+}
+
+TEST(Metrics, CountsConfusionQuadrants) {
+  const Grid2D truth = make({1.0f, 0.95f, 0.5f, 0.1f}, 2);  // pos: 1.0, 0.95
+  const Grid2D pred = make({1.0f, 0.5f, 0.95f, 0.1f}, 2);   // pred pos: 1.0, 0.95@(1,0)
+  const auto m = compute_metrics(pred, truth);
+  EXPECT_EQ(m.tp, 1u);
+  EXPECT_EQ(m.fn, 1u);
+  EXPECT_EQ(m.fp, 1u);
+  EXPECT_EQ(m.tn, 1u);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  EXPECT_DOUBLE_EQ(m.f1, 0.5);
+}
+
+TEST(Metrics, MaeIsMeanAbsolute) {
+  const Grid2D truth = make({1.0f, 2.0f}, 2);
+  const Grid2D pred = make({1.5f, 1.0f}, 2);
+  const auto m = compute_metrics(pred, truth);
+  EXPECT_NEAR(m.mae, 0.75, 1e-9);
+}
+
+TEST(Metrics, UnderPredictionKillsRecall) {
+  const Grid2D truth = make({1.0f, 0.95f, 0.2f, 0.1f}, 2);
+  const Grid2D pred = make({0.5f, 0.5f, 0.2f, 0.1f}, 2);  // misses hotspots
+  const auto m = compute_metrics(pred, truth);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(Metrics, ThresholdFractionConfigurable) {
+  const Grid2D truth = make({1.0f, 0.6f, 0.2f, 0.0f}, 2);
+  const auto strict = compute_metrics(truth, truth, 0.9);
+  const auto loose = compute_metrics(truth, truth, 0.5);
+  EXPECT_EQ(strict.tp, 1u);
+  EXPECT_EQ(loose.tp, 2u);
+}
+
+TEST(Metrics, ShapeMismatchThrows) {
+  const Grid2D a(2, 2), b(2, 3);
+  EXPECT_THROW(compute_metrics(a, b), std::invalid_argument);
+}
+
+TEST(Metrics, PearsonCorrelation) {
+  const Grid2D a = make({1.0f, 2.0f, 3.0f, 4.0f}, 2);
+  // Perfect positive correlation with itself.
+  EXPECT_NEAR(lmmir::eval::pearson_cc(a, a), 1.0, 1e-12);
+  // Perfect negative correlation with its negation.
+  Grid2D neg = a;
+  neg.scale(-1.0f);
+  EXPECT_NEAR(lmmir::eval::pearson_cc(a, neg), -1.0, 1e-12);
+  // Constant field: defined as 0.
+  const Grid2D constant(2, 2, 3.0f);
+  EXPECT_DOUBLE_EQ(lmmir::eval::pearson_cc(a, constant), 0.0);
+  // Shape mismatch throws.
+  EXPECT_THROW(lmmir::eval::pearson_cc(a, Grid2D(3, 3)), std::invalid_argument);
+  // compute_metrics fills cc.
+  const auto m = compute_metrics(a, a);
+  EXPECT_NEAR(m.cc, 1.0, 1e-12);
+}
+
+TEST(Metrics, AllZeroTruthDegenerate) {
+  const Grid2D truth(2, 2, 0.0f);
+  const Grid2D pred(2, 2, 0.0f);
+  const auto m = compute_metrics(pred, truth);
+  // No positives anywhere: F1 defined as 0 (threshold 0, nothing above it).
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+  EXPECT_EQ(m.tp, 0u);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+}
+
+}  // namespace

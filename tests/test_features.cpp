@@ -1,0 +1,171 @@
+// features: the six circuit maps, spatial pad/scale rule, contest I/O.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "features/contest_io.hpp"
+#include "features/maps.hpp"
+#include "features/spatial.hpp"
+#include "gen/began.hpp"
+#include "pdn/circuit.hpp"
+#include "pdn/raster.hpp"
+#include "pdn/solver.hpp"
+#include "spice/parser.hpp"
+
+namespace {
+
+using namespace lmmir;
+
+spice::Netlist tiny_netlist() {
+  return spice::parse_netlist_string(
+      "V1 n1_m2_4000_4000 0 1.1\n"
+      "R1 n1_m2_4000_4000 n1_m1_0_0 1.0\n"
+      "R2 n1_m1_0_0 n1_m1_4000_0 2.0\n"
+      "I1 n1_m1_0_0 0 0.05\n"
+      "I2 n1_m1_4000_0 0 0.02\n");
+}
+
+TEST(Maps, CurrentMapSumsSources) {
+  const auto nl = tiny_netlist();
+  const auto map = feat::current_map(nl);
+  EXPECT_EQ(map.rows(), 5u);
+  EXPECT_EQ(map.cols(), 5u);
+  EXPECT_NEAR(map.sum(), 0.07f, 1e-6f);
+  EXPECT_NEAR(map.at(0, 0), 0.05f, 1e-6f);
+  EXPECT_NEAR(map.at(0, 4), 0.02f, 1e-6f);
+}
+
+TEST(Maps, EffectiveDistanceIsZeroishAtSourceAndGrowsAway) {
+  const auto nl = tiny_netlist();
+  const auto map = feat::effective_distance_map(nl);
+  // d floored at 1 px at the bump location.
+  EXPECT_NEAR(map.at(4, 4), 1.0f, 1e-5f);
+  EXPECT_GT(map.at(0, 0), map.at(4, 4));
+}
+
+TEST(Maps, EffectiveDistanceMultipleSourcesHarmonic) {
+  const auto nl = spice::parse_netlist_string(
+      "V1 n1_m1_0_0 0 1.0\n"
+      "V2 n1_m1_2000_0 0 1.0\n"
+      "R1 n1_m1_0_0 n1_m1_2000_0 1.0\n");
+  const auto map = feat::effective_distance_map(nl);
+  // Midpoint pixel (0,1): distances 1 and 1 -> 1/(1+1) = 0.5.
+  EXPECT_NEAR(map.at(0, 1), 0.5f, 1e-5f);
+}
+
+TEST(Maps, VoltageAndCurrentSourceMaps) {
+  const auto nl = tiny_netlist();
+  const auto v = feat::voltage_source_map(nl);
+  EXPECT_NEAR(v.at(4, 4), 1.1f, 1e-6f);
+  EXPECT_FLOAT_EQ(v.at(0, 0), 0.0f);
+  const auto i = feat::current_source_map(nl);
+  EXPECT_NEAR(i.at(0, 0), 0.05f, 1e-6f);
+}
+
+TEST(Maps, ResistanceMapSpreadsAlongSegment) {
+  const auto nl = tiny_netlist();
+  const auto r = feat::resistance_map(nl);
+  // Total resistance mass preserved (3 ohms across both resistors).
+  EXPECT_NEAR(r.sum(), 3.0f, 1e-4f);
+  // The horizontal R2 (2 ohm, pixels (0,0)..(0,4)) leaves mass midway.
+  EXPECT_GT(r.at(0, 2), 0.0f);
+}
+
+TEST(Maps, PdnDensityHigherAlongStripes) {
+  const auto nl = tiny_netlist();
+  const auto d = feat::pdn_density_map(nl);
+  EXPECT_GT(d.sum(), 0.0f);
+  // Row 0 holds the m1 stripe: denser than the far empty corner row.
+  EXPECT_GT(d.at(0, 2), d.at(2, 2));
+}
+
+TEST(Maps, AllSixChannelsShareShape) {
+  const auto nl = tiny_netlist();
+  const auto maps = feat::compute_feature_maps(nl);
+  for (int c = 0; c < feat::kChannelCount; ++c) {
+    EXPECT_EQ(maps.channel(c).rows(), 5u) << c;
+    EXPECT_EQ(maps.channel(c).cols(), 5u) << c;
+  }
+  EXPECT_THROW(maps.channel(6), std::out_of_range);
+}
+
+TEST(Spatial, PadsWhenSmaller) {
+  grid::Grid2D g(3, 5, 2.0f);
+  feat::AdjustInfo info;
+  const auto adj = feat::adjust_to_side(g, 8, info);
+  EXPECT_FALSE(info.scaled);
+  EXPECT_EQ(adj.rows(), 8u);
+  EXPECT_FLOAT_EQ(adj.at(2, 4), 2.0f);
+  EXPECT_FLOAT_EQ(adj.at(7, 7), 0.0f);
+  const auto back = feat::restore_from_side(adj, info);
+  EXPECT_EQ(back.rows(), 3u);
+  EXPECT_EQ(back.cols(), 5u);
+  EXPECT_FLOAT_EQ(back.at(2, 4), 2.0f);
+}
+
+TEST(Spatial, ScalesWhenLarger) {
+  grid::Grid2D g(16, 16);
+  for (std::size_t r = 0; r < 16; ++r)
+    for (std::size_t c = 0; c < 16; ++c)
+      g.at(r, c) = static_cast<float>(r + c);
+  feat::AdjustInfo info;
+  const auto adj = feat::adjust_to_side(g, 8, info);
+  EXPECT_TRUE(info.scaled);
+  EXPECT_EQ(adj.rows(), 8u);
+  const auto back = feat::restore_from_side(adj, info);
+  EXPECT_EQ(back.rows(), 16u);
+  EXPECT_LT(grid::mean_abs_diff(g, back), 0.5f);
+}
+
+TEST(Spatial, RestoreValidatesSide) {
+  feat::AdjustInfo info;
+  info.orig_rows = 4;
+  info.orig_cols = 4;
+  info.side = 8;
+  grid::Grid2D wrong(5, 5);
+  EXPECT_THROW(feat::restore_from_side(wrong, info), std::invalid_argument);
+}
+
+TEST(Spatial, FixedChannelScalesPositive) {
+  for (int c = 0; c < feat::kChannelCount; ++c)
+    EXPECT_GT(feat::channel_fixed_scale(c), 0.0f) << c;
+  EXPECT_THROW(feat::channel_fixed_scale(17), std::invalid_argument);
+}
+
+TEST(Spatial, NormalizeChannelMinMax) {
+  grid::Grid2D g(2, 2);
+  g.at(0, 0) = 1.0f;
+  g.at(1, 1) = 3.0f;
+  feat::ChannelNorm norm;
+  const auto n = feat::normalize_channel(g, norm);
+  EXPECT_FLOAT_EQ(norm.lo, 0.0f);  // min of {1,0,0,3}
+  EXPECT_FLOAT_EQ(norm.hi, 3.0f);
+  EXPECT_FLOAT_EQ(n.max(), 1.0f);
+}
+
+TEST(ContestIo, WriteReadRoundTrip) {
+  gen::GeneratorConfig cfg;
+  cfg.name = "io";
+  cfg.width_um = 24;
+  cfg.height_um = 24;
+  cfg.seed = 21;
+  cfg.use_default_stack();
+  const auto nl = gen::generate_pdn(cfg);
+  const auto sol = pdn::solve_ir_drop(pdn::Circuit(nl));
+  const auto ir = pdn::rasterize_ir_drop(nl, sol);
+  const auto maps = feat::compute_feature_maps(nl);
+
+  const std::string dir = "contest_io_tmp";
+  feat::write_contest_case(dir, nl, maps, ir);
+  const auto back = feat::read_contest_case(dir);
+  EXPECT_EQ(back.netlist.node_count(), nl.node_count());
+  EXPECT_EQ(back.current.rows(), maps.current.rows());
+  EXPECT_LT(grid::mean_abs_diff(back.ir_drop, ir), 1e-4f);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ContestIo, MissingDirectoryThrows) {
+  EXPECT_THROW(feat::read_contest_case("no_such_dir_xyz"), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+// gen: synthetic PDN generator invariants — structure, determinism,
+// current conservation, solvability, suite properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/began.hpp"
+#include "gen/suite.hpp"
+#include "pdn/circuit.hpp"
+#include "pdn/solver.hpp"
+#include "spice/writer.hpp"
+#include "spice/parser.hpp"
+
+namespace {
+
+using namespace lmmir;
+using gen::GeneratorConfig;
+
+GeneratorConfig small_config(std::uint64_t seed = 5) {
+  GeneratorConfig cfg;
+  cfg.name = "t";
+  cfg.width_um = 32;
+  cfg.height_um = 32;
+  cfg.seed = seed;
+  cfg.use_default_stack();
+  return cfg;
+}
+
+TEST(Generator, Deterministic) {
+  const auto a = gen::generate_pdn(small_config(9));
+  const auto b = gen::generate_pdn(small_config(9));
+  EXPECT_EQ(spice::write_netlist_string(a), spice::write_netlist_string(b));
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const auto a = gen::generate_pdn(small_config(1));
+  const auto b = gen::generate_pdn(small_config(2));
+  EXPECT_NE(spice::write_netlist_string(a), spice::write_netlist_string(b));
+}
+
+TEST(Generator, CurrentBudgetConserved) {
+  auto cfg = small_config();
+  cfg.total_current = 0.25;
+  const auto nl = gen::generate_pdn(cfg);
+  double total = 0.0;
+  for (const auto& e : nl.elements())
+    if (e.type == spice::ElementType::CurrentSource) total += e.value;
+  EXPECT_NEAR(total, 0.25, 1e-4);
+}
+
+TEST(Generator, HasAllElementKinds) {
+  const auto nl = gen::generate_pdn(small_config());
+  EXPECT_GT(nl.count(spice::ElementType::Resistor), 0u);
+  EXPECT_GT(nl.count(spice::ElementType::CurrentSource), 0u);
+  EXPECT_GT(nl.count(spice::ElementType::VoltageSource), 0u);
+  EXPECT_EQ(nl.max_layer(), 4);
+}
+
+TEST(Generator, ContainsVias) {
+  const auto nl = gen::generate_pdn(small_config());
+  std::size_t vias = 0;
+  for (const auto& e : nl.elements()) {
+    if (e.type != spice::ElementType::Resistor) continue;
+    const auto& n1 = nl.node(e.node1);
+    const auto& n2 = nl.node(e.node2);
+    if (n1.parsed && n2.parsed && n1.parsed->layer != n2.parsed->layer) ++vias;
+  }
+  EXPECT_GT(vias, 0u);
+}
+
+TEST(Generator, FullyPoweredAndSolvable) {
+  const auto nl = gen::generate_pdn(small_config());
+  const pdn::Circuit circuit(nl);
+  EXPECT_EQ(circuit.unpowered_node_count(), 0u);
+  const auto sol = pdn::solve_ir_drop(circuit);
+  ASSERT_TRUE(sol.converged);
+  EXPECT_GT(sol.worst_drop, 0.0);
+  EXPECT_LT(sol.worst_drop, circuit.vdd());  // physically sane
+}
+
+TEST(Generator, RoundTripsThroughSpiceText) {
+  const auto nl = gen::generate_pdn(small_config());
+  const auto back = spice::parse_netlist_string(spice::write_netlist_string(nl));
+  EXPECT_EQ(back.node_count(), nl.node_count());
+  EXPECT_EQ(back.element_count(), nl.element_count());
+}
+
+TEST(Generator, ValidatesConfig) {
+  auto cfg = small_config();
+  cfg.layers.clear();
+  EXPECT_THROW(gen::generate_pdn(cfg), std::invalid_argument);
+
+  cfg = small_config();
+  cfg.layers[1].dir = cfg.layers[0].dir;  // non-alternating
+  EXPECT_THROW(gen::generate_pdn(cfg), std::invalid_argument);
+
+  cfg = small_config();
+  cfg.layers[0].pitch_um = -1.0;
+  EXPECT_THROW(gen::generate_pdn(cfg), std::invalid_argument);
+
+  cfg = small_config();
+  cfg.vdd = 0.0;
+  EXPECT_THROW(gen::generate_pdn(cfg), std::invalid_argument);
+}
+
+TEST(Generator, CurrentMapMatchesBudgetAndShape) {
+  auto cfg = small_config();
+  cfg.total_current = 0.5;
+  // Tight hotspots relative to the die so peakiness is measurable.
+  cfg.n_hotspots = 2;
+  cfg.hotspot_sigma_min_um = 2.0;
+  cfg.hotspot_sigma_max_um = 3.0;
+  cfg.background_fraction = 0.2;
+  util::Rng rng(3);
+  const auto map = gen::synth_current_map(cfg, rng);
+  EXPECT_EQ(map.rows(), 32u);
+  EXPECT_EQ(map.cols(), 32u);
+  EXPECT_NEAR(map.sum(), 0.5f, 1e-3f);
+  EXPECT_GE(map.min(), 0.0f);
+  // Hotspots exist: peak well above the uniform level.
+  EXPECT_GT(map.max(), 3.0f * map.mean());
+}
+
+TEST(Suite, Table2HasTenNamedCases) {
+  const auto suite = gen::table2_suite();
+  ASSERT_EQ(suite.size(), 10u);
+  EXPECT_EQ(suite.front().name, "testcase7");
+  EXPECT_EQ(suite.back().name, "testcase20");
+  // Sizes follow the paper's ordering: 13/14 smallest, 19/20 largest.
+  const auto side = [&](int i) { return suite[static_cast<std::size_t>(i)].width_um; };
+  EXPECT_LT(side(4), side(0));  // tc13 < tc7
+  EXPECT_LT(side(0), side(2));  // tc7 < tc9
+  EXPECT_LT(side(2), side(8) + 1e-9);  // tc9 <= tc19
+}
+
+TEST(Suite, ScaleControlsSize) {
+  gen::SuiteOptions small;
+  small.scale = 0.05;
+  gen::SuiteOptions large;
+  large.scale = 0.125;
+  const auto s = gen::table2_suite(small);
+  const auto l = gen::table2_suite(large);
+  for (std::size_t i = 0; i < s.size(); ++i)
+    EXPECT_LE(s[i].width_um, l[i].width_um);
+}
+
+TEST(Suite, TrainingSuitesAreDistinctAndSolvable) {
+  const auto fakes = gen::fake_training_suite(3, 11);
+  const auto reals = gen::real_training_suite(2, 12);
+  ASSERT_EQ(fakes.size(), 3u);
+  ASSERT_EQ(reals.size(), 2u);
+  for (const auto& cfg : fakes) {
+    const auto nl = gen::generate_pdn(cfg);
+    const auto sol = pdn::solve_ir_drop(pdn::Circuit(nl));
+    EXPECT_TRUE(sol.converged) << cfg.name;
+  }
+}
+
+TEST(Suite, OffDistributionCasesUseDifferentStack) {
+  const auto suite = gen::table2_suite();
+  const auto& tc13 = suite[4];
+  const auto& tc7 = suite[0];
+  EXPECT_NE(tc13.layers.size(), tc7.layers.size());
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// Integration: the full pipeline end to end — generate -> SPICE text ->
+// parse -> features + point cloud -> golden solve -> train -> predict ->
+// score; plus the core::Pipeline facade and cross-module consistency.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/pipeline.hpp"
+#include "models/lmmir_model.hpp"
+#include "pdn/circuit.hpp"
+#include "pdn/raster.hpp"
+#include "pdn/solver.hpp"
+#include "spice/parser.hpp"
+#include "spice/writer.hpp"
+
+namespace {
+
+using namespace lmmir;
+
+core::PipelineOptions tiny_pipeline_options() {
+  core::PipelineOptions o;
+  o.sample.input_side = 16;
+  o.sample.pc_grid = 4;
+  o.suite_scale = 0.04;
+  o.fake_cases = 3;
+  o.real_cases = 1;
+  o.train.pretrain_epochs = 1;
+  o.train.finetune_epochs = 3;
+  o.train.batch_size = 2;
+  return o;
+}
+
+TEST(Integration, NetlistFileRoundTripThroughPipeline) {
+  // Generated netlist -> disk -> Pipeline::sample_from_netlist_file
+  // produces the identical sample a direct build would.
+  gen::GeneratorConfig cfg;
+  cfg.name = "roundtrip";
+  cfg.width_um = 20;
+  cfg.height_um = 20;
+  cfg.seed = 77;
+  cfg.use_default_stack();
+  const auto nl = gen::generate_pdn(cfg);
+  const std::string path = "integration_tmp.sp";
+  spice::write_netlist_file(path, nl);
+
+  core::Pipeline pipe(tiny_pipeline_options());
+  const auto from_file = pipe.sample_from_netlist_file(path);
+  const auto direct = data::make_sample(nl, path, pipe.options().sample);
+  ASSERT_EQ(from_file.circuit.numel(), direct.circuit.numel());
+  for (std::size_t i = 0; i < direct.circuit.numel(); ++i)
+    EXPECT_FLOAT_EQ(from_file.circuit.data()[i], direct.circuit.data()[i]);
+  for (std::size_t i = 0; i < direct.tokens.numel(); ++i)
+    EXPECT_FLOAT_EQ(from_file.tokens.data()[i], direct.tokens.data()[i]);
+  EXPECT_NEAR(from_file.truth_full.max(), direct.truth_full.max(), 1e-6f);
+  std::filesystem::remove(path);
+}
+
+TEST(Integration, GoldenSolverConsistentAcrossSerialization) {
+  gen::GeneratorConfig cfg;
+  cfg.name = "solver_consistency";
+  cfg.width_um = 24;
+  cfg.height_um = 24;
+  cfg.seed = 13;
+  cfg.use_default_stack();
+  const auto nl = gen::generate_pdn(cfg);
+  const auto reparsed = spice::parse_netlist_string(spice::write_netlist_string(nl));
+
+  const auto s1 = pdn::solve_ir_drop(pdn::Circuit(nl));
+  const auto s2 = pdn::solve_ir_drop(pdn::Circuit(reparsed));
+  EXPECT_NEAR(s1.worst_drop, s2.worst_drop, 1e-9);
+  const auto m1 = pdn::rasterize_ir_drop(nl, s1);
+  const auto m2 = pdn::rasterize_ir_drop(reparsed, s2);
+  EXPECT_LT(grid::mean_abs_diff(m1, m2), 1e-7f);
+}
+
+TEST(Integration, TrainPredictScoreEndToEnd) {
+  core::Pipeline pipe(tiny_pipeline_options());
+  const auto ds = pipe.build_training_dataset();
+  ASSERT_EQ(ds.case_count(), 4u);
+
+  models::LmmirConfig mc;
+  mc.base_channels = 4;
+  mc.levels = 2;
+  mc.token_dim = 16;
+  mc.lnt_blocks = 1;
+  models::LMMIR model(mc);
+
+  const auto tests = pipe.build_hidden_testset();
+  ASSERT_EQ(tests.size(), 10u);
+  const auto rows = pipe.train_and_evaluate(model, ds, tests);
+  ASSERT_EQ(rows.size(), 11u);  // 10 cases + Avg
+  EXPECT_EQ(rows.back().name, "Avg");
+  for (const auto& r : rows) {
+    EXPECT_GE(r.f1, 0.0);
+    EXPECT_LE(r.f1, 1.0);
+    EXPECT_GE(r.mae_1e4_volts, 0.0);
+    EXPECT_LT(r.mae_1e4_volts, 1.1e4);  // below vdd in 1e-4 V units
+  }
+}
+
+TEST(Integration, ExtraAugmentationExtendsEpochOnly) {
+  core::Pipeline pipe(tiny_pipeline_options());
+  const auto ds = pipe.build_training_dataset();
+  models::LmmirConfig mc;
+  mc.base_channels = 4;
+  mc.levels = 2;
+  mc.token_dim = 16;
+  mc.lnt_blocks = 1;
+  models::LMMIR model(mc);
+  const auto tests = pipe.build_hidden_testset();
+  // Factor 1.5 must not throw and must leave the dataset itself intact.
+  const auto rows = pipe.train_and_evaluate(model, ds, tests, 1.5f);
+  EXPECT_EQ(rows.size(), 11u);
+  EXPECT_EQ(ds.epoch_size(), 3u * 2u + 1u * 4u);
+}
+
+TEST(Integration, PredictionIsDeterministicInEval) {
+  core::Pipeline pipe(tiny_pipeline_options());
+  const auto ds = pipe.build_training_dataset();
+  models::LmmirConfig mc;
+  mc.base_channels = 4;
+  mc.levels = 2;
+  mc.token_dim = 16;
+  mc.lnt_blocks = 1;
+  models::LMMIR model(mc);
+  train::fit(model, ds, pipe.train_config());
+
+  const auto p1 = train::predict_map(model, ds.samples[0]);
+  const auto p2 = train::predict_map(model, ds.samples[0]);
+  EXPECT_LT(grid::mean_abs_diff(p1, p2), 1e-9f);
+}
+
+}  // namespace

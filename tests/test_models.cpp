@@ -1,0 +1,177 @@
+// models: forward shapes, ablation switches, capabilities, overfit sanity.
+#include <gtest/gtest.h>
+
+#include "models/contest.hpp"
+#include "models/iredge.hpp"
+#include "models/irpnet.hpp"
+#include "models/lmmir_model.hpp"
+#include "models/registry.hpp"
+#include "nn/optim.hpp"
+#include "pointcloud/pool.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace lmmir;
+using models::LmmirConfig;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor fake_circuit(int batch, int channels, int side, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return Tensor::randn({batch, channels, side, side}, rng, 0.3f);
+}
+
+Tensor fake_tokens(int batch, int grid, std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto t = Tensor::randn({batch, grid * grid, pc::kTokenFeatureDim}, rng, 0.3f);
+  for (auto& v : t.data()) v = std::abs(v);  // encoded features are >= 0
+  return t;
+}
+
+TEST(Lmmir, ForwardShape) {
+  LmmirConfig cfg;
+  models::LMMIR model(cfg);
+  auto y = model.forward(fake_circuit(2, 6, 32, 1), fake_tokens(2, 8, 2));
+  EXPECT_EQ(y.shape(), (Shape{2, 1, 32, 32}));
+}
+
+TEST(Lmmir, RequiresTokensWhenLntEnabled) {
+  LmmirConfig cfg;
+  models::LMMIR model(cfg);
+  EXPECT_THROW(model.forward(fake_circuit(1, 6, 32, 3), Tensor()),
+               std::invalid_argument);
+}
+
+TEST(Lmmir, AblationSwitchesChangeParameterCount) {
+  LmmirConfig united;
+  LmmirConfig no_lnt = united;
+  no_lnt.use_lnt = false;
+  LmmirConfig no_att = united;
+  no_att.use_attention = false;
+  LmmirConfig ec = LmmirConfig::encoder_decoder_only();
+
+  models::LMMIR m_united(united), m_no_lnt(no_lnt), m_no_att(no_att), m_ec(ec);
+  EXPECT_GT(m_united.parameter_count(), m_no_lnt.parameter_count());
+  EXPECT_GT(m_united.parameter_count(), m_no_att.parameter_count());
+  EXPECT_GT(m_no_lnt.parameter_count(), m_ec.parameter_count());
+}
+
+TEST(Lmmir, AblationsStillForward) {
+  for (const bool use_lnt : {false, true}) {
+    for (const bool use_att : {false, true}) {
+      LmmirConfig cfg;
+      cfg.use_lnt = use_lnt;
+      cfg.use_attention = use_att;
+      models::LMMIR model(cfg);
+      auto y = model.forward(fake_circuit(1, 6, 16, 4),
+                             use_lnt ? fake_tokens(1, 8, 5) : Tensor());
+      EXPECT_EQ(y.shape(), (Shape{1, 1, 16, 16}))
+          << "lnt=" << use_lnt << " att=" << use_att;
+    }
+  }
+}
+
+TEST(Lmmir, CapabilitiesReflectConfig) {
+  LmmirConfig united;
+  models::LMMIR m(united);
+  const auto caps = m.capabilities();
+  EXPECT_TRUE(caps.full_netlist);
+  EXPECT_TRUE(caps.multimodal_fusion);
+  EXPECT_TRUE(caps.extra_features);
+  EXPECT_TRUE(caps.global_attention);
+
+  models::LMMIR ec(LmmirConfig::encoder_decoder_only());
+  EXPECT_FALSE(ec.capabilities().full_netlist);
+  EXPECT_FALSE(ec.capabilities().global_attention);
+}
+
+TEST(Baselines, ForwardShapesAndChannels) {
+  models::IREDGe iredge;
+  EXPECT_EQ(iredge.in_channels(), 3);
+  auto y1 = iredge.forward(fake_circuit(1, 3, 32, 6), Tensor());
+  EXPECT_EQ(y1.shape(), (Shape{1, 1, 32, 32}));
+
+  models::IRPnet irp;
+  EXPECT_EQ(irp.in_channels(), 1);
+  auto y2 = irp.forward(fake_circuit(1, 1, 32, 7), Tensor());
+  EXPECT_EQ(y2.shape(), (Shape{1, 1, 32, 32}));
+
+  auto first = models::make_contest_first();
+  auto y3 = first->forward(fake_circuit(1, 6, 32, 8), Tensor());
+  EXPECT_EQ(y3.shape(), (Shape{1, 1, 32, 32}));
+
+  auto second = models::make_contest_second();
+  auto y4 = second->forward(fake_circuit(1, 6, 32, 9), Tensor());
+  EXPECT_EQ(y4.shape(), (Shape{1, 1, 32, 32}));
+}
+
+TEST(Baselines, SizeOrderingMatchesPaperTat) {
+  // 1st place is the heavyweight; 2nd place the lightweight.
+  auto first = models::make_contest_first();
+  auto second = models::make_contest_second();
+  models::IRPnet irp;
+  EXPECT_GT(first->parameter_count(), second->parameter_count());
+  EXPECT_GT(first->parameter_count(), irp.parameter_count());
+}
+
+TEST(Baselines, CapabilitiesMatchTable1) {
+  auto first = models::make_contest_first();
+  EXPECT_FALSE(first->capabilities().full_netlist);
+  EXPECT_FALSE(first->capabilities().multimodal_fusion);
+  EXPECT_TRUE(first->capabilities().extra_features);
+  EXPECT_TRUE(first->capabilities().global_attention);
+
+  models::IREDGe iredge;
+  const auto caps = iredge.capabilities();
+  EXPECT_FALSE(caps.extra_features);
+  EXPECT_FALSE(caps.global_attention);
+}
+
+TEST(Registry, HasAllFiveInPaperOrder) {
+  const auto& reg = models::model_registry();
+  ASSERT_EQ(reg.size(), 5u);
+  EXPECT_EQ(reg[0].name, "1st-Place");
+  EXPECT_EQ(reg[1].name, "2nd-Place");
+  EXPECT_EQ(reg[2].name, "IREDGe");
+  EXPECT_EQ(reg[3].name, "IRPnet");
+  EXPECT_EQ(reg[4].name, "LMM-IR");
+  EXPECT_GT(reg[1].augmentation_factor, 1.0f);  // 2nd place's extra data
+}
+
+TEST(Registry, MakeByNameAndUnknownThrows) {
+  auto m = models::make_model("IREDGe", 77);
+  EXPECT_EQ(m->name(), "IREDGe");
+  EXPECT_THROW(models::make_model("no-such-model"), std::invalid_argument);
+}
+
+TEST(Lmmir, OverfitsOneSample) {
+  // The full multimodal model must be able to drive the loss to ~0 on a
+  // single sample — an end-to-end gradient sanity check.
+  LmmirConfig cfg;
+  cfg.base_channels = 4;
+  cfg.token_dim = 16;
+  cfg.lnt_blocks = 1;
+  models::LMMIR model(cfg);
+  model.set_training(true);
+
+  auto x = fake_circuit(1, 6, 16, 10);
+  auto tok = fake_tokens(1, 8, 11);
+  util::Rng rng(12);
+  auto target = Tensor::randn({1, 1, 16, 16}, rng, 0.1f);
+
+  nn::Adam opt(model.parameters(), 5e-3f);
+  float first_loss = 0, last_loss = 0;
+  for (int step = 0; step < 60; ++step) {
+    opt.zero_grad();
+    auto loss = tensor::mse_loss(model.forward(x, tok), target);
+    loss.backward();
+    opt.step();
+    if (step == 0) first_loss = loss.item();
+    last_loss = loss.item();
+  }
+  EXPECT_LT(last_loss, 0.25f * first_loss)
+      << "first " << first_loss << " last " << last_loss;
+}
+
+}  // namespace

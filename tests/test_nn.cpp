@@ -1,0 +1,223 @@
+// nn: module registry, layers, attention blocks, optimizers, checkpoints.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/attention.hpp"
+#include "nn/layers.hpp"
+#include "nn/optim.hpp"
+#include "nn/serialize.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace lmmir;
+using nn::Tensor;
+
+TEST(Module, ParameterCollectionIsHierarchical) {
+  util::Rng rng(1);
+  nn::Sequential seq;
+  seq.emplace<nn::Linear>(4, 8, rng);
+  seq.emplace<nn::ReLU>();
+  seq.emplace<nn::Linear>(8, 2, rng);
+  const auto params = seq.named_parameters();
+  ASSERT_EQ(params.size(), 4u);  // two weights + two biases
+  EXPECT_EQ(params[0].name, "seq0.weight");
+  EXPECT_EQ(params[3].name, "seq2.bias");
+  EXPECT_EQ(seq.parameter_count(), 4u * 8u + 8u + 8u * 2u + 2u);
+  for (const auto& p : params) EXPECT_TRUE(p.tensor.requires_grad());
+}
+
+TEST(Module, TrainingModePropagates) {
+  util::Rng rng(2);
+  nn::Sequential seq;
+  auto* bn = seq.emplace<nn::BatchNorm2d>(3);
+  seq.set_training(false);
+  EXPECT_FALSE(bn->training());
+  seq.set_training(true);
+  EXPECT_TRUE(bn->training());
+}
+
+TEST(Linear, ShapesAndNoBias) {
+  util::Rng rng(3);
+  nn::Linear l(6, 4, rng, /*bias=*/false);
+  EXPECT_FALSE(l.bias_t.defined());
+  auto y = l.forward(Tensor::zeros({2, 6}));
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 4}));
+  for (float v : y.data()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Conv2d, PaddingPreservesSize) {
+  util::Rng rng(4);
+  nn::Conv2d conv(3, 5, 3, rng, 1, 1);
+  auto y = conv.forward(Tensor::zeros({1, 3, 7, 7}));
+  EXPECT_EQ(y.shape(), (tensor::Shape{1, 5, 7, 7}));
+}
+
+TEST(Conv2d, RectangularKernels) {
+  util::Rng rng(5);
+  nn::Conv2d horiz(1, 1, 1, 5, rng, 1, 0, 2);
+  auto y = horiz.forward(Tensor::zeros({1, 1, 4, 9}));
+  EXPECT_EQ(y.shape(), (tensor::Shape{1, 1, 4, 9}));
+}
+
+TEST(ConvTranspose2d, DoublesSpatialSize) {
+  util::Rng rng(6);
+  nn::ConvTranspose2d up(4, 2, 2, rng, 2);
+  auto y = up.forward(Tensor::zeros({1, 4, 6, 6}));
+  EXPECT_EQ(y.shape(), (tensor::Shape{1, 2, 12, 12}));
+}
+
+TEST(Attention, SelfAttentionShapePreserved) {
+  util::Rng rng(7);
+  nn::MultiHeadAttention attn(16, 4, rng);
+  auto x = Tensor::randn({2, 9, 16}, rng);
+  auto y = attn.forward(x, x);
+  EXPECT_EQ(y.shape(), x.shape());
+  EXPECT_THROW(nn::MultiHeadAttention(15, 4, rng), std::invalid_argument);
+}
+
+TEST(Attention, CrossAttentionDifferentTokenCounts) {
+  util::Rng rng(8);
+  nn::MultiHeadAttention attn(8, 2, rng);
+  auto q = Tensor::randn({1, 5, 8}, rng);
+  auto kv = Tensor::randn({1, 12, 8}, rng);
+  auto y = attn.forward(q, kv);
+  EXPECT_EQ(y.shape(), (tensor::Shape{1, 5, 8}));
+  auto bad = Tensor::randn({2, 12, 8}, rng);
+  EXPECT_THROW(attn.forward(q, bad), std::invalid_argument);
+}
+
+TEST(Attention, TransformerBlockIsResidual) {
+  util::Rng rng(9);
+  nn::TransformerBlock block(8, 2, 2, rng);
+  auto x = Tensor::randn({1, 4, 8}, rng);
+  auto y = block.forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+  // Residual path: output correlates with input (not independent noise).
+  double dot = 0, nx = 0, ny = 0;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    dot += static_cast<double>(x.data()[i]) * y.data()[i];
+    nx += static_cast<double>(x.data()[i]) * x.data()[i];
+    ny += static_cast<double>(y.data()[i]) * y.data()[i];
+  }
+  EXPECT_GT(dot / std::sqrt(nx * ny), 0.3);
+}
+
+TEST(Attention, GateMasksSkip) {
+  util::Rng rng(10);
+  nn::AttentionGate gate(4, 6, 3, rng);
+  auto skip = Tensor::randn({1, 4, 5, 5}, rng);
+  auto g = Tensor::randn({1, 6, 5, 5}, rng);
+  auto y = gate.forward(skip, g);
+  EXPECT_EQ(y.shape(), skip.shape());
+  // Sigmoid gate in (0,1): |gated| <= |skip| elementwise.
+  for (std::size_t i = 0; i < y.numel(); ++i)
+    EXPECT_LE(std::abs(y.data()[i]), std::abs(skip.data()[i]) + 1e-5f);
+}
+
+TEST(Optim, SgdDescendsQuadratic) {
+  auto w = Tensor::from_data({1}, {5.0f}, true);
+  nn::Sgd opt({w}, 0.1f);
+  for (int i = 0; i < 50; ++i) {
+    opt.zero_grad();
+    auto loss = tensor::mul(w, w);
+    auto scalar = tensor::sum_all(loss);
+    scalar.backward();
+    opt.step();
+  }
+  EXPECT_NEAR(w.data()[0], 0.0f, 1e-3f);
+}
+
+TEST(Optim, AdamFitsLinearRegression) {
+  util::Rng rng(11);
+  // y = 2x - 1 from noisy samples.
+  auto x = Tensor::randn({32, 1}, rng);
+  std::vector<float> yv(32);
+  for (int i = 0; i < 32; ++i) yv[static_cast<std::size_t>(i)] =
+      2.0f * x.data()[static_cast<std::size_t>(i)] - 1.0f;
+  auto y = Tensor::from_data({32, 1}, yv);
+
+  nn::Linear model(1, 1, rng);
+  nn::Adam opt(model.parameters(), 0.05f);
+  float final_loss = 1e9f;
+  for (int e = 0; e < 200; ++e) {
+    opt.zero_grad();
+    auto loss = tensor::mse_loss(model.forward(x), y);
+    loss.backward();
+    opt.step();
+    final_loss = loss.item();
+  }
+  EXPECT_LT(final_loss, 1e-3f);
+  EXPECT_NEAR(model.weight.data()[0], 2.0f, 0.1f);
+  EXPECT_NEAR(model.bias_t.data()[0], -1.0f, 0.1f);
+}
+
+TEST(Optim, ClipGradNorm) {
+  auto w = Tensor::from_data({2}, {1.0f, 1.0f}, true);
+  auto loss = tensor::sum_all(tensor::scale(w, 100.0f));
+  loss.backward();
+  const float pre = nn::clip_grad_norm({w}, 1.0f);
+  EXPECT_NEAR(pre, 100.0f * std::sqrt(2.0f), 1e-2f);
+  double post = 0;
+  for (float g : w.grad()) post += static_cast<double>(g) * g;
+  EXPECT_NEAR(std::sqrt(post), 1.0, 1e-4);
+}
+
+TEST(Serialize, RoundTripRestoresParamsAndBuffers) {
+  util::Rng rng(12);
+  nn::Sequential a;
+  a.emplace<nn::Conv2d>(2, 3, 3, rng, 1, 1);
+  a.emplace<nn::BatchNorm2d>(3);
+  // Mutate batch-norm running stats so the buffer payload is non-trivial.
+  auto x = Tensor::randn({2, 2, 4, 4}, rng);
+  a.forward(x);
+
+  const std::string path = "nn_ckpt_tmp.bin";
+  nn::save_checkpoint(a, path);
+
+  util::Rng rng2(999);  // different init: must be overwritten by load
+  nn::Sequential b;
+  b.emplace<nn::Conv2d>(2, 3, 3, rng2, 1, 1);
+  b.emplace<nn::BatchNorm2d>(3);
+  nn::load_checkpoint(b, path);
+
+  const auto pa = a.named_parameters();
+  const auto pb = b.named_parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    EXPECT_EQ(pa[i].tensor.data(), pb[i].tensor.data()) << pa[i].name;
+  const auto ba = a.named_buffers();
+  const auto bb = b.named_buffers();
+  for (std::size_t i = 0; i < ba.size(); ++i)
+    EXPECT_EQ(*ba[i].values, *bb[i].values) << ba[i].name;
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, WrongArchitectureRejected) {
+  util::Rng rng(13);
+  nn::Sequential a;
+  a.emplace<nn::Linear>(4, 4, rng);
+  const std::string path = "nn_ckpt_tmp2.bin";
+  nn::save_checkpoint(a, path);
+
+  nn::Sequential wrong_shape;
+  wrong_shape.emplace<nn::Linear>(4, 5, rng);
+  EXPECT_THROW(nn::load_checkpoint(wrong_shape, path), std::runtime_error);
+
+  nn::Sequential wrong_names;
+  wrong_names.emplace<nn::ReLU>();
+  wrong_names.emplace<nn::Linear>(4, 4, rng);
+  EXPECT_THROW(nn::load_checkpoint(wrong_names, path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  util::Rng rng(14);
+  nn::Sequential a;
+  a.emplace<nn::Linear>(2, 2, rng);
+  EXPECT_THROW(nn::load_checkpoint(a, "no_such_ckpt.bin"), std::runtime_error);
+}
+
+}  // namespace

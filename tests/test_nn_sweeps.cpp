@@ -1,0 +1,164 @@
+// Parameterized sweeps over the nn layer zoo: output shapes, value
+// invariants and optimizer behaviour across a grid of configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "nn/attention.hpp"
+#include "nn/layers.hpp"
+#include "nn/optim.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace lmmir;
+using nn::Tensor;
+using tensor::Shape;
+
+// ---- Linear over (in, out, batch-rank) combinations -----------------------
+
+class LinearSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LinearSweep, ShapesAndZeroInputGivesBias) {
+  const auto [in, out, rank] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(in * 100 + out));
+  nn::Linear layer(in, out, rng);
+  const Tensor x = rank == 2 ? Tensor::zeros({3, in})
+                             : Tensor::zeros({2, 3, in});
+  const Tensor y = layer.forward(x);
+  EXPECT_EQ(y.dim(-1), out);
+  EXPECT_EQ(y.numel() / static_cast<std::size_t>(out),
+            x.numel() / static_cast<std::size_t>(in));
+  // Zero input -> every row equals the bias.
+  for (std::size_t r = 0; r < y.numel() / static_cast<std::size_t>(out); ++r)
+    for (int o = 0; o < out; ++o)
+      EXPECT_FLOAT_EQ(y.data()[r * static_cast<std::size_t>(out) +
+                               static_cast<std::size_t>(o)],
+                      layer.bias_t.data()[static_cast<std::size_t>(o)]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, LinearSweep,
+    ::testing::Combine(::testing::Values(1, 4, 9), ::testing::Values(1, 5),
+                       ::testing::Values(2, 3)));
+
+// ---- Conv stacks over (channels, levels) ----------------------------------
+
+class UNetEncoderSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(UNetEncoderSweep, DownUpRoundTripRestoresShape) {
+  const auto [channels, levels] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(channels * 10 + levels));
+  const int side = 32;
+  Tensor x = Tensor::randn({1, channels, side, side}, rng, 0.3f);
+
+  // Build a symmetric conv/pool then deconv chain and check the spatial
+  // dimensions return to the input size.
+  std::vector<std::unique_ptr<nn::Conv2d>> down;
+  std::vector<std::unique_ptr<nn::ConvTranspose2d>> up;
+  int c = channels;
+  Tensor h = x;
+  for (int l = 0; l < levels; ++l) {
+    down.push_back(std::make_unique<nn::Conv2d>(c, c * 2, 3, rng, 1, 1));
+    h = tensor::maxpool2d(down.back()->forward(h), 2, 2);
+    c *= 2;
+  }
+  for (int l = 0; l < levels; ++l) {
+    up.push_back(std::make_unique<nn::ConvTranspose2d>(c, c / 2, 2, rng, 2));
+    h = up.back()->forward(h);
+    c /= 2;
+  }
+  EXPECT_EQ(h.dim(2), side);
+  EXPECT_EQ(h.dim(3), side);
+  EXPECT_EQ(h.dim(1), channels);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, UNetEncoderSweep,
+                         ::testing::Combine(::testing::Values(1, 3),
+                                            ::testing::Values(1, 2, 3)));
+
+// ---- BatchNorm across channel counts ---------------------------------------
+
+class BatchNormSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchNormSweep, TrainingOutputIsNormalizedPerChannel) {
+  const int channels = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(channels) + 41);
+  nn::BatchNorm2d bn(channels);
+  bn.set_training(true);
+  const Tensor x = Tensor::randn({4, channels, 6, 6}, rng, 2.5f);
+  const Tensor y = bn.forward(x);
+  const std::size_t hw = 36;
+  for (int c = 0; c < channels; ++c) {
+    double mean = 0.0;
+    for (int n = 0; n < 4; ++n)
+      for (std::size_t i = 0; i < hw; ++i)
+        mean += y.data()[(static_cast<std::size_t>(n * channels + c)) * hw + i];
+    mean /= 4.0 * static_cast<double>(hw);
+    EXPECT_NEAR(mean, 0.0, 1e-4) << "channel " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, BatchNormSweep,
+                         ::testing::Values(1, 2, 5, 8));
+
+// ---- MultiHeadAttention across head counts ---------------------------------
+
+class HeadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeadSweep, AttentionPreservesShapeForAnyHeadCount) {
+  const int heads = GetParam();
+  const int dim = 24;  // divisible by 1, 2, 3, 4, 6
+  util::Rng rng(static_cast<std::uint64_t>(heads) + 77);
+  nn::MultiHeadAttention attn(dim, heads, rng);
+  const Tensor q = Tensor::randn({2, 5, dim}, rng, 0.4f);
+  const Tensor kv = Tensor::randn({2, 9, dim}, rng, 0.4f);
+  const Tensor y = attn.forward(q, kv);
+  EXPECT_EQ(y.shape(), (Shape{2, 5, dim}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Heads, HeadSweep, ::testing::Values(1, 2, 3, 4, 6));
+
+// ---- Adam across learning rates ---------------------------------------------
+
+class AdamLrSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(AdamLrSweep, ConvergesOnConvexBowl) {
+  const float lr = GetParam();
+  auto w = Tensor::from_data({3}, {4.0f, -3.0f, 2.0f}, true);
+  nn::Adam opt({w}, lr);
+  for (int i = 0; i < 1500; ++i) {
+    opt.zero_grad();
+    auto loss = tensor::sum_all(tensor::mul(w, w));
+    loss.backward();
+    opt.step();
+  }
+  for (float v : w.data()) EXPECT_NEAR(v, 0.0f, 0.05f) << "lr " << lr;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, AdamLrSweep,
+                         ::testing::Values(0.01f, 0.03f, 0.1f));
+
+// ---- Dropout rate sweep ------------------------------------------------------
+
+class DropoutSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(DropoutSweep, MeanApproximatelyPreserved) {
+  const float p = GetParam();
+  nn::Dropout drop(p, /*seed=*/123);
+  drop.set_training(true);
+  const Tensor x = Tensor::full({20000}, 1.0f);
+  const Tensor y = drop.forward(x);
+  double mean = 0.0;
+  for (float v : y.data()) mean += v;
+  mean /= static_cast<double>(y.numel());
+  EXPECT_NEAR(mean, 1.0, 0.05) << "p " << p;  // inverted dropout keeps E[x]
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DropoutSweep,
+                         ::testing::Values(0.1f, 0.3f, 0.5f, 0.8f));
+
+}  // namespace

@@ -1,0 +1,187 @@
+// pdn: MNA golden solver against hand-computed circuits, raster + fill.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pdn/circuit.hpp"
+#include "pdn/raster.hpp"
+#include "pdn/solver.hpp"
+#include "pdn/stats.hpp"
+#include "spice/parser.hpp"
+
+namespace {
+
+using namespace lmmir;
+using pdn::Circuit;
+using pdn::solve_ir_drop;
+using spice::parse_netlist_string;
+
+TEST(Solver, SingleResistorDivider) {
+  // V(1.0) -- R(2 ohm) -- node A -- I(0.1 A to ground).
+  // V(A) = 1.0 - 0.1 * 2 = 0.8; drop = 0.2.
+  const auto nl = parse_netlist_string(
+      "V1 n1_m1_0_0 0 1.0\n"
+      "R1 n1_m1_0_0 n1_m1_1000_0 2.0\n"
+      "I1 n1_m1_1000_0 0 0.1\n");
+  const Circuit c(nl);
+  EXPECT_DOUBLE_EQ(c.vdd(), 1.0);
+  const auto sol = solve_ir_drop(c);
+  ASSERT_TRUE(sol.converged);
+  const auto a = *nl.find_node("n1_m1_1000_0");
+  EXPECT_NEAR(sol.node_voltage[static_cast<std::size_t>(a)], 0.8, 1e-9);
+  EXPECT_NEAR(sol.worst_drop, 0.2, 1e-9);
+}
+
+TEST(Solver, LadderMatchesAnalytic) {
+  // V -- R1 -- a -- R2 -- b, loads at a and b.
+  // I through R1 = 0.2+0.1; V(a) = 1.1 - 0.3*1 = 0.8;
+  // V(b) = V(a) - 0.1*2 = 0.6.
+  const auto nl = parse_netlist_string(
+      "V1 n1_m1_0_0 0 1.1\n"
+      "R1 n1_m1_0_0 n1_m1_1000_0 1.0\n"
+      "R2 n1_m1_1000_0 n1_m1_2000_0 2.0\n"
+      "I1 n1_m1_1000_0 0 0.2\n"
+      "I2 n1_m1_2000_0 0 0.1\n");
+  const auto sol = solve_ir_drop(Circuit(nl));
+  const auto a = *nl.find_node("n1_m1_1000_0");
+  const auto b = *nl.find_node("n1_m1_2000_0");
+  EXPECT_NEAR(sol.node_voltage[static_cast<std::size_t>(a)], 0.8, 1e-9);
+  EXPECT_NEAR(sol.node_voltage[static_cast<std::size_t>(b)], 0.6, 1e-9);
+}
+
+TEST(Solver, ParallelPathsSuperpose) {
+  // Two 2-ohm paths from the supply to the same node: effective 1 ohm.
+  const auto nl = parse_netlist_string(
+      "V1 n1_m2_0_0 0 1.0\n"
+      "R1 n1_m2_0_0 n1_m1_1000_0 2.0\n"
+      "R2 n1_m2_0_0 n1_m1_1000_0 2.0\n"
+      "I1 n1_m1_1000_0 0 0.1\n");
+  const auto sol = solve_ir_drop(Circuit(nl));
+  EXPECT_NEAR(sol.worst_drop, 0.1, 1e-9);
+}
+
+TEST(Solver, CurrentSourceOrientationBothWays) {
+  // "I node 0" and "I 0 node" with negated value draw identically.
+  const char* forward =
+      "V1 n1_m1_0_0 0 1.0\nR1 n1_m1_0_0 n1_m1_1000_0 1.0\n"
+      "I1 n1_m1_1000_0 0 0.25\n";
+  const char* reversed =
+      "V1 n1_m1_0_0 0 1.0\nR1 n1_m1_0_0 n1_m1_1000_0 1.0\n"
+      "I1 0 n1_m1_1000_0 -0.25\n";
+  const auto s1 = solve_ir_drop(Circuit(parse_netlist_string(forward)));
+  const auto s2 = solve_ir_drop(Circuit(parse_netlist_string(reversed)));
+  EXPECT_NEAR(s1.worst_drop, s2.worst_drop, 1e-12);
+  EXPECT_NEAR(s1.worst_drop, 0.25, 1e-9);
+}
+
+TEST(Solver, MultipleSupplies) {
+  // Node between two 1-ohm arms to two 1.0 V supplies, load 0.2 A:
+  // effective source resistance 0.5 ohm -> drop 0.1 V.
+  const auto nl = parse_netlist_string(
+      "V1 n1_m2_0_0 0 1.0\n"
+      "V2 n1_m2_4000_0 0 1.0\n"
+      "R1 n1_m2_0_0 n1_m1_2000_0 1.0\n"
+      "R2 n1_m2_4000_0 n1_m1_2000_0 1.0\n"
+      "I1 n1_m1_2000_0 0 0.2\n");
+  const auto sol = solve_ir_drop(Circuit(nl));
+  EXPECT_NEAR(sol.worst_drop, 0.1, 1e-9);
+}
+
+TEST(Solver, PinnedNodeHasZeroDrop) {
+  const auto nl = parse_netlist_string(
+      "V1 n1_m1_0_0 0 1.2\n"
+      "R1 n1_m1_0_0 n1_m1_1000_0 1.0\n"
+      "I1 n1_m1_1000_0 0 0.1\n");
+  const auto sol = solve_ir_drop(Circuit(nl));
+  const auto pin = *nl.find_node("n1_m1_0_0");
+  EXPECT_DOUBLE_EQ(sol.ir_drop[static_cast<std::size_t>(pin)], 0.0);
+}
+
+TEST(Solver, ThrowsWithoutSupply) {
+  const auto nl = parse_netlist_string(
+      "R1 n1_m1_0_0 n1_m1_1000_0 1.0\nI1 n1_m1_1000_0 0 0.1\n");
+  EXPECT_THROW(solve_ir_drop(Circuit(nl)), std::runtime_error);
+}
+
+TEST(Circuit, DetectsUnpoweredIslands) {
+  const auto nl = parse_netlist_string(
+      "V1 n1_m1_0_0 0 1.0\n"
+      "R1 n1_m1_0_0 n1_m1_1000_0 1.0\n"
+      "I1 n1_m1_1000_0 0 0.1\n"
+      "R2 n1_m1_5000_0 n1_m1_6000_0 1.0\n"  // island
+      "I2 n1_m1_6000_0 0 0.1\n");
+  const Circuit c(nl);
+  EXPECT_EQ(c.unpowered_node_count(), 2u);
+  // Islands are reported at vdd (zero drop) rather than poisoning the solve.
+  const auto sol = solve_ir_drop(c);
+  const auto island = *nl.find_node("n1_m1_6000_0");
+  EXPECT_DOUBLE_EQ(sol.ir_drop[static_cast<std::size_t>(island)], 0.0);
+}
+
+TEST(Circuit, RejectsFloatingVoltageSource) {
+  const auto nl = parse_netlist_string(
+      "V1 n1_m1_0_0 n1_m1_1000_0 1.0\n"
+      "R1 n1_m1_0_0 n1_m1_1000_0 1.0\n");
+  EXPECT_THROW(Circuit c(nl), std::runtime_error);
+}
+
+TEST(Raster, PlacesValuesAtNodePixels) {
+  const auto nl = parse_netlist_string(
+      "V1 n1_m1_0_0 0 1.0\n"
+      "R1 n1_m1_0_0 n1_m1_3000_0 1.0\n"
+      "I1 n1_m1_3000_0 0 0.1\n");
+  const auto sol = solve_ir_drop(Circuit(nl));
+  pdn::RasterOptions opts;
+  opts.fill_holes = false;
+  const auto map = pdn::rasterize_ir_drop(nl, sol, opts);
+  EXPECT_EQ(map.cols(), 4u);
+  EXPECT_EQ(map.rows(), 1u);
+  EXPECT_NEAR(map.at(0, 3), 0.1f, 1e-6f);
+  EXPECT_FLOAT_EQ(map.at(0, 0), 0.0f);  // pinned node: zero drop
+}
+
+TEST(Raster, FillHolesCoversEverything) {
+  grid::Grid2D g(4, 4, 0.0f);
+  std::vector<char> assigned(16, 0);
+  g.at(0, 0) = 1.0f;
+  assigned[0] = 1;
+  g.at(3, 3) = 3.0f;
+  assigned[15] = 1;
+  pdn::fill_holes_by_diffusion(g, assigned);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_GT(g.at(r, c), 0.0f) << r << "," << c;
+      EXPECT_LE(g.at(r, c), 3.0f);
+    }
+}
+
+TEST(Raster, LayerFilterRestrictsNodes) {
+  const auto nl = parse_netlist_string(
+      "V1 n1_m4_0_0 0 1.0\n"
+      "R1 n1_m4_0_0 n1_m1_2000_0 1.0\n"
+      "I1 n1_m1_2000_0 0 0.1\n");
+  const auto sol = solve_ir_drop(Circuit(nl));
+  pdn::RasterOptions opts;
+  opts.max_layer = 1;  // m4 supply pixel excluded
+  opts.fill_holes = false;
+  const auto map = pdn::rasterize_ir_drop(nl, sol, opts);
+  EXPECT_FLOAT_EQ(map.at(0, 0), 0.0f);
+  EXPECT_GT(map.at(0, 2), 0.0f);
+}
+
+TEST(Stats, CountsElements) {
+  const auto nl = parse_netlist_string(
+      "V1 n1_m2_0_0 0 1.0\n"
+      "R1 n1_m2_0_0 n1_m1_1000_0 1.0\n"
+      "R2 n1_m1_1000_0 n1_m1_2000_0 1.0\n"
+      "I1 n1_m1_2000_0 0 0.1\n");
+  const auto st = pdn::compute_stats(nl, "t");
+  EXPECT_EQ(st.nodes, 3u);
+  EXPECT_EQ(st.resistors, 2u);
+  EXPECT_EQ(st.current_sources, 1u);
+  EXPECT_EQ(st.voltage_sources, 1u);
+  EXPECT_EQ(st.layers, 2);
+  EXPECT_EQ(st.shape_string(), "3x1");
+}
+
+}  // namespace

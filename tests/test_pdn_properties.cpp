@@ -1,0 +1,149 @@
+// Physics property tests on the golden solver and the ECO loop:
+// superposition, monotonicity in load and resistance, mesh-refinement
+// stability, and the strengthening loop's contract.
+#include <gtest/gtest.h>
+
+#include "gen/began.hpp"
+#include "pdn/circuit.hpp"
+#include "pdn/optimize.hpp"
+#include "pdn/solver.hpp"
+#include "spice/parser.hpp"
+#include "spice/writer.hpp"
+
+namespace {
+
+using namespace lmmir;
+using pdn::Circuit;
+using pdn::solve_ir_drop;
+
+gen::GeneratorConfig mesh_config(std::uint64_t seed, double current = 0.1) {
+  gen::GeneratorConfig cfg;
+  cfg.name = "prop";
+  cfg.width_um = 28;
+  cfg.height_um = 28;
+  cfg.seed = seed;
+  cfg.total_current = current;
+  cfg.use_default_stack();
+  return cfg;
+}
+
+TEST(SolverProperty, LinearInTotalCurrent) {
+  // The PDN is linear: doubling every load doubles every drop.
+  const auto nl1 = gen::generate_pdn(mesh_config(3, 0.1));
+  const auto nl2 = gen::generate_pdn(mesh_config(3, 0.2));
+  const auto s1 = solve_ir_drop(Circuit(nl1));
+  const auto s2 = solve_ir_drop(Circuit(nl2));
+  ASSERT_EQ(s1.ir_drop.size(), s2.ir_drop.size());
+  EXPECT_NEAR(s2.worst_drop, 2.0 * s1.worst_drop, 1e-6);
+  for (std::size_t i = 0; i < s1.ir_drop.size(); i += 37)
+    EXPECT_NEAR(s2.ir_drop[i], 2.0 * s1.ir_drop[i], 1e-6);
+}
+
+TEST(SolverProperty, SuperpositionOfLoads) {
+  // drop(A ∪ B) = drop(A) + drop(B) for current sources on a fixed grid.
+  const char* base =
+      "V1 n1_m2_0_0 0 1.0\n"
+      "R1 n1_m2_0_0 n1_m1_1000_0 1.0\n"
+      "R2 n1_m1_1000_0 n1_m1_2000_0 1.0\n"
+      "R3 n1_m1_2000_0 n1_m1_3000_0 1.0\n";
+  const auto with = [&](const char* loads) {
+    return solve_ir_drop(
+        Circuit(spice::parse_netlist_string(std::string(base) + loads)));
+  };
+  const auto sa = with("I1 n1_m1_1000_0 0 0.05\n");
+  const auto sb = with("I2 n1_m1_3000_0 0 0.08\n");
+  const auto sab = with("I1 n1_m1_1000_0 0 0.05\nI2 n1_m1_3000_0 0 0.08\n");
+  for (std::size_t i = 0; i < sab.ir_drop.size(); ++i)
+    EXPECT_NEAR(sab.ir_drop[i], sa.ir_drop[i] + sb.ir_drop[i], 1e-9);
+}
+
+TEST(SolverProperty, UpsizingNeverHurts) {
+  // Halving every wire resistance cannot increase the worst drop.
+  const auto nl = gen::generate_pdn(mesh_config(5));
+  spice::Netlist improved = nl;
+  for (std::size_t i = 0; i < improved.elements().size(); ++i)
+    if (improved.elements()[i].type == spice::ElementType::Resistor)
+      improved.set_element_value(i, improved.elements()[i].value * 0.5);
+  const auto before = solve_ir_drop(Circuit(nl));
+  const auto after = solve_ir_drop(Circuit(improved));
+  EXPECT_LT(after.worst_drop, before.worst_drop);
+}
+
+TEST(SolverProperty, DropsNonNegativeAndBounded) {
+  const auto nl = gen::generate_pdn(mesh_config(7));
+  const auto sol = solve_ir_drop(Circuit(nl));
+  for (double d : sol.ir_drop) {
+    EXPECT_GE(d, -1e-9);
+    EXPECT_LE(d, sol.vdd + 1e-9);
+  }
+}
+
+class SeedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeedSweep, GeneratedPdnsAlwaysSolvable) {
+  const auto nl = gen::generate_pdn(
+      mesh_config(static_cast<std::uint64_t>(GetParam())));
+  const auto sol = solve_ir_drop(Circuit(nl));
+  EXPECT_TRUE(sol.converged);
+  EXPECT_GT(sol.worst_drop, 0.0);
+  EXPECT_LT(sol.worst_drop, 0.5 * sol.vdd);  // sane synthetic operating point
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Range(1, 9));
+
+TEST(Strengthen, ReducesWorstDrop) {
+  auto cfg = mesh_config(11);
+  cfg.total_current = 0.3;  // stressed
+  const auto nl = gen::generate_pdn(cfg);
+  pdn::StrengthenOptions opts;
+  opts.target_fraction = 0.01;  // aggressive target forces iterations
+  opts.max_iterations = 3;
+  const auto res = pdn::strengthen_pdn(nl, opts);
+  EXPECT_GT(res.iterations, 0);
+  EXPECT_GT(res.resistors_upsized, 0u);
+  EXPECT_LT(res.final_worst_drop, res.initial_worst_drop);
+}
+
+TEST(Strengthen, NoIterationsWhenAlreadyMet) {
+  auto cfg = mesh_config(12);
+  cfg.total_current = 0.01;  // light load
+  const auto nl = gen::generate_pdn(cfg);
+  pdn::StrengthenOptions opts;
+  opts.target_fraction = 0.5;  // trivially met
+  const auto res = pdn::strengthen_pdn(nl, opts);
+  EXPECT_TRUE(res.met_target);
+  EXPECT_EQ(res.iterations, 0);
+  EXPECT_EQ(res.resistors_upsized, 0u);
+}
+
+TEST(Strengthen, ValidatesOptions) {
+  const auto nl = gen::generate_pdn(mesh_config(13));
+  pdn::StrengthenOptions bad;
+  bad.resistance_scale = 1.5;
+  EXPECT_THROW(pdn::strengthen_pdn(nl, bad), std::invalid_argument);
+  bad = {};
+  bad.hotspot_fraction = 0.0;
+  EXPECT_THROW(pdn::strengthen_pdn(nl, bad), std::invalid_argument);
+}
+
+TEST(Strengthen, OutputNetlistStillParses) {
+  const auto nl = gen::generate_pdn(mesh_config(14));
+  pdn::StrengthenOptions opts;
+  opts.target_fraction = 0.01;
+  opts.max_iterations = 2;
+  const auto res = pdn::strengthen_pdn(nl, opts);
+  const auto text = spice::write_netlist_string(res.netlist);
+  const auto back = spice::parse_netlist_string(text);
+  EXPECT_EQ(back.element_count(), nl.element_count());
+}
+
+TEST(NetlistMutation, SetElementValueGuards) {
+  auto nl = spice::parse_netlist_string(
+      "V1 n1_m1_0_0 0 1.0\nR1 n1_m1_0_0 n1_m1_1000_0 1.0\n");
+  EXPECT_THROW(nl.set_element_value(5, 1.0), std::out_of_range);
+  EXPECT_THROW(nl.set_element_value(1, -1.0), std::invalid_argument);
+  nl.set_element_value(1, 0.25);
+  EXPECT_DOUBLE_EQ(nl.elements()[1].value, 0.25);
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+// pointcloud: lossless element encoding (Fig. 3), grid pooling invariants.
+#include <gtest/gtest.h>
+
+#include "gen/began.hpp"
+#include "pointcloud/cloud.hpp"
+#include "pointcloud/pool.hpp"
+#include "spice/parser.hpp"
+
+namespace {
+
+using namespace lmmir;
+
+spice::Netlist demo_netlist() {
+  return spice::parse_netlist_string(
+      "V1 n1_m2_4000_4000 0 1.1\n"
+      "R1 n1_m2_4000_4000 n1_m1_4000_4000 2.0\n"  // via (m2 -> m1)
+      "R2 n1_m1_0_0 n1_m1_4000_4000 0.5\n"
+      "I1 n1_m1_0_0 0 0.05\n");
+}
+
+TEST(Cloud, OnePointPerElement) {
+  const auto cloud = pc::cloud_from_netlist(demo_netlist());
+  EXPECT_EQ(cloud.points.size(), 4u);
+  EXPECT_EQ(cloud.max_layer, 2);
+  EXPECT_FLOAT_EQ(cloud.max_resistance, 2.0f);
+  EXPECT_FLOAT_EQ(cloud.max_current, 0.05f);
+  EXPECT_FLOAT_EQ(cloud.max_voltage, 1.1f);
+}
+
+TEST(Cloud, ViaDetection) {
+  const auto cloud = pc::cloud_from_netlist(demo_netlist());
+  std::size_t vias = 0;
+  for (const auto& p : cloud.points) vias += p.is_via() ? 1 : 0;
+  EXPECT_EQ(vias, 1u);  // R1 crosses layers
+}
+
+TEST(Cloud, GroundEndpointReusesLocatedEndpoint) {
+  const auto cloud = pc::cloud_from_netlist(demo_netlist());
+  // I1 connects to ground: both endpoints must carry the PDN node coords.
+  const auto& isrc = cloud.points[3];
+  EXPECT_EQ(isrc.type, 1);
+  EXPECT_FLOAT_EQ(isrc.x1, isrc.x2);
+  EXPECT_FLOAT_EQ(isrc.y1, isrc.y2);
+}
+
+TEST(Cloud, EncodeProducesNormalizedFeatures) {
+  const auto cloud = pc::cloud_from_netlist(demo_netlist());
+  float f[pc::kPointFeatureDim];
+  for (const auto& p : cloud.points) {
+    pc::encode_point(cloud, p, f);
+    for (int i = 0; i < pc::kPointFeatureDim; ++i) {
+      EXPECT_GE(f[i], 0.0f) << i;
+      EXPECT_LE(f[i], 1.0f + 1e-5f) << i;
+    }
+    // one-hot type sums to 1
+    EXPECT_NEAR(f[5] + f[6] + f[7], 1.0f, 1e-6f);
+  }
+}
+
+TEST(Pool, FixedTokenCountRegardlessOfSize) {
+  gen::GeneratorConfig small;
+  small.width_um = small.height_um = 24;
+  small.seed = 2;
+  small.use_default_stack();
+  gen::GeneratorConfig big;
+  big.width_um = big.height_um = 96;
+  big.seed = 2;
+  big.use_default_stack();
+
+  const auto cs = pc::cloud_from_netlist(gen::generate_pdn(small));
+  const auto cb = pc::cloud_from_netlist(gen::generate_pdn(big));
+  EXPECT_GT(cb.points.size(), cs.points.size());
+
+  const auto ts = pc::grid_pool(cs, 8);
+  const auto tb = pc::grid_pool(cb, 8);
+  EXPECT_EQ(ts.token_count(), 64u);
+  EXPECT_EQ(tb.token_count(), 64u);
+  EXPECT_EQ(ts.features.size(), tb.features.size());
+}
+
+TEST(Pool, EmptyCloudGivesZeroTokens) {
+  pc::Cloud empty;
+  const auto t = pc::grid_pool(empty, 4);
+  EXPECT_EQ(t.token_count(), 16u);
+  for (float v : t.features) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Pool, RejectsBadGrid) {
+  pc::Cloud c;
+  EXPECT_THROW(pc::grid_pool(c, 0), std::invalid_argument);
+}
+
+TEST(Pool, PopulationChannelReflectsDensity) {
+  const auto nl = demo_netlist();
+  const auto cloud = pc::cloud_from_netlist(nl);
+  const auto t = pc::grid_pool(cloud, 2);
+  // Count channel is the last feature; at least one cell must be nonzero
+  // and no cell exceeds 1 (log-normalized).
+  float max_count = 0.0f;
+  for (std::size_t cell = 0; cell < t.token_count(); ++cell) {
+    const float c = t.features[cell * pc::kTokenFeatureDim +
+                               pc::kPointFeatureDim];
+    EXPECT_LE(c, 1.0f + 1e-6f);
+    max_count = std::max(max_count, c);
+  }
+  EXPECT_FLOAT_EQ(max_count, 1.0f);  // densest cell normalizes to 1
+}
+
+TEST(Pool, MeanFeaturesStayInRange) {
+  gen::GeneratorConfig cfg;
+  cfg.width_um = cfg.height_um = 32;
+  cfg.seed = 8;
+  cfg.use_default_stack();
+  const auto cloud = pc::cloud_from_netlist(gen::generate_pdn(cfg));
+  const auto t = pc::grid_pool(cloud, 8);
+  for (float v : t.features) {
+    EXPECT_GE(v, -1e-6f);
+    EXPECT_LE(v, 1.0f + 1e-5f);
+  }
+}
+
+TEST(Downsample, CapsPointCount) {
+  gen::GeneratorConfig cfg;
+  cfg.width_um = cfg.height_um = 48;
+  cfg.seed = 3;
+  cfg.use_default_stack();
+  const auto cloud = pc::cloud_from_netlist(gen::generate_pdn(cfg));
+  ASSERT_GT(cloud.points.size(), 100u);
+  util::Rng rng(1);
+  const auto down = pc::random_downsample(cloud, 100, rng);
+  EXPECT_EQ(down.points.size(), 100u);
+  // Normalization metadata preserved.
+  EXPECT_FLOAT_EQ(down.width_um, cloud.width_um);
+  // No-op when already small enough.
+  const auto same = pc::random_downsample(down, 500, rng);
+  EXPECT_EQ(same.points.size(), 100u);
+}
+
+}  // namespace

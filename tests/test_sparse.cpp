@@ -1,0 +1,159 @@
+// sparse: CSR construction, SpMV, CG solver vs dense Cholesky.
+#include <gtest/gtest.h>
+
+#include "sparse/cg.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lmmir::sparse;
+
+TEST(Coo, RejectsOutOfRange) {
+  CooBuilder coo(3);
+  EXPECT_THROW(coo.add(3, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(coo.add(0, 7, 1.0), std::out_of_range);
+}
+
+TEST(Csr, SumsDuplicates) {
+  CooBuilder coo(2);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 0, 2.5);
+  coo.add(1, 0, -1.0);
+  coo.add(1, 1, 4.0);
+  const auto m = CsrMatrix::from_coo(coo);
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+}
+
+TEST(Csr, MultiplyMatchesManual) {
+  CooBuilder coo(3);
+  coo.add(0, 0, 2.0);
+  coo.add(0, 2, 1.0);
+  coo.add(1, 1, 3.0);
+  coo.add(2, 0, -1.0);
+  const auto m = CsrMatrix::from_coo(coo);
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y;
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], -1.0);
+}
+
+TEST(Csr, DiagonalAndSymmetry) {
+  CooBuilder coo(2);
+  coo.add(0, 0, 4.0);
+  coo.add(0, 1, -1.0);
+  coo.add(1, 0, -1.0);
+  coo.add(1, 1, 3.0);
+  const auto m = CsrMatrix::from_coo(coo);
+  const auto d = m.diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 4.0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  EXPECT_DOUBLE_EQ(m.symmetry_error(), 0.0);
+}
+
+TEST(Csr, EmptyRowsHandled) {
+  CooBuilder coo(4);
+  coo.add(0, 0, 1.0);
+  coo.add(3, 3, 1.0);
+  const auto m = CsrMatrix::from_coo(coo);
+  std::vector<double> x(4, 1.0), y;
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], 0.0);
+}
+
+TEST(Cholesky, SolvesSmallSystem) {
+  DenseMatrix a(2);
+  a.at(0, 0) = 4.0;
+  a.at(0, 1) = a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  const auto x = cholesky_solve(a, {1.0, 2.0});
+  EXPECT_NEAR(4.0 * x[0] + x[1], 1.0, 1e-12);
+  EXPECT_NEAR(x[0] + 3.0 * x[1], 2.0, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  DenseMatrix a(2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = a.at(1, 0) = 5.0;
+  a.at(1, 1) = 1.0;
+  EXPECT_THROW(cholesky_solve(a, {1.0, 1.0}), std::runtime_error);
+}
+
+TEST(Cg, TrivialAndEdgeCases) {
+  // 1x1 system
+  CooBuilder coo(1);
+  coo.add(0, 0, 5.0);
+  const auto m = CsrMatrix::from_coo(coo);
+  const auto res = conjugate_gradient(m, {10.0});
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.x[0], 2.0, 1e-9);
+
+  // zero rhs -> zero solution, immediately converged
+  const auto res0 = conjugate_gradient(m, {0.0});
+  EXPECT_TRUE(res0.converged);
+  EXPECT_DOUBLE_EQ(res0.x[0], 0.0);
+}
+
+TEST(Cg, RejectsSizeMismatch) {
+  CooBuilder coo(2);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, 1.0);
+  const auto m = CsrMatrix::from_coo(coo);
+  EXPECT_THROW(conjugate_gradient(m, {1.0}), std::invalid_argument);
+}
+
+/// Property sweep: CG matches dense Cholesky on random SPD
+/// (diagonally-dominant Laplacian-like) systems of several sizes.
+class CgVsCholesky : public ::testing::TestWithParam<int> {};
+
+TEST_P(CgVsCholesky, Agree) {
+  const int n = GetParam();
+  lmmir::util::Rng rng(static_cast<std::uint64_t>(n) * 977 + 5);
+
+  CooBuilder coo(static_cast<std::size_t>(n));
+  DenseMatrix dense(static_cast<std::size_t>(n));
+  // Random resistive-mesh-style SPD matrix: off-diagonals negative,
+  // diagonal = |row sum| + leak.
+  std::vector<double> diag(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (!rng.chance(0.3)) continue;
+      const double g = rng.uniform_double(0.1, 2.0);
+      coo.add(static_cast<std::size_t>(i), static_cast<std::size_t>(j), -g);
+      coo.add(static_cast<std::size_t>(j), static_cast<std::size_t>(i), -g);
+      dense.at(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) = -g;
+      dense.at(static_cast<std::size_t>(j), static_cast<std::size_t>(i)) = -g;
+      diag[static_cast<std::size_t>(i)] += g;
+      diag[static_cast<std::size_t>(j)] += g;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    const double d = diag[static_cast<std::size_t>(i)] +
+                     rng.uniform_double(0.5, 1.5);  // ground leak -> SPD
+    coo.add(static_cast<std::size_t>(i), static_cast<std::size_t>(i), d);
+    dense.at(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) = d;
+  }
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform_double(-1.0, 1.0);
+
+  const auto m = CsrMatrix::from_coo(coo);
+  EXPECT_LT(m.symmetry_error(), 1e-12);
+  const auto cg = conjugate_gradient(m, b);
+  ASSERT_TRUE(cg.converged) << "residual " << cg.residual;
+  const auto exact = cholesky_solve(dense, b);
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(cg.x[static_cast<std::size_t>(i)],
+                exact[static_cast<std::size_t>(i)], 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CgVsCholesky,
+                         ::testing::Values(2, 5, 16, 40, 100));
+
+}  // namespace

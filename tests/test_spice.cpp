@@ -1,0 +1,181 @@
+// spice: node-name grammar, value suffixes, parser, writer round trip.
+#include <gtest/gtest.h>
+
+#include "spice/parser.hpp"
+#include "spice/writer.hpp"
+
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lmmir::spice;
+
+TEST(NodeName, FormatAndParse) {
+  NodeName n{1, 4, 108000, 26000};
+  EXPECT_EQ(n.to_string(), "n1_m4_108000_26000");
+  NodeName back;
+  ASSERT_TRUE(parse_node_name(n.to_string(), back));
+  EXPECT_EQ(back, n);
+}
+
+TEST(NodeName, RejectsMalformed) {
+  NodeName out;
+  EXPECT_FALSE(parse_node_name("", out));
+  EXPECT_FALSE(parse_node_name("n1_m1_3", out));
+  EXPECT_FALSE(parse_node_name("x1_m1_3_4", out));
+  EXPECT_FALSE(parse_node_name("n1_x1_3_4", out));
+  EXPECT_FALSE(parse_node_name("n1_m1_a_4", out));
+  EXPECT_FALSE(parse_node_name("n1_m1_3_4_5", out));
+}
+
+TEST(NodeName, Ground) {
+  EXPECT_TRUE(is_ground("0"));
+  EXPECT_FALSE(is_ground("00"));
+  EXPECT_FALSE(is_ground("n0_m0_0_0"));
+}
+
+class SpiceValue
+    : public ::testing::TestWithParam<std::pair<const char*, double>> {};
+
+TEST_P(SpiceValue, ParsesSuffix) {
+  const auto [text, expected] = GetParam();
+  double v = 0;
+  ASSERT_TRUE(parse_spice_value(text, v)) << text;
+  EXPECT_DOUBLE_EQ(v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suffixes, SpiceValue,
+    ::testing::Values(std::make_pair("1.5", 1.5), std::make_pair("2k", 2e3),
+                      std::make_pair("3meg", 3e6), std::make_pair("4u", 4e-6),
+                      std::make_pair("5m", 5e-3), std::make_pair("6n", 6e-9),
+                      std::make_pair("7p", 7e-12), std::make_pair("1e-3", 1e-3),
+                      std::make_pair("2.5E2", 250.0),
+                      std::make_pair("8G", 8e9)));
+
+TEST(SpiceValueNegative, RejectsGarbage) {
+  double v;
+  EXPECT_FALSE(parse_spice_value("", v));
+  EXPECT_FALSE(parse_spice_value("abc", v));
+  EXPECT_FALSE(parse_spice_value("1.5q", v));
+  EXPECT_FALSE(parse_spice_value("k", v));
+}
+
+TEST(Parser, ParsesBasicNetlist) {
+  const std::string text = R"(* tiny PDN
+R1 n1_m1_0_0 n1_m1_1000_0 0.5
+R2 n1_m1_1000_0 n1_m2_1000_0 2.0
+I1 n1_m1_0_0 0 1m
+V1 n1_m2_1000_0 0 1.1
+.end
+)";
+  ParseStats stats;
+  const Netlist nl = parse_netlist_string(text, &stats);
+  EXPECT_EQ(stats.elements, 4u);
+  EXPECT_EQ(stats.comments, 1u);
+  EXPECT_EQ(nl.node_count(), 3u);
+  EXPECT_EQ(nl.count(ElementType::Resistor), 2u);
+  EXPECT_EQ(nl.count(ElementType::CurrentSource), 1u);
+  EXPECT_EQ(nl.count(ElementType::VoltageSource), 1u);
+  EXPECT_EQ(nl.max_layer(), 2);
+  const auto shape = nl.pixel_shape();
+  EXPECT_EQ(shape.cols, 2u);  // x up to 1000 DBU = pixel 1
+  EXPECT_EQ(shape.rows, 1u);
+}
+
+TEST(Parser, CaseInsensitiveAndDirectives) {
+  const std::string text = ".title x\nr1 a b 1k\ni2 a 0 2m\nv3 b 0 1.0\n.op\n.end\nGARBAGE AFTER END\n";
+  const Netlist nl = parse_netlist_string(text);
+  EXPECT_EQ(nl.element_count(), 3u);  // .end stops parsing
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_netlist_string("R1 a b 1.0\nR2 a b\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsBadElements) {
+  EXPECT_THROW(parse_netlist_string("C1 a b 1.0\n"), std::runtime_error);
+  EXPECT_THROW(parse_netlist_string("R1 a b -2\n"), std::runtime_error);  // R<=0
+  EXPECT_THROW(parse_netlist_string("R1 a b xyz\n"), std::runtime_error);
+}
+
+TEST(Parser, FreeFormNodesSupported) {
+  const Netlist nl = parse_netlist_string("R1 vdd_pin n1_m1_0_0 1.0\nV1 vdd_pin 0 1.1\n");
+  ASSERT_TRUE(nl.find_node("vdd_pin").has_value());
+  EXPECT_FALSE(nl.node(*nl.find_node("vdd_pin")).parsed.has_value());
+  EXPECT_TRUE(nl.node(*nl.find_node("n1_m1_0_0")).parsed.has_value());
+}
+
+TEST(Writer, RoundTripPreservesEverything) {
+  const std::string text =
+      "R7 n1_m1_0_0 n1_m1_2000_0 0.125\n"
+      "I3 n1_m1_2000_0 0 0.0015\n"
+      "V9 n1_m3_2000_0 0 1.05\n";
+  const Netlist nl = parse_netlist_string(text);
+  const std::string written = write_netlist_string(nl, "round trip");
+  const Netlist back = parse_netlist_string(written);
+  ASSERT_EQ(back.element_count(), nl.element_count());
+  for (std::size_t i = 0; i < nl.elements().size(); ++i) {
+    EXPECT_EQ(back.elements()[i].type, nl.elements()[i].type);
+    EXPECT_EQ(back.elements()[i].name, nl.elements()[i].name);
+    EXPECT_DOUBLE_EQ(back.elements()[i].value, nl.elements()[i].value);
+  }
+  EXPECT_EQ(back.node_count(), nl.node_count());
+}
+
+TEST(Parser, FuzzNeverCrashesOnlyThrows) {
+  // Random token soup must either parse or throw std::runtime_error —
+  // never crash or loop.
+  lmmir::util::Rng rng(0xF022);
+  const char* vocab[] = {"R1", "I2", "V3", "n1_m1_0_0", "n1_m2_5_5", "0",
+                         "1.5", "abc", "-2", "1k", ".end", "*", "", "R",
+                         "n1_m1_x_y", "1e999"};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    const int lines = rng.randint(1, 6);
+    for (int l = 0; l < lines; ++l) {
+      const int toks = rng.randint(0, 5);
+      for (int t = 0; t < toks; ++t) {
+        text += vocab[rng.randint(0, 15)];
+        text += ' ';
+      }
+      text += '\n';
+    }
+    try {
+      const Netlist nl = parse_netlist_string(text);
+      (void)nl.node_count();
+    } catch (const std::runtime_error&) {
+      // acceptable outcome for malformed input
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Netlist, InternDeduplicates) {
+  Netlist nl;
+  const NodeId a = nl.intern_node("n1_m1_0_0");
+  const NodeId b = nl.intern_node("n1_m1_0_0");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(nl.intern_node("0"), kGroundNode);
+  EXPECT_EQ(nl.node_count(), 1u);
+}
+
+TEST(Netlist, BoundsOverParsedNodes) {
+  Netlist nl;
+  nl.intern_node("n1_m1_1000_2000");
+  nl.intern_node("n1_m2_5000_500");
+  nl.intern_node("free_node");
+  const auto b = nl.bounds();
+  ASSERT_TRUE(b.valid);
+  EXPECT_EQ(b.min_x, 1000);
+  EXPECT_EQ(b.max_x, 5000);
+  EXPECT_EQ(b.min_y, 500);
+  EXPECT_EQ(b.max_y, 2000);
+}
+
+}  // namespace

@@ -1,0 +1,226 @@
+// tensor: construction, shape handling, forward-value semantics of ops.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace {
+
+using lmmir::tensor::Shape;
+using lmmir::tensor::Tensor;
+using lmmir::util::Rng;
+namespace ops = lmmir::tensor;
+
+TEST(Tensor, ConstructionAndAccess) {
+  auto z = Tensor::zeros({2, 3});
+  EXPECT_EQ(z.numel(), 6u);
+  EXPECT_EQ(z.ndim(), 2);
+  EXPECT_EQ(z.dim(0), 2);
+  EXPECT_EQ(z.dim(-1), 3);
+  EXPECT_THROW(z.dim(5), std::out_of_range);
+
+  auto f = Tensor::full({4}, 2.5f);
+  EXPECT_FLOAT_EQ(f.data()[3], 2.5f);
+
+  EXPECT_THROW(Tensor::from_data({2, 2}, {1.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, ItemRequiresScalar) {
+  EXPECT_FLOAT_EQ(Tensor::full({1}, 7.0f).item(), 7.0f);
+  EXPECT_THROW(Tensor::zeros({2}).item(), std::logic_error);
+}
+
+TEST(Tensor, DetachSharesNothing) {
+  auto a = Tensor::full({2}, 1.0f, true);
+  auto d = a.detach();
+  d.data()[0] = 99.0f;
+  EXPECT_FLOAT_EQ(a.data()[0], 1.0f);
+  EXPECT_FALSE(d.requires_grad());
+}
+
+TEST(Ops, AddSubMulValues) {
+  auto a = Tensor::from_data({3}, {1, 2, 3});
+  auto b = Tensor::from_data({3}, {10, 20, 30});
+  EXPECT_FLOAT_EQ(ops::add(a, b).data()[2], 33.0f);
+  EXPECT_FLOAT_EQ(ops::sub(b, a).data()[0], 9.0f);
+  EXPECT_FLOAT_EQ(ops::mul(a, b).data()[1], 40.0f);
+  EXPECT_THROW(ops::add(a, Tensor::zeros({2})), std::invalid_argument);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Rng rng(3);
+  auto x = Tensor::randn({4, 7}, rng);
+  auto y = ops::softmax_lastdim(x);
+  for (int r = 0; r < 4; ++r) {
+    float sum = 0;
+    for (int c = 0; c < 7; ++c) sum += y.data()[static_cast<std::size_t>(r * 7 + c)];
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Ops, SoftmaxStableForLargeInputs) {
+  auto x = Tensor::from_data({1, 3}, {1000.0f, 1000.0f, 1000.0f});
+  auto y = ops::softmax_lastdim(x);
+  for (float v : y.data()) EXPECT_NEAR(v, 1.0f / 3.0f, 1e-5f);
+}
+
+TEST(Ops, MatmulKnownValues) {
+  auto a = Tensor::from_data({2, 2}, {1, 2, 3, 4});
+  auto b = Tensor::from_data({2, 2}, {5, 6, 7, 8});
+  auto c = ops::matmul(a, b);
+  EXPECT_FLOAT_EQ(c.data()[0], 19.0f);
+  EXPECT_FLOAT_EQ(c.data()[1], 22.0f);
+  EXPECT_FLOAT_EQ(c.data()[2], 43.0f);
+  EXPECT_FLOAT_EQ(c.data()[3], 50.0f);
+}
+
+TEST(Ops, LinearMatchesManual) {
+  auto x = Tensor::from_data({1, 3}, {1, 2, 3});
+  auto w = Tensor::from_data({2, 3}, {1, 0, 0, 0, 1, 1});  // rows: picks x0; x1+x2
+  auto b = Tensor::from_data({2}, {0.5f, -0.5f});
+  auto y = ops::linear(x, w, b);
+  EXPECT_FLOAT_EQ(y.data()[0], 1.5f);
+  EXPECT_FLOAT_EQ(y.data()[1], 4.5f);
+  // Undefined bias skips the add.
+  auto y2 = ops::linear(x, w, Tensor());
+  EXPECT_FLOAT_EQ(y2.data()[0], 1.0f);
+}
+
+TEST(Ops, Conv2dIdentityKernel) {
+  Rng rng(5);
+  auto x = Tensor::randn({1, 1, 4, 4}, rng);
+  auto w = Tensor::from_data({1, 1, 1, 1}, {1.0f});
+  auto y = ops::conv2d(x, w, Tensor(), 1, 0);
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
+}
+
+TEST(Ops, Conv2dAveragingKernel) {
+  auto x = Tensor::full({1, 1, 3, 3}, 2.0f);
+  auto w = Tensor::full({1, 1, 3, 3}, 1.0f / 9.0f);
+  auto y = ops::conv2d(x, w, Tensor(), 1, 0);
+  ASSERT_EQ(y.numel(), 1u);
+  EXPECT_NEAR(y.item(), 2.0f, 1e-5f);
+}
+
+TEST(Ops, Conv2dOutputShapes) {
+  Rng rng(6);
+  auto x = Tensor::randn({2, 3, 8, 8}, rng);
+  auto w = Tensor::randn({5, 3, 3, 3}, rng);
+  auto y = ops::conv2d(x, w, Tensor(), 2, 1);
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 4, 4}));
+  EXPECT_THROW(ops::conv2d(x, Tensor::randn({5, 4, 3, 3}, rng), Tensor(), 1, 1),
+               std::invalid_argument);
+}
+
+TEST(Ops, ConvTransposeInvertsStride2Shape) {
+  Rng rng(7);
+  auto x = Tensor::randn({1, 4, 5, 5}, rng);
+  auto w = Tensor::randn({4, 2, 2, 2}, rng);
+  auto y = ops::conv_transpose2d(x, w, Tensor(), 2, 0);
+  EXPECT_EQ(y.shape(), (Shape{1, 2, 10, 10}));
+}
+
+TEST(Ops, MaxPoolValuesAndShape) {
+  auto x = Tensor::from_data({1, 1, 2, 4}, {1, 5, 2, 0, 3, 4, 8, 1});
+  auto y = ops::maxpool2d(x, 2, 2);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(y.data()[0], 5.0f);
+  EXPECT_FLOAT_EQ(y.data()[1], 8.0f);
+}
+
+TEST(Ops, UpsampleNearestValues) {
+  auto x = Tensor::from_data({1, 1, 1, 2}, {1, 2});
+  auto y = ops::upsample_nearest2x(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 4}));
+  EXPECT_FLOAT_EQ(y.data()[0], 1.0f);
+  EXPECT_FLOAT_EQ(y.data()[3], 2.0f);
+}
+
+TEST(Ops, ConcatAndSliceValues) {
+  auto a = Tensor::from_data({2, 2}, {1, 2, 3, 4});
+  auto b = Tensor::from_data({2, 1}, {9, 8});
+  auto cat = ops::concat(a, b, 1);
+  EXPECT_EQ(cat.shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ(cat.data()[2], 9.0f);
+  EXPECT_FLOAT_EQ(cat.data()[5], 8.0f);
+  auto back = ops::slice_axis(cat, 1, 0, 2);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_FLOAT_EQ(back.data()[i], a.data()[i]);
+  EXPECT_THROW(ops::slice_axis(cat, 1, 2, 5), std::invalid_argument);
+}
+
+TEST(Ops, BatchNormNormalizesTrainingBatch) {
+  Rng rng(8);
+  auto x = Tensor::randn({4, 2, 3, 3}, rng, 3.0f);
+  auto gamma = Tensor::full({2}, 1.0f);
+  auto beta = Tensor::zeros({2});
+  std::vector<float> rm(2, 0.0f), rv(2, 1.0f);
+  auto y = ops::batch_norm2d(x, gamma, beta, rm, rv, true);
+  // Per-channel mean ~0, var ~1 after normalization.
+  for (int c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    std::size_t n = 0;
+    for (int b = 0; b < 4; ++b)
+      for (int i = 0; i < 9; ++i) {
+        const float v =
+            y.data()[static_cast<std::size_t>(((b * 2 + c) * 9) + i)];
+        mean += v;
+        ++n;
+      }
+    mean /= static_cast<double>(n);
+    for (int b = 0; b < 4; ++b)
+      for (int i = 0; i < 9; ++i) {
+        const double v =
+            y.data()[static_cast<std::size_t>(((b * 2 + c) * 9) + i)] - mean;
+        var += v * v;
+      }
+    var /= static_cast<double>(n);
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+  // Running stats moved off their initial values.
+  EXPECT_NE(rm[0], 0.0f);
+}
+
+TEST(Ops, LayerNormRowsNormalized) {
+  Rng rng(9);
+  auto x = Tensor::randn({3, 8}, rng, 5.0f);
+  auto y = ops::layer_norm_lastdim(x, Tensor::full({8}, 1.0f),
+                                   Tensor::zeros({8}));
+  for (int r = 0; r < 3; ++r) {
+    double mean = 0;
+    for (int c = 0; c < 8; ++c) mean += y.data()[static_cast<std::size_t>(r * 8 + c)];
+    EXPECT_NEAR(mean / 8.0, 0.0, 1e-4);
+  }
+}
+
+TEST(Ops, DropoutTrainVsEval) {
+  Rng rng(10);
+  auto x = Tensor::full({1000}, 1.0f);
+  Rng drop_rng(11);
+  auto train_out = ops::dropout(x, 0.5f, drop_rng, true);
+  std::size_t zeros = 0;
+  for (float v : train_out.data())
+    if (v == 0.0f) ++zeros;
+  EXPECT_GT(zeros, 300u);
+  EXPECT_LT(zeros, 700u);
+  // Survivors are scaled by 1/(1-p).
+  for (float v : train_out.data())
+    if (v != 0.0f) EXPECT_FLOAT_EQ(v, 2.0f);
+  auto eval_out = ops::dropout(x, 0.5f, drop_rng, false);
+  for (float v : eval_out.data()) EXPECT_FLOAT_EQ(v, 1.0f);
+  EXPECT_THROW(ops::dropout(x, 1.0f, drop_rng, true), std::invalid_argument);
+}
+
+TEST(Ops, ReductionValues) {
+  auto x = Tensor::from_data({2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(ops::sum_all(x).item(), 10.0f);
+  EXPECT_FLOAT_EQ(ops::mean_all(x).item(), 2.5f);
+  auto t = Tensor::from_data({2, 2}, {1, 2, 3, 5});
+  EXPECT_NEAR(ops::mse_loss(x, t).item(), 0.25f, 1e-6f);
+  EXPECT_NEAR(ops::l1_loss(x, t).item(), 0.25f, 1e-6f);
+}
+
+}  // namespace

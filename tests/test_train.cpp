@@ -1,0 +1,118 @@
+// train: two-stage fit drives the loss down; evaluation plumbing.
+#include <gtest/gtest.h>
+
+#include "models/iredge.hpp"
+#include "models/lmmir_model.hpp"
+#include "train/trainer.hpp"
+
+namespace {
+
+using namespace lmmir;
+
+data::Dataset tiny_dataset() {
+  data::DatasetOptions opts;
+  opts.sample.input_side = 16;
+  opts.sample.pc_grid = 4;
+  opts.fake_cases = 3;
+  opts.real_cases = 1;
+  opts.fake_oversample = 2;
+  opts.real_oversample = 2;
+  opts.suite_scale = 0.04;
+  opts.seed = 17;
+  return data::build_training_dataset(opts);
+}
+
+train::TrainConfig tiny_config() {
+  train::TrainConfig cfg;
+  cfg.pretrain_epochs = 1;
+  cfg.finetune_epochs = 4;
+  cfg.batch_size = 2;
+  cfg.seed = 5;
+  return cfg;
+}
+
+models::LmmirConfig tiny_model_config() {
+  models::LmmirConfig mc;
+  mc.base_channels = 4;
+  mc.levels = 2;
+  mc.token_dim = 16;
+  mc.lnt_blocks = 1;
+  return mc;
+}
+
+TEST(Trainer, LossDecreasesAcrossEpochs) {
+  const auto ds = tiny_dataset();
+  models::LMMIR model(tiny_model_config());
+  auto cfg = tiny_config();
+  cfg.finetune_epochs = 6;
+  const auto hist = train::fit(model, ds, cfg);
+  ASSERT_EQ(hist.pretrain_loss.size(), 1u);
+  ASSERT_EQ(hist.finetune_loss.size(), 6u);
+  EXPECT_LT(hist.finetune_loss.back(), hist.finetune_loss.front());
+  EXPECT_GT(hist.seconds, 0.0);
+  EXPECT_FALSE(model.training());  // fit leaves the model in eval mode
+}
+
+TEST(Trainer, PlainMseModeWorksToo) {
+  const auto ds = tiny_dataset();
+  models::LMMIR model(tiny_model_config());
+  auto cfg = tiny_config();
+  cfg.hotspot_weight = 0.0f;  // plain MSE (the paper's loss)
+  const auto hist = train::fit(model, ds, cfg);
+  EXPECT_LT(hist.finetune_loss.back(), hist.finetune_loss.front() * 2.0f);
+}
+
+TEST(Trainer, AugmentationOffIsDeterministicGivenSeed) {
+  const auto ds = tiny_dataset();
+  auto cfg = tiny_config();
+  cfg.augment = false;
+  models::LMMIR m1(tiny_model_config()), m2(tiny_model_config());
+  const auto h1 = train::fit(m1, ds, cfg);
+  const auto h2 = train::fit(m2, ds, cfg);
+  ASSERT_EQ(h1.finetune_loss.size(), h2.finetune_loss.size());
+  for (std::size_t i = 0; i < h1.finetune_loss.size(); ++i)
+    EXPECT_FLOAT_EQ(h1.finetune_loss[i], h2.finetune_loss[i]);
+}
+
+TEST(Trainer, WorksForImageOnlyBaselines) {
+  const auto ds = tiny_dataset();
+  models::IredgeConfig ic;
+  ic.base_channels = 4;
+  ic.levels = 2;
+  models::IREDGe model(ic);
+  const auto hist = train::fit(model, ds, tiny_config());
+  EXPECT_EQ(hist.finetune_loss.size(), 4u);
+}
+
+TEST(Evaluate, ProducesFullResolutionMetrics) {
+  const auto ds = tiny_dataset();
+  models::LMMIR model(tiny_model_config());
+  train::fit(model, ds, tiny_config());
+
+  const auto ec = train::evaluate_case(model, ds.samples.front());
+  EXPECT_EQ(ec.name, ds.samples.front().name);
+  EXPECT_GE(ec.f1, 0.0);
+  EXPECT_LE(ec.f1, 1.0);
+  EXPECT_GT(ec.mae_1e4_volts, 0.0);
+  EXPECT_GT(ec.tat_seconds, 0.0);
+
+  const grid::Grid2D map = train::predict_map(model, ds.samples.front());
+  EXPECT_EQ(map.rows(), ds.samples.front().truth_full.rows());
+  EXPECT_EQ(map.cols(), ds.samples.front().truth_full.cols());
+}
+
+TEST(Evaluate, TestsetAppendsAvgRow) {
+  const auto ds = tiny_dataset();
+  models::LMMIR model(tiny_model_config());
+  train::fit(model, ds, tiny_config());
+
+  std::vector<data::Sample> tests = {ds.samples[0], ds.samples[1]};
+  const auto rows = train::evaluate_testset(model, tests);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows.back().name, "Avg");
+  EXPECT_NEAR(rows.back().f1, 0.5 * (rows[0].f1 + rows[1].f1), 1e-9);
+  EXPECT_NEAR(rows.back().mae_1e4_volts,
+              0.5 * (rows[0].mae_1e4_volts + rows[1].mae_1e4_volts), 1e-9);
+}
+
+}  // namespace
