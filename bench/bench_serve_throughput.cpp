@@ -1,0 +1,181 @@
+// Serving throughput: dynamic batching + thread-pool scaling.
+//
+// Drives an InferenceServer with concurrent client threads over generated
+// contest-style cases and reports latency percentiles and throughput as a
+// JSON perf record, comparing runtime thread counts (1 vs 8 by default).
+// On multi-core hosts the 8-thread configuration parallelizes the batched
+// forward over the pool; the record includes hardware_concurrency so
+// single-core results are interpretable.
+//
+// Knobs (environment):
+//   LMMIR_BENCH_THREADS   comma list of pool sizes      (default "1,8")
+//   LMMIR_BENCH_CLIENTS   concurrent client threads     (default 8)
+//   LMMIR_BENCH_REQUESTS  requests per client           (default 12)
+//   LMMIR_BENCH_SIDE      model input side              (default 32)
+//   LMMIR_BENCH_CASES     distinct generated cases      (default 3)
+//   LMMIR_BENCH_MODEL     registry model name           (default LMM-IR)
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/sample.hpp"
+#include "gen/suite.hpp"
+#include "models/registry.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/server.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace lmmir;
+
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atol(v) : fallback;
+}
+
+std::vector<std::size_t> env_thread_list() {
+  std::vector<std::size_t> out;
+  std::string spec = "1,8";
+  if (const char* v = std::getenv("LMMIR_BENCH_THREADS")) spec = v;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok = spec.substr(pos, comma - pos);
+    const long n = std::atol(tok.c_str());
+    if (n > 0) out.push_back(static_cast<std::size_t>(n));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) out = {1, 8};
+  return out;
+}
+
+struct ConfigResult {
+  std::size_t threads = 0;
+  double seconds = 0.0;
+  serve::ServerStats stats;
+};
+
+}  // namespace
+
+int main() {
+  const std::size_t clients =
+      static_cast<std::size_t>(env_long("LMMIR_BENCH_CLIENTS", 8));
+  const std::size_t requests_per_client =
+      static_cast<std::size_t>(env_long("LMMIR_BENCH_REQUESTS", 12));
+  const std::size_t side =
+      static_cast<std::size_t>(env_long("LMMIR_BENCH_SIDE", 32));
+  const std::size_t cases = static_cast<std::size_t>(
+      std::max(1L, env_long("LMMIR_BENCH_CASES", 3)));
+  std::string model_name = "LMM-IR";
+  if (const char* v = std::getenv("LMMIR_BENCH_MODEL")) model_name = v;
+  const std::vector<std::size_t> thread_cfgs = env_thread_list();
+
+  // Generated contest-style cases, featurized + golden-solved once.
+  data::SampleOptions sopts;
+  sopts.input_side = side;
+  sopts.pc_grid = 4;
+  gen::SuiteOptions suite_opts;
+  suite_opts.scale = 0.05;
+  const auto configs =
+      gen::fake_training_suite(static_cast<int>(cases), 1717, suite_opts);
+  std::vector<data::Sample> samples;
+  for (const auto& cfg : configs) samples.push_back(data::make_sample(cfg, sopts));
+
+  std::shared_ptr<models::IrModel> model;
+  try {
+    model = models::make_model(model_name, 99);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "bench_serve_throughput: %s\n", e.what());
+    return 2;
+  }
+
+  // Reference predictions (serial, single-request) for the identity check.
+  runtime::set_global_threads(1);
+  std::vector<std::vector<float>> reference;
+  {
+    serve::ServeOptions ref_opts;
+    ref_opts.max_batch = 1;
+    serve::InferenceServer ref_server(model, ref_opts);
+    for (const auto& s : samples)
+      reference.push_back(
+          ref_server.predict(serve::request_from_sample(s)).map.data());
+  }
+
+  std::vector<ConfigResult> results;
+  std::atomic<bool> identical{true};
+  for (std::size_t threads : thread_cfgs) {
+    runtime::set_global_threads(threads);
+    serve::ServeOptions opts;
+    opts.max_batch = 8;
+    opts.max_wait_us = 1000;
+    serve::InferenceServer server(model, opts);
+
+    util::Stopwatch watch;
+    std::vector<std::thread> pool;
+    pool.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c)
+      pool.emplace_back([&, c] {
+        for (std::size_t r = 0; r < requests_per_client; ++r) {
+          const std::size_t si = (c + r) % samples.size();
+          const auto res =
+              server.predict(serve::request_from_sample(samples[si]));
+          const auto& want = reference[si];
+          if (res.map.data() != want) identical.store(false);
+        }
+      });
+    for (auto& t : pool) t.join();
+
+    ConfigResult cr;
+    cr.threads = threads;
+    cr.seconds = watch.seconds();
+    cr.stats = server.stats();
+    results.push_back(cr);
+  }
+  runtime::set_global_threads(1);
+
+  // min/max by thread count, not list order (LMMIR_BENCH_THREADS may be
+  // given in any order).
+  const auto* min_cfg = &results.front();
+  const auto* max_cfg = &results.front();
+  for (const auto& r : results) {
+    if (r.threads < min_cfg->threads) min_cfg = &r;
+    if (r.threads > max_cfg->threads) max_cfg = &r;
+  }
+  const double base_rps = min_cfg->stats.throughput_rps;
+  const double peak_rps = max_cfg->stats.throughput_rps;
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"serve_throughput\",\n");
+  std::printf("  \"model\": \"%s\",\n", model_name.c_str());
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"clients\": %zu,\n", clients);
+  std::printf("  \"requests_per_client\": %zu,\n", requests_per_client);
+  std::printf("  \"input_side\": %zu,\n", side);
+  std::printf("  \"batched_equals_sequential\": %s,\n",
+              identical.load() ? "true" : "false");
+  std::printf("  \"configs\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::printf("    {\"threads\": %zu, \"seconds\": %.4f, "
+                "\"throughput_rps\": %.2f, \"p50_us\": %.0f, "
+                "\"p95_us\": %.0f, \"p99_us\": %.0f, \"mean_batch\": %.2f, "
+                "\"max_batch\": %zu}%s\n",
+                r.threads, r.seconds, r.stats.throughput_rps, r.stats.p50_us,
+                r.stats.p95_us, r.stats.p99_us, r.stats.mean_batch,
+                r.stats.max_batch_seen,
+                i + 1 < results.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"speedup_max_vs_min_threads\": %.3f\n",
+              base_rps > 0.0 ? peak_rps / base_rps : 0.0);
+  std::printf("}\n");
+  return identical.load() ? 0 : 1;
+}

@@ -70,6 +70,11 @@ data::Sample Pipeline::sample_from_netlist_file(const std::string& path) const {
   return data::make_sample(nl, path, opts_.sample);
 }
 
+std::unique_ptr<serve::InferenceServer> Pipeline::make_server(
+    std::shared_ptr<models::IrModel> model, serve::ServeOptions options) const {
+  return std::make_unique<serve::InferenceServer>(std::move(model), options);
+}
+
 std::vector<train::EvalCase> Pipeline::train_and_evaluate(
     models::IrModel& model, const data::Dataset& dataset,
     const std::vector<data::Sample>& tests, float extra_augmentation) const {

@@ -17,6 +17,7 @@
 
 #include "data/dataset.hpp"
 #include "models/common.hpp"
+#include "serve/server.hpp"
 #include "train/trainer.hpp"
 
 namespace lmmir::core {
@@ -57,6 +58,14 @@ class Pipeline {
       models::IrModel& model, const data::Dataset& dataset,
       const std::vector<data::Sample>& tests,
       float extra_augmentation = 1.0f) const;
+
+  /// Put a model behind a dynamic-batching inference server (takes shared
+  /// ownership; the model is switched to eval mode).  Batch-size /
+  /// wait-window / dispatcher-count defaults come from `options`; override
+  /// any of them before heavy traffic.
+  std::unique_ptr<serve::InferenceServer> make_server(
+      std::shared_ptr<models::IrModel> model,
+      serve::ServeOptions options = {}) const;
 
  private:
   PipelineOptions opts_;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/parallel_for.hpp"
+
 namespace lmmir::feat {
 
 using spice::ElementType;
@@ -102,18 +104,23 @@ grid::Grid2D effective_distance_map(const Netlist& nl) {
     return map;
   }
   // d_eff(p) = ( Σᵢ 1/d(p, vᵢ) )⁻¹, with d floored at one pixel so the
-  // source pixel itself stays finite.
-  for (std::size_t r = 0; r < map.rows(); ++r)
-    for (std::size_t c = 0; c < map.cols(); ++c) {
-      double acc = 0.0;
-      for (const auto& [sy, sx] : sources) {
-        const double dy = static_cast<double>(r) - sy;
-        const double dx = static_cast<double>(c) - sx;
-        const double d = std::max(1.0, std::sqrt(dy * dy + dx * dx));
-        acc += 1.0 / d;
-      }
-      map.at(r, c) = static_cast<float>(1.0 / acc);
-    }
+  // source pixel itself stays finite.  O(rows * cols * sources) — the
+  // hottest rasterization loop — fanned out over pixel rows.
+  runtime::parallel_for(
+      0, map.rows(), runtime::grain_for_cost(map.cols() * sources.size() * 8),
+      [&](std::size_t r_lo, std::size_t r_hi) {
+        for (std::size_t r = r_lo; r < r_hi; ++r)
+          for (std::size_t c = 0; c < map.cols(); ++c) {
+            double acc = 0.0;
+            for (const auto& [sy, sx] : sources) {
+              const double dy = static_cast<double>(r) - sy;
+              const double dx = static_cast<double>(c) - sx;
+              const double d = std::max(1.0, std::sqrt(dy * dy + dx * dx));
+              acc += 1.0 / d;
+            }
+            map.at(r, c) = static_cast<float>(1.0 / acc);
+          }
+      });
   return map;
 }
 

@@ -1,0 +1,49 @@
+#include "runtime/parallel_for.hpp"
+
+#include <exception>
+#include <mutex>
+
+namespace lmmir::runtime::detail {
+
+void parallel_run(ThreadPool* pool, std::size_t begin, std::size_t end,
+                  std::size_t ntasks, const RangeBody& body) {
+  const std::size_t n = end - begin;
+
+  std::exception_ptr eptr;
+  std::mutex emu;
+  auto run_chunk = [&](std::size_t lo, std::size_t hi) {
+    try {
+      body(lo, hi);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(emu);
+      if (!eptr) eptr = std::current_exception();
+    }
+  };
+
+  // Even static partition: chunk t covers [begin + t*n/ntasks, ...).
+  Latch latch(static_cast<std::ptrdiff_t>(ntasks - 1));
+  std::size_t posted = 0;
+  try {
+    for (std::size_t t = 1; t < ntasks; ++t) {
+      const std::size_t lo = begin + t * n / ntasks;
+      const std::size_t hi = begin + (t + 1) * n / ntasks;
+      pool->post([&, lo, hi] {
+        run_chunk(lo, hi);
+        latch.count_down();
+      });
+      ++posted;
+    }
+  } catch (...) {
+    // post() failed (pool shutting down).  Chunks already queued reference
+    // this frame — settle the latch for the ones never posted and wait for
+    // the rest before letting the error unwind the stack.
+    latch.count_down(static_cast<std::ptrdiff_t>(ntasks - 1 - posted));
+    latch.wait();
+    throw;
+  }
+  run_chunk(begin, begin + n / ntasks);
+  latch.wait();
+  if (eptr) std::rethrow_exception(eptr);
+}
+
+}  // namespace lmmir::runtime::detail

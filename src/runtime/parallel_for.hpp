@@ -1,0 +1,71 @@
+#pragma once
+// Range fan-out over the runtime thread pool.
+//
+//   runtime::parallel_for(0, rows, grain, [&](std::size_t lo, std::size_t hi) {
+//     for (std::size_t r = lo; r < hi; ++r) ...   // disjoint output rows
+//   });
+//
+// The body receives contiguous half-open chunks that exactly cover
+// [begin, end); each index is visited exactly once.  The calling thread
+// participates, chunks are joined with a Latch, and the first exception a
+// chunk throws is rethrown on the caller after all chunks finish.  Runs
+// inline (serial) when the range is below the grain, the global pool is
+// configured to one thread, or the caller is itself a pool worker (no
+// nested parallelism).  The serial path invokes the callable directly —
+// type erasure (and its possible allocation) happens only when work is
+// actually fanned out, so tiny kernels pay nothing.
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+#include "runtime/thread_pool.hpp"
+
+namespace lmmir::runtime {
+
+using RangeBody = std::function<void(std::size_t begin, std::size_t end)>;
+
+namespace detail {
+/// Fan [begin, end) out over `pool` in `ntasks` even chunks (the caller
+/// runs chunk 0).  Only called once parallel_for decided to go parallel.
+void parallel_run(ThreadPool* pool, std::size_t begin, std::size_t end,
+                  std::size_t ntasks, const RangeBody& body);
+}  // namespace detail
+
+/// Fan the range out over `pool` (caller participates). grain = minimum
+/// chunk length; 0 picks n / (4 * workers).
+template <typename Body>
+void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
+                  std::size_t grain, Body&& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers = pool ? pool->size() : 0;
+  if (grain == 0) grain = std::max<std::size_t>(1, n / (4 * (workers + 1)));
+  const std::size_t ntasks =
+      std::min<std::size_t>(workers + 1, (n + grain - 1) / grain);
+  if (ntasks <= 1 || workers == 0 || pool->in_worker()) {
+    body(begin, end);
+    return;
+  }
+  detail::parallel_run(pool, begin, end, ntasks,
+                       RangeBody(std::forward<Body>(body)));
+}
+
+/// Same, over the process-wide pool.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  Body&& body) {
+  parallel_for(global_pool(), begin, end, grain, std::forward<Body>(body));
+}
+
+/// Grain (in items) so one chunk carries at least `min_chunk_cost` scalar
+/// operations when each item costs `per_item_cost`; keeps tiny kernels
+/// serial and amortizes enqueue overhead on large ones.
+inline std::size_t grain_for_cost(std::size_t per_item_cost,
+                                  std::size_t min_chunk_cost = (1u << 15)) {
+  if (per_item_cost == 0) per_item_cost = 1;
+  const std::size_t g = min_chunk_cost / per_item_cost;
+  return g ? g : 1;
+}
+
+}  // namespace lmmir::runtime

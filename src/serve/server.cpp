@@ -1,0 +1,297 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "data/dataset.hpp"
+#include "features/spatial.hpp"
+#include "util/log.hpp"
+
+namespace lmmir::serve {
+
+using tensor::Tensor;
+
+namespace {
+
+double elapsed_us(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  const std::size_t idx = static_cast<std::size_t>(
+      std::clamp(rank - 1.0, 0.0, static_cast<double>(sorted.size() - 1)));
+  return sorted[idx];
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(std::shared_ptr<models::IrModel> model,
+                                 ServeOptions options)
+    : model_(std::move(model)), opts_(options) {
+  if (!model_)
+    throw std::invalid_argument("InferenceServer: model must not be null");
+  if (opts_.max_batch == 0) opts_.max_batch = 1;
+  if (opts_.worker_threads == 0) opts_.worker_threads = 1;
+  // Eval mode once, up front: batch norm uses running stats and dropout is
+  // identity, making every layer per-sample and inference side-effect free
+  // (batched == sequential bitwise; concurrent dispatchers are safe).
+  model_->set_training(false);
+  dispatchers_.reserve(opts_.worker_threads);
+  try {
+    for (std::size_t i = 0; i < opts_.worker_threads; ++i)
+      dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  } catch (...) {
+    shutdown();  // join the dispatchers that did start, then rethrow
+    throw;
+  }
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::future<PredictResult> InferenceServer::submit(PredictRequest request) {
+  if (!request.circuit.defined() || request.circuit.ndim() != 3)
+    throw std::invalid_argument("submit: circuit must be a [C,S,S] tensor");
+  if (request.circuit.dim(0) < model_->in_channels())
+    throw std::invalid_argument(
+        "submit: circuit has fewer channels than the model consumes");
+  if (request.tokens.defined() && request.tokens.ndim() != 2)
+    throw std::invalid_argument("submit: tokens must be [T,F]");
+
+  Pending p;
+  p.request = std::move(request);
+  p.arrival = Clock::now();
+  std::future<PredictResult> fut = p.promise.get_future();
+  {
+    // Before the request becomes visible to dispatchers, so last_done_ can
+    // never precede first_submit_ (keeps the throughput span positive).
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (!any_submit_) {
+      first_submit_ = p.arrival;
+      any_submit_ = true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_)
+      throw std::runtime_error("submit: server is shut down");
+    if (opts_.max_queue > 0 && queue_.size() >= opts_.max_queue)
+      throw std::runtime_error("submit: queue full (" +
+                               std::to_string(opts_.max_queue) +
+                               " pending); retry later");
+    queue_.push_back(std::move(p));
+  }
+  cv_.notify_all();
+  return fut;
+}
+
+PredictResult InferenceServer::predict(PredictRequest request) {
+  return submit(std::move(request)).get();
+}
+
+bool InferenceServer::batchable(const PredictRequest& a,
+                                const PredictRequest& b) {
+  if (!tensor::same_shape(a.circuit.shape(), b.circuit.shape())) return false;
+  if (a.tokens.defined() != b.tokens.defined()) return false;
+  if (a.tokens.defined() &&
+      !tensor::same_shape(a.tokens.shape(), b.tokens.shape()))
+    return false;
+  return true;
+}
+
+void InferenceServer::dispatcher_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+
+      // Batching window: collect arrivals until the batch is full or
+      // max_wait_us passed since the oldest pending request.  The deadline
+      // is recomputed from the current front every wake: another dispatcher
+      // may have served the request the previous deadline belonged to, and
+      // a fresh arrival deserves its own full window.
+      while (!stopping_ && !queue_.empty() &&
+             queue_.size() < opts_.max_batch) {
+        const auto deadline = queue_.front().arrival +
+                              std::chrono::microseconds(opts_.max_wait_us);
+        if (Clock::now() >= deadline) break;
+        cv_.wait_until(lock, deadline);
+      }
+      if (queue_.empty()) continue;  // another dispatcher raced us to it
+
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      while (batch.size() < opts_.max_batch && !queue_.empty() &&
+             batchable(batch.front().request, queue_.front().request)) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    run_batch(batch);
+  }
+}
+
+void InferenceServer::run_batch(std::vector<Pending>& batch) {
+  const auto t_start = Clock::now();
+  const std::size_t n = batch.size();
+  std::size_t fulfilled = 0;  // promises already satisfied (never re-set)
+  try {
+    // Stack [C,S,S] -> [N,C,S,S] (and tokens [T,F] -> [N,T,F]), exactly the
+    // concatenation data::make_batch performs for training batches.
+    const auto& cs = batch.front().request.circuit.shape();
+    std::vector<float> circ;
+    circ.reserve(n * batch.front().request.circuit.numel());
+    for (const auto& p : batch)
+      circ.insert(circ.end(), p.request.circuit.data().begin(),
+                  p.request.circuit.data().end());
+    Tensor circuit = Tensor::from_data(
+        {static_cast<int>(n), cs[0], cs[1], cs[2]}, std::move(circ));
+    circuit = data::slice_channels(circuit, model_->in_channels());
+
+    Tensor tokens;
+    if (batch.front().request.tokens.defined()) {
+      const auto& ts = batch.front().request.tokens.shape();
+      std::vector<float> toks;
+      toks.reserve(n * batch.front().request.tokens.numel());
+      for (const auto& p : batch)
+        toks.insert(toks.end(), p.request.tokens.data().begin(),
+                    p.request.tokens.data().end());
+      tokens = Tensor::from_data({static_cast<int>(n), ts[0], ts[1]},
+                                 std::move(toks));
+    }
+
+    Tensor pred;
+    {
+      tensor::NoGradGuard no_grad;  // inference builds no tape
+      pred = model_->forward(circuit, tokens);
+    }
+    const auto t_done = Clock::now();
+    const double compute_us = elapsed_us(t_start, t_done);
+
+    // Record stats before fulfilling promises so a caller returning from
+    // predict() immediately observes its own request in stats().
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      for (const auto& p : batch) {
+        const double lat = elapsed_us(p.arrival, t_done);
+        if (latencies_us_.size() < kStatsWindow) {
+          latencies_us_.push_back(lat);
+        } else {
+          latencies_us_[latency_pos_] = lat;
+          latency_pos_ = (latency_pos_ + 1) % kStatsWindow;
+        }
+      }
+      completed_ += n;
+      batches_ += 1;
+      batched_requests_ += n;
+      max_batch_seen_ = std::max(max_batch_seen_, n);
+      // max(): with several dispatchers, batches may record out of order.
+      last_done_ = std::max(last_done_, t_done);
+    }
+
+    const std::size_t per = pred.numel() / n;
+    const tensor::Shape map_shape{pred.dim(1), pred.dim(2), pred.dim(3)};
+    for (std::size_t i = 0; i < n; ++i) {
+      PredictResult r;
+      r.id = batch[i].request.id;
+      r.map = Tensor::from_data(
+          map_shape,
+          std::vector<float>(pred.data().begin() +
+                                 static_cast<std::ptrdiff_t>(i * per),
+                             pred.data().begin() +
+                                 static_cast<std::ptrdiff_t>((i + 1) * per)));
+      r.queue_us = elapsed_us(batch[i].arrival, t_start);
+      r.compute_us = compute_us;
+      r.total_us = elapsed_us(batch[i].arrival, t_done);
+      r.batch_size = n;
+      batch[i].promise.set_value(std::move(r));
+      ++fulfilled;
+    }
+  } catch (const std::exception& e) {
+    util::log_error("InferenceServer: batch of ", n, " failed: ", e.what());
+    for (std::size_t i = fulfilled; i < batch.size(); ++i)
+      batch[i].promise.set_exception(std::current_exception());
+  } catch (...) {
+    util::log_error("InferenceServer: batch of ", n,
+                    " failed with a non-std exception");
+    for (std::size_t i = fulfilled; i < batch.size(); ++i)
+      batch[i].promise.set_exception(std::current_exception());
+  }
+}
+
+void InferenceServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // Serialize the join+clear so concurrent shutdown() calls (or shutdown
+  // racing the destructor) don't double-join the same thread.
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  for (auto& d : dispatchers_)
+    if (d.joinable()) d.join();
+  dispatchers_.clear();
+}
+
+ServerStats InferenceServer::stats() const {
+  ServerStats s;
+  std::vector<double> lat;
+  Clock::time_point first, last;
+  bool any;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    lat = latencies_us_;  // bounded by kStatsWindow
+    s.completed = completed_;
+    s.batches = batches_;
+    s.max_batch_seen = max_batch_seen_;
+    if (batches_ > 0)
+      s.mean_batch = static_cast<double>(batched_requests_) /
+                     static_cast<double>(batches_);
+    first = first_submit_;
+    last = last_done_;
+    any = any_submit_;
+  }
+  if (lat.empty()) return s;
+
+  std::sort(lat.begin(), lat.end());
+  s.p50_us = percentile(lat, 50.0);
+  s.p95_us = percentile(lat, 95.0);
+  s.p99_us = percentile(lat, 99.0);
+  s.max_us = lat.back();
+  double sum = 0.0;
+  for (double v : lat) sum += v;
+  s.mean_us = sum / static_cast<double>(lat.size());
+
+  if (any) {
+    const double span_s =
+        std::max(1e-9, std::chrono::duration<double>(last - first).count());
+    s.throughput_rps = static_cast<double>(s.completed) / span_s;
+  }
+  return s;
+}
+
+PredictRequest request_from_sample(const data::Sample& sample) {
+  PredictRequest r;
+  r.id = sample.name;
+  r.circuit = sample.circuit;
+  r.tokens = sample.tokens;
+  return r;
+}
+
+grid::Grid2D restore_percent_map(const PredictResult& result,
+                                 const data::Sample& sample) {
+  if (!result.map.defined() || result.map.ndim() != 3)
+    throw std::invalid_argument("restore_percent_map: expects a [1,S,S] map");
+  const std::size_t side = static_cast<std::size_t>(result.map.dim(1));
+  grid::Grid2D map(side, side);
+  map.data() = result.map.data();
+  map.scale(1.0f / data::kTargetScale);
+  return feat::restore_from_side(map, sample.adjust);
+}
+
+}  // namespace lmmir::serve

@@ -1,0 +1,157 @@
+#pragma once
+// Online inference serving with dynamic batching.
+//
+// An InferenceServer owns a trained (or freshly constructed) IrModel behind
+// a request queue.  Callers submit PredictRequests from any thread and get
+// a future; a dispatcher coalesces pending requests into batches of up to
+// `max_batch`, waiting at most `max_wait_us` after the oldest pending
+// request arrived, runs one batched forward pass, and fulfills each
+// request's future with its slice of the output.  This amortizes model
+// dispatch across concurrent clients — the same dynamic-batching discipline
+// production model servers use — while keeping results bitwise identical to
+// single-request inference (every layer in the stack is per-sample in eval
+// mode; see tests/test_serve.cpp).
+//
+//   auto server = pipe.make_server(models::make_model("LMM-IR"));
+//   auto fut = server->submit(serve::request_from_sample(sample));
+//   serve::PredictResult r = fut.get();           // [1,S,S] prediction
+//   grid::Grid2D map = serve::restore_percent_map(r, sample);
+//
+// Thread model: `worker_threads` dispatcher threads pop batches
+// independently; the batched forward itself fans out over the
+// runtime::global_pool for intra-op parallelism.  The model is switched to
+// eval mode at construction and never mutated afterwards, so concurrent
+// batch runners are safe.
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/sample.hpp"
+#include "models/common.hpp"
+#include "tensor/tensor.hpp"
+
+namespace lmmir::serve {
+
+struct ServeOptions {
+  std::size_t max_batch = 8;       // largest coalesced batch
+  std::uint64_t max_wait_us = 500; // batching window after the oldest arrival
+  std::size_t worker_threads = 1;  // concurrent batch dispatchers
+  /// Backpressure: submit() throws once this many requests are pending
+  /// (each Pending holds full input tensors; an unbounded queue would grow
+  /// without limit whenever arrival outpaces compute). 0 = unbounded.
+  std::size_t max_queue = 1024;
+};
+
+struct PredictRequest {
+  std::string id;          // caller tag, echoed in the result
+  tensor::Tensor circuit;  // [C,S,S]; C >= model in_channels (extra sliced)
+  tensor::Tensor tokens;   // [T,F] netlist tokens; may be undefined for
+                           // single-modality models
+};
+
+struct PredictResult {
+  std::string id;
+  tensor::Tensor map;      // [1,S,S] prediction, target-scale units
+  double queue_us = 0.0;   // submit -> batch start
+  double compute_us = 0.0; // batched forward wall clock (shared by batch)
+  double total_us = 0.0;   // submit -> future fulfilled
+  std::size_t batch_size = 0;  // size of the batch this request rode in
+};
+
+/// Aggregate latency / throughput counters.  Counts, throughput and batch
+/// shape cover the server's whole lifetime; the latency distribution
+/// (p50/p95/p99/mean/max) covers the most recent kStatsWindow completions
+/// so a long-lived server's memory and stats() cost stay bounded.
+struct ServerStats {
+  std::size_t completed = 0;
+  std::size_t batches = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+  double throughput_rps = 0.0;  // completed / (last completion - first submit)
+  double mean_batch = 0.0;      // mean executed batch size
+  std::size_t max_batch_seen = 0;
+};
+
+class InferenceServer {
+ public:
+  explicit InferenceServer(std::shared_ptr<models::IrModel> model,
+                           ServeOptions options = {});
+  /// Drains pending requests, then joins the dispatchers.
+  ~InferenceServer();
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueue from any thread.  The future rethrows inference errors.
+  /// Throws std::runtime_error after shutdown() or when the pending queue
+  /// is at max_queue (backpressure — retry later).
+  std::future<PredictResult> submit(PredictRequest request);
+
+  /// Synchronous convenience wrapper: submit + wait.
+  PredictResult predict(PredictRequest request);
+
+  /// Stop accepting new requests, serve everything already queued, join.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+  ServerStats stats() const;
+  const ServeOptions& options() const { return opts_; }
+  const models::IrModel& model() const { return *model_; }
+
+  /// Latency samples retained for the stats() distribution (ring buffer).
+  static constexpr std::size_t kStatsWindow = 16384;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    PredictRequest request;
+    std::promise<PredictResult> promise;
+    Clock::time_point arrival;
+  };
+
+  void dispatcher_loop();
+  void run_batch(std::vector<Pending>& batch);
+  static bool batchable(const PredictRequest& a, const PredictRequest& b);
+
+  std::shared_ptr<models::IrModel> model_;
+  ServeOptions opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> dispatchers_;
+  std::mutex shutdown_mu_;  // serializes concurrent shutdown() calls
+
+  mutable std::mutex stats_mu_;
+  std::vector<double> latencies_us_;   // ring of the last kStatsWindow
+  std::size_t latency_pos_ = 0;        // next overwrite slot once full
+  std::size_t completed_ = 0;          // lifetime counters
+  std::size_t batches_ = 0;
+  std::size_t batched_requests_ = 0;   // sum of executed batch sizes
+  std::size_t max_batch_seen_ = 0;
+  Clock::time_point first_submit_{};
+  Clock::time_point last_done_{};
+  bool any_submit_ = false;
+};
+
+/// Build a request carrying a sample's canonical circuit stack and tokens.
+PredictRequest request_from_sample(const data::Sample& sample);
+
+/// Undo target scaling and the pad/resize adjustment: the result map in
+/// percent-of-vdd units at the sample's original resolution (the inference
+/// half of train::predict_map).
+grid::Grid2D restore_percent_map(const PredictResult& result,
+                                 const data::Sample& sample);
+
+}  // namespace lmmir::serve

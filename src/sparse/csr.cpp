@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "runtime/parallel_for.hpp"
+
 namespace lmmir::sparse {
 
 void CooBuilder::add(std::size_t row, std::size_t col, double value) {
@@ -54,12 +56,19 @@ void CsrMatrix::multiply(const std::vector<double>& x,
                          std::vector<double>& y) const {
   if (x.size() != n_) throw std::invalid_argument("CsrMatrix::multiply: size");
   y.assign(n_, 0.0);
-  for (std::size_t r = 0; r < n_; ++r) {
-    double acc = 0.0;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-      acc += vals_[k] * x[col_idx_[k]];
-    y[r] = acc;
-  }
+  // Rows are independent; y is written in disjoint slices and each row's
+  // accumulation order matches the serial kernel (deterministic results).
+  const std::size_t avg_nnz = vals_.size() / (n_ ? n_ : 1);
+  runtime::parallel_for(
+      0, n_, runtime::grain_for_cost(2 * (avg_nnz + 1)),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          double acc = 0.0;
+          for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+            acc += vals_[k] * x[col_idx_[k]];
+          y[r] = acc;
+        }
+      });
 }
 
 std::vector<double> CsrMatrix::diagonal() const {

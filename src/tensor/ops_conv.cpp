@@ -2,6 +2,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/op_helpers.hpp"
 #include "tensor/ops.hpp"
 
@@ -125,18 +126,34 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, int stride,
   const std::size_t patch = g.cin * g.kh * g.kw;
   const std::size_t spatial = g.oh * g.ow;
   std::vector<float> y(g.n * g.cout * spatial, 0.0f);
-  std::vector<float> col(patch * spatial);
-  for (std::size_t ni = 0; ni < g.n; ++ni) {
-    im2col(x.data().data() + ni * g.cin * g.h * g.w, g, col.data());
-    gemm_acc(w.data().data(), col.data(), y.data() + ni * g.cout * spatial,
-             g.cout, patch, spatial);
-    if (b.defined())
-      for (std::size_t c = 0; c < g.cout; ++c) {
-        float* dst = y.data() + (ni * g.cout + c) * spatial;
-        const float bv = b.data()[c];
-        for (std::size_t i = 0; i < spatial; ++i) dst[i] += bv;
-      }
-  }
+  // Samples are independent (each chunk keeps a private im2col buffer and
+  // writes its own output planes), so the batch fans out over the pool.
+  // For a single-sample batch (the serving latency path) the outer loop
+  // cannot use the pool at all; only then does the gemm fan out over cout
+  // row blocks — otherwise the inner level runs inline so the caller's
+  // chunk never blocks behind other samples' queued work.
+  runtime::ThreadPool* inner_pool = g.n == 1 ? runtime::global_pool() : nullptr;
+  runtime::parallel_for(
+      0, g.n, runtime::grain_for_cost(patch * spatial * g.cout),
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<float> col(patch * spatial);
+        for (std::size_t ni = lo; ni < hi; ++ni) {
+          im2col(x.data().data() + ni * g.cin * g.h * g.w, g, col.data());
+          runtime::parallel_for(
+              inner_pool, 0, g.cout, runtime::grain_for_cost(patch * spatial),
+              [&](std::size_t c_lo, std::size_t c_hi) {
+                gemm_acc(w.data().data() + c_lo * patch, col.data(),
+                         y.data() + (ni * g.cout + c_lo) * spatial,
+                         c_hi - c_lo, patch, spatial);
+                if (b.defined())
+                  for (std::size_t c = c_lo; c < c_hi; ++c) {
+                    float* dst = y.data() + (ni * g.cout + c) * spatial;
+                    const float bv = b.data()[c];
+                    for (std::size_t i = 0; i < spatial; ++i) dst[i] += bv;
+                  }
+              });
+        }
+      });
   auto out = make_node(Shape{static_cast<int>(g.n), static_cast<int>(g.cout),
                              static_cast<int>(g.oh), static_cast<int>(g.ow)},
                        std::move(y));
@@ -209,36 +226,55 @@ Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b,
         std::fill_n(y.data() + (ni * g.cout + c) * g.oh * g.ow, g.oh * g.ow,
                     b.data()[c]);
 
-  // Scatter: each input pixel adds its kernel-weighted footprint.
-  for (std::size_t ni = 0; ni < g.n; ++ni) {
-    for (std::size_t ci = 0; ci < g.cin; ++ci) {
-      const float* xin = x.data().data() + (ni * g.cin + ci) * g.h * g.w;
-      for (std::size_t hy = 0; hy < g.h; ++hy) {
-        for (std::size_t hx = 0; hx < g.w; ++hx) {
-          const float xv = xin[hy * g.w + hx];
-          if (xv == 0.0f) continue;
-          for (std::size_t co = 0; co < g.cout; ++co) {
-            const float* wk =
-                w.data().data() + ((ci * g.cout + co) * g.kh) * g.kw;
-            float* yout = y.data() + (ni * g.cout + co) * g.oh * g.ow;
-            for (std::size_t ki = 0; ki < g.kh; ++ki) {
-              const long oy = static_cast<long>(hy) * stride +
-                              static_cast<long>(ki) - padding;
-              if (oy < 0 || oy >= static_cast<long>(g.oh)) continue;
-              for (std::size_t kj = 0; kj < g.kw; ++kj) {
-                const long ox = static_cast<long>(hx) * stride +
-                                static_cast<long>(kj) - padding;
-                if (ox < 0 || ox >= static_cast<long>(g.ow)) continue;
-                yout[static_cast<std::size_t>(oy) * g.ow +
-                     static_cast<std::size_t>(ox)] +=
-                    xv * wk[ki * g.kw + kj];
-              }
-            }
-          }
+  // Scatter: each input pixel adds its kernel-weighted footprint.  Output
+  // planes are disjoint per (sample, out-channel), so the batch fans out
+  // over the pool; only a single-sample batch (n=1 serving) fans the
+  // out-channel loop out instead (see conv2d above).  Per-element
+  // accumulation order is (ci, hy, hx, ki, kj) in both the serial and the
+  // parallel nesting, keeping results bitwise identical.
+  runtime::ThreadPool* inner_pool = g.n == 1 ? runtime::global_pool() : nullptr;
+  runtime::parallel_for(
+      0, g.n,
+      runtime::grain_for_cost(g.cin * g.h * g.w * g.cout * g.kh * g.kw),
+      [&](std::size_t n_lo, std::size_t n_hi) {
+        for (std::size_t ni = n_lo; ni < n_hi; ++ni) {
+          runtime::parallel_for(
+              inner_pool, 0, g.cout,
+              runtime::grain_for_cost(g.cin * g.h * g.w * g.kh * g.kw),
+              [&, ni](std::size_t co_lo, std::size_t co_hi) {
+                for (std::size_t co = co_lo; co < co_hi; ++co) {
+                  float* yout = y.data() + (ni * g.cout + co) * g.oh * g.ow;
+                  for (std::size_t ci = 0; ci < g.cin; ++ci) {
+                    const float* xin =
+                        x.data().data() + (ni * g.cin + ci) * g.h * g.w;
+                    const float* wk =
+                        w.data().data() + ((ci * g.cout + co) * g.kh) * g.kw;
+                    for (std::size_t hy = 0; hy < g.h; ++hy) {
+                      for (std::size_t hx = 0; hx < g.w; ++hx) {
+                        const float xv = xin[hy * g.w + hx];
+                        if (xv == 0.0f) continue;
+                        for (std::size_t ki = 0; ki < g.kh; ++ki) {
+                          const long oy = static_cast<long>(hy) * stride +
+                                          static_cast<long>(ki) - padding;
+                          if (oy < 0 || oy >= static_cast<long>(g.oh))
+                            continue;
+                          for (std::size_t kj = 0; kj < g.kw; ++kj) {
+                            const long ox = static_cast<long>(hx) * stride +
+                                            static_cast<long>(kj) - padding;
+                            if (ox < 0 || ox >= static_cast<long>(g.ow))
+                              continue;
+                            yout[static_cast<std::size_t>(oy) * g.ow +
+                                 static_cast<std::size_t>(ox)] +=
+                                xv * wk[ki * g.kw + kj];
+                          }
+                        }
+                      }
+                    }
+                  }
+                }
+              });
         }
-      }
-    }
-  }
+      });
   auto out = make_node(Shape{static_cast<int>(g.n), static_cast<int>(g.cout),
                              static_cast<int>(g.oh), static_cast<int>(g.ow)},
                        std::move(y));

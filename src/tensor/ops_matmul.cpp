@@ -1,5 +1,6 @@
 #include <stdexcept>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/op_helpers.hpp"
 #include "tensor/ops.hpp"
 
@@ -23,7 +24,14 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const std::size_t k = static_cast<std::size_t>(a.dim(1));
   const std::size_t n = static_cast<std::size_t>(b.dim(1));
   std::vector<float> y(m * n, 0.0f);
-  gemm_acc(a.data().data(), b.data().data(), y.data(), m, k, n);
+  // Row blocks write disjoint slices of y; per-row arithmetic is the same
+  // as the serial kernel, so results are thread-count independent.
+  runtime::parallel_for(
+      0, m, runtime::grain_for_cost(k * n),
+      [&](std::size_t lo, std::size_t hi) {
+        gemm_acc(a.data().data() + lo * k, b.data().data(), y.data() + lo * n,
+                 hi - lo, k, n);
+      });
   auto out = make_node(Shape{static_cast<int>(m), static_cast<int>(n)},
                        std::move(y));
   if (needs_grad({&a, &b})) {
@@ -58,9 +66,13 @@ Tensor bmm(const Tensor& a, const Tensor& b) {
   const std::size_t k = static_cast<std::size_t>(a.dim(2));
   const std::size_t n = static_cast<std::size_t>(b.dim(2));
   std::vector<float> y(bs * m * n, 0.0f);
-  for (std::size_t i = 0; i < bs; ++i)
-    gemm_acc(a.data().data() + i * m * k, b.data().data() + i * k * n,
-             y.data() + i * m * n, m, k, n);
+  runtime::parallel_for(
+      0, bs, runtime::grain_for_cost(m * k * n),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          gemm_acc(a.data().data() + i * m * k, b.data().data() + i * k * n,
+                   y.data() + i * m * n, m, k, n);
+      });
   auto out = make_node(
       Shape{static_cast<int>(bs), static_cast<int>(m), static_cast<int>(n)},
       std::move(y));
@@ -102,10 +114,16 @@ Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
 
   // y[rows,out] = x[rows,in] * w[out,in]ᵀ (+ b)
   std::vector<float> y(rows * outf, 0.0f);
-  gemm_a_bt_acc(x.data().data(), w.data().data(), y.data(), rows, in, outf);
-  if (b.defined())
-    for (std::size_t r = 0; r < rows; ++r)
-      for (std::size_t o = 0; o < outf; ++o) y[r * outf + o] += b.data()[o];
+  runtime::parallel_for(
+      0, rows, runtime::grain_for_cost(in * outf),
+      [&](std::size_t lo, std::size_t hi) {
+        gemm_a_bt_acc(x.data().data() + lo * in, w.data().data(),
+                      y.data() + lo * outf, hi - lo, in, outf);
+        if (b.defined())
+          for (std::size_t r = lo; r < hi; ++r)
+            for (std::size_t o = 0; o < outf; ++o)
+              y[r * outf + o] += b.data()[o];
+      });
 
   Shape out_shape = x.shape();
   out_shape.back() = static_cast<int>(outf);

@@ -2,11 +2,17 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace lmmir::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+// Serializes sink writes so lines from pool workers / serving threads never
+// interleave (stdio locks per call, but ordering across the formatted write
+// is only guaranteed under this mutex).
+std::mutex g_sink_mu;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -25,6 +31,7 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& msg) {
   if (level < g_level.load()) return;
+  std::lock_guard<std::mutex> lock(g_sink_mu);
   std::fprintf(stderr, "[lmmir %-5s] %s\n", level_name(level), msg.c_str());
 }
 

@@ -1,13 +1,24 @@
 #pragma once
 // Deterministic random number generation.  Every stochastic component in the
 // library takes an explicit Rng (or seed) so experiments are reproducible.
+//
+// Thread ownership: an Rng instance is NOT thread-safe and must be owned by
+// exactly one thread for its lifetime.  Never share an instance across
+// runtime::ThreadPool workers or serving threads — draws would race on the
+// engine state and destroy reproducibility.  Code that needs randomness on
+// multiple threads derives one independent stream per thread up front via
+// fork() (or per-chunk seeds) on the owning thread, then hands each child to
+// a single worker.  The parallelized kernels (tensor / sparse / feature
+// rasterization) draw no random numbers, so they stay deterministic for any
+// thread count.
 #include <cstdint>
 #include <random>
 #include <vector>
 
 namespace lmmir::util {
 
-/// Thin wrapper over std::mt19937_64 with the distributions the library uses.
+/// Thin wrapper over std::mt19937_64 with the distributions the library
+/// uses.  Single-thread ownership; see the header comment.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x5eed1234abcdefULL) : engine_(seed) {}
