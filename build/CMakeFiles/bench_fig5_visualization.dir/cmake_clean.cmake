@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_visualization.dir/bench/bench_fig5_visualization.cpp.o"
+  "CMakeFiles/bench_fig5_visualization.dir/bench/bench_fig5_visualization.cpp.o.d"
+  "bench_fig5_visualization"
+  "bench_fig5_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

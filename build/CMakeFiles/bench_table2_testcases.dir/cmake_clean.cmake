@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_testcases.dir/bench/bench_table2_testcases.cpp.o"
+  "CMakeFiles/bench_table2_testcases.dir/bench/bench_table2_testcases.cpp.o.d"
+  "bench_table2_testcases"
+  "bench_table2_testcases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_testcases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_analyze_netlist.dir/examples/analyze_netlist.cpp.o"
+  "CMakeFiles/example_analyze_netlist.dir/examples/analyze_netlist.cpp.o.d"
+  "example_analyze_netlist"
+  "example_analyze_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_analyze_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

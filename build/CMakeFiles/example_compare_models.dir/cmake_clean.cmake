@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compare_models.dir/examples/compare_models.cpp.o"
+  "CMakeFiles/example_compare_models.dir/examples/compare_models.cpp.o.d"
+  "example_compare_models"
+  "example_compare_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compare_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

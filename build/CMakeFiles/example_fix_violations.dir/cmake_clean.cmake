@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fix_violations.dir/examples/fix_violations.cpp.o"
+  "CMakeFiles/example_fix_violations.dir/examples/fix_violations.cpp.o.d"
+  "example_fix_violations"
+  "example_fix_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fix_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_generate_benchmarks.dir/examples/generate_benchmarks.cpp.o"
+  "CMakeFiles/example_generate_benchmarks.dir/examples/generate_benchmarks.cpp.o.d"
+  "example_generate_benchmarks"
+  "example_generate_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_generate_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

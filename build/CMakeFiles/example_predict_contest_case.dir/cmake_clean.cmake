@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_predict_contest_case.dir/examples/predict_contest_case.cpp.o"
+  "CMakeFiles/example_predict_contest_case.dir/examples/predict_contest_case.cpp.o.d"
+  "example_predict_contest_case"
+  "example_predict_contest_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_predict_contest_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_serve_predictions.dir/examples/serve_predictions.cpp.o"
+  "CMakeFiles/example_serve_predictions.dir/examples/serve_predictions.cpp.o.d"
+  "example_serve_predictions"
+  "example_serve_predictions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_serve_predictions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

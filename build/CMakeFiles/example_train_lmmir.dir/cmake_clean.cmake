@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_train_lmmir.dir/examples/train_lmmir.cpp.o"
+  "CMakeFiles/example_train_lmmir.dir/examples/train_lmmir.cpp.o.d"
+  "example_train_lmmir"
+  "example_train_lmmir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_train_lmmir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/pipeline.cpp" "CMakeFiles/lmmir.dir/src/core/pipeline.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/core/pipeline.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "CMakeFiles/lmmir.dir/src/data/dataset.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/data/dataset.cpp.o.d"
+  "/root/repo/src/data/sample.cpp" "CMakeFiles/lmmir.dir/src/data/sample.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/data/sample.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "CMakeFiles/lmmir.dir/src/eval/metrics.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/eval/metrics.cpp.o.d"
+  "/root/repo/src/features/contest_io.cpp" "CMakeFiles/lmmir.dir/src/features/contest_io.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/features/contest_io.cpp.o.d"
+  "/root/repo/src/features/maps.cpp" "CMakeFiles/lmmir.dir/src/features/maps.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/features/maps.cpp.o.d"
+  "/root/repo/src/features/spatial.cpp" "CMakeFiles/lmmir.dir/src/features/spatial.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/features/spatial.cpp.o.d"
+  "/root/repo/src/gen/began.cpp" "CMakeFiles/lmmir.dir/src/gen/began.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/gen/began.cpp.o.d"
+  "/root/repo/src/gen/suite.cpp" "CMakeFiles/lmmir.dir/src/gen/suite.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/gen/suite.cpp.o.d"
+  "/root/repo/src/grid/grid2d.cpp" "CMakeFiles/lmmir.dir/src/grid/grid2d.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/grid/grid2d.cpp.o.d"
+  "/root/repo/src/models/blocks.cpp" "CMakeFiles/lmmir.dir/src/models/blocks.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/models/blocks.cpp.o.d"
+  "/root/repo/src/models/contest.cpp" "CMakeFiles/lmmir.dir/src/models/contest.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/models/contest.cpp.o.d"
+  "/root/repo/src/models/iredge.cpp" "CMakeFiles/lmmir.dir/src/models/iredge.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/models/iredge.cpp.o.d"
+  "/root/repo/src/models/irpnet.cpp" "CMakeFiles/lmmir.dir/src/models/irpnet.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/models/irpnet.cpp.o.d"
+  "/root/repo/src/models/lmmir_model.cpp" "CMakeFiles/lmmir.dir/src/models/lmmir_model.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/models/lmmir_model.cpp.o.d"
+  "/root/repo/src/models/registry.cpp" "CMakeFiles/lmmir.dir/src/models/registry.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/models/registry.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "CMakeFiles/lmmir.dir/src/nn/attention.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/nn/attention.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "CMakeFiles/lmmir.dir/src/nn/layers.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/nn/layers.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "CMakeFiles/lmmir.dir/src/nn/module.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/nn/module.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "CMakeFiles/lmmir.dir/src/nn/optim.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/nn/optim.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "CMakeFiles/lmmir.dir/src/nn/serialize.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/nn/serialize.cpp.o.d"
+  "/root/repo/src/pdn/circuit.cpp" "CMakeFiles/lmmir.dir/src/pdn/circuit.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/pdn/circuit.cpp.o.d"
+  "/root/repo/src/pdn/optimize.cpp" "CMakeFiles/lmmir.dir/src/pdn/optimize.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/pdn/optimize.cpp.o.d"
+  "/root/repo/src/pdn/raster.cpp" "CMakeFiles/lmmir.dir/src/pdn/raster.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/pdn/raster.cpp.o.d"
+  "/root/repo/src/pdn/solver.cpp" "CMakeFiles/lmmir.dir/src/pdn/solver.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/pdn/solver.cpp.o.d"
+  "/root/repo/src/pdn/stats.cpp" "CMakeFiles/lmmir.dir/src/pdn/stats.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/pdn/stats.cpp.o.d"
+  "/root/repo/src/pointcloud/cloud.cpp" "CMakeFiles/lmmir.dir/src/pointcloud/cloud.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/pointcloud/cloud.cpp.o.d"
+  "/root/repo/src/pointcloud/pool.cpp" "CMakeFiles/lmmir.dir/src/pointcloud/pool.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/pointcloud/pool.cpp.o.d"
+  "/root/repo/src/runtime/parallel_for.cpp" "CMakeFiles/lmmir.dir/src/runtime/parallel_for.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/runtime/parallel_for.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "CMakeFiles/lmmir.dir/src/runtime/thread_pool.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/runtime/thread_pool.cpp.o.d"
+  "/root/repo/src/serve/server.cpp" "CMakeFiles/lmmir.dir/src/serve/server.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/serve/server.cpp.o.d"
+  "/root/repo/src/sparse/cg.cpp" "CMakeFiles/lmmir.dir/src/sparse/cg.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/sparse/cg.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "CMakeFiles/lmmir.dir/src/sparse/csr.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/sparse/csr.cpp.o.d"
+  "/root/repo/src/sparse/dense.cpp" "CMakeFiles/lmmir.dir/src/sparse/dense.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/sparse/dense.cpp.o.d"
+  "/root/repo/src/spice/netlist.cpp" "CMakeFiles/lmmir.dir/src/spice/netlist.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/spice/netlist.cpp.o.d"
+  "/root/repo/src/spice/node_name.cpp" "CMakeFiles/lmmir.dir/src/spice/node_name.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/spice/node_name.cpp.o.d"
+  "/root/repo/src/spice/parser.cpp" "CMakeFiles/lmmir.dir/src/spice/parser.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/spice/parser.cpp.o.d"
+  "/root/repo/src/spice/writer.cpp" "CMakeFiles/lmmir.dir/src/spice/writer.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/spice/writer.cpp.o.d"
+  "/root/repo/src/tensor/ops_basic.cpp" "CMakeFiles/lmmir.dir/src/tensor/ops_basic.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/tensor/ops_basic.cpp.o.d"
+  "/root/repo/src/tensor/ops_conv.cpp" "CMakeFiles/lmmir.dir/src/tensor/ops_conv.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/tensor/ops_conv.cpp.o.d"
+  "/root/repo/src/tensor/ops_matmul.cpp" "CMakeFiles/lmmir.dir/src/tensor/ops_matmul.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/tensor/ops_matmul.cpp.o.d"
+  "/root/repo/src/tensor/ops_norm.cpp" "CMakeFiles/lmmir.dir/src/tensor/ops_norm.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/tensor/ops_norm.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "CMakeFiles/lmmir.dir/src/tensor/tensor.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/tensor/tensor.cpp.o.d"
+  "/root/repo/src/train/trainer.cpp" "CMakeFiles/lmmir.dir/src/train/trainer.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/train/trainer.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "CMakeFiles/lmmir.dir/src/util/csv.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/util/csv.cpp.o.d"
+  "/root/repo/src/util/image_io.cpp" "CMakeFiles/lmmir.dir/src/util/image_io.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/util/image_io.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "CMakeFiles/lmmir.dir/src/util/log.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/util/log.cpp.o.d"
+  "/root/repo/src/util/string_utils.cpp" "CMakeFiles/lmmir.dir/src/util/string_utils.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/util/string_utils.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/lmmir.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/lmmir.dir/src/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

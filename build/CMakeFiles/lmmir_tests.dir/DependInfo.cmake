@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_blocks.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_blocks.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_blocks.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_core.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_core.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_data.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_data.cpp.o.d"
+  "/root/repo/tests/test_eval.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_eval.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_eval.cpp.o.d"
+  "/root/repo/tests/test_features.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_features.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_features.cpp.o.d"
+  "/root/repo/tests/test_gen.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_gen.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_gen.cpp.o.d"
+  "/root/repo/tests/test_grid.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_grid.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_grid.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_integration.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_integration.cpp.o.d"
+  "/root/repo/tests/test_models.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_models.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_models.cpp.o.d"
+  "/root/repo/tests/test_nn.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_nn.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_nn.cpp.o.d"
+  "/root/repo/tests/test_nn_sweeps.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_nn_sweeps.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_nn_sweeps.cpp.o.d"
+  "/root/repo/tests/test_pdn.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_pdn.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_pdn.cpp.o.d"
+  "/root/repo/tests/test_pdn_properties.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_pdn_properties.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_pdn_properties.cpp.o.d"
+  "/root/repo/tests/test_pointcloud.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_pointcloud.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_pointcloud.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_runtime.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_serve.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_serve.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_serve.cpp.o.d"
+  "/root/repo/tests/test_sparse.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_sparse.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_sparse.cpp.o.d"
+  "/root/repo/tests/test_spice.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_spice.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_spice.cpp.o.d"
+  "/root/repo/tests/test_tensor_autograd.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_tensor_autograd.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_tensor_autograd.cpp.o.d"
+  "/root/repo/tests/test_tensor_basic.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_tensor_basic.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_tensor_basic.cpp.o.d"
+  "/root/repo/tests/test_tensor_reference.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_tensor_reference.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_tensor_reference.cpp.o.d"
+  "/root/repo/tests/test_train.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_train.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_train.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "CMakeFiles/lmmir_tests.dir/tests/test_util.cpp.o" "gcc" "CMakeFiles/lmmir_tests.dir/tests/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/lmmir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
