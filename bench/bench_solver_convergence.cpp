@@ -1,0 +1,192 @@
+// Solver convergence: preconditioner trajectory for the golden solver.
+//
+// Generates a ladder of suite-style PDN circuits, assembles each reduced
+// MNA system once, and runs PCG under every preconditioner, reporting
+// iterations-to-tolerance and wall time as a JSON perf record.  Also
+// verifies the PCG determinism contract: 1-thread and N-thread solves of
+// the largest system must be bitwise identical.
+//
+// Exit status is non-zero when IC(0) or SSOR fails to reduce iterations
+// vs. Jacobi on the largest circuit, or when the thread-identity check
+// fails — CI runs this as a smoke test.
+//
+// Knobs (environment):
+//   LMMIR_BENCH_CASES    number of circuit sizes        (default 3)
+//   LMMIR_BENCH_SCALE    linear size multiplier         (default 1.0)
+//   LMMIR_BENCH_THREADS  comma list of pool sizes       (default "1,8")
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/began.hpp"
+#include "pdn/circuit.hpp"
+#include "pdn/solver.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sparse/cg.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace lmmir;
+
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atol(v) : fallback;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atof(v) : fallback;
+}
+
+std::vector<std::size_t> env_thread_list() {
+  std::vector<std::size_t> out;
+  std::string spec = "1,8";
+  if (const char* v = std::getenv("LMMIR_BENCH_THREADS")) spec = v;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const long n = std::atol(spec.substr(pos, comma - pos).c_str());
+    if (n > 0) out.push_back(static_cast<std::size_t>(n));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) out = {1, 8};
+  return out;
+}
+
+struct SolveRecord {
+  sparse::PreconditionerKind kind;
+  std::size_t iterations = 0;
+  double residual = 0.0;
+  bool converged = false;
+  double setup_s = 0.0;
+  double apply_s = 0.0;
+  double total_s = 0.0;
+};
+
+constexpr sparse::PreconditionerKind kKinds[] = {
+    sparse::PreconditionerKind::None, sparse::PreconditionerKind::Jacobi,
+    sparse::PreconditionerKind::Ssor, sparse::PreconditionerKind::Ic0};
+
+}  // namespace
+
+int main() {
+  const int cases = static_cast<int>(
+      std::max(1L, env_long("LMMIR_BENCH_CASES", 3)));
+  const double scale = env_double("LMMIR_BENCH_SCALE", 1.0);
+  const std::vector<std::size_t> thread_cfgs = env_thread_list();
+
+  // Circuit ladder: suite-style dies of growing side, current budget
+  // scaled with area like gen::suite so drops stay in a realistic band.
+  std::vector<pdn::AssembledSystem> systems;
+  std::vector<double> sides;
+  runtime::set_global_threads(1);
+  for (int i = 0; i < cases; ++i) {
+    const double side = std::max(24.0, (32.0 + 28.0 * i) * scale);
+    gen::GeneratorConfig cfg;
+    cfg.name = "conv" + std::to_string(i);
+    cfg.width_um = cfg.height_um = side;
+    cfg.seed = 515 + static_cast<std::uint64_t>(i);
+    cfg.use_default_stack();
+    cfg.bump_pitch_um = std::max(12.0, side / 3.0);
+    cfg.total_current = 0.08 * (side * side) / (64.0 * 64.0);
+    const spice::Netlist nl = gen::generate_pdn(cfg);
+    const pdn::Circuit circuit(nl);
+    systems.push_back(pdn::assemble_ir_system(circuit));
+    sides.push_back(side);
+  }
+
+  // Per-preconditioner solves (single-threaded: iteration counts and
+  // per-kind timing are the point; thread scaling is measured separately).
+  std::vector<std::vector<SolveRecord>> records(systems.size());
+  for (std::size_t s = 0; s < systems.size(); ++s) {
+    for (const auto kind : kKinds) {
+      sparse::CgOptions opts;
+      opts.preconditioner = kind;
+      util::Stopwatch watch;
+      const auto res =
+          sparse::conjugate_gradient(systems[s].matrix, systems[s].rhs, opts);
+      SolveRecord rec;
+      rec.kind = kind;
+      rec.iterations = res.iterations;
+      rec.residual = res.residual;
+      rec.converged = res.converged;
+      rec.setup_s = res.precond_setup_seconds;
+      rec.apply_s = res.precond_apply_seconds;
+      rec.total_s = watch.seconds();
+      records[s].push_back(rec);
+    }
+  }
+
+  // Determinism: solve the largest system at min vs max pool size and
+  // compare the iterates bitwise (the blocked-reduction contract).
+  std::size_t t_min = thread_cfgs.front(), t_max = thread_cfgs.front();
+  for (std::size_t t : thread_cfgs) {
+    t_min = std::min(t_min, t);
+    t_max = std::max(t_max, t);
+  }
+  const auto& big = systems.back();
+  bool bitwise_identical = true;
+  for (const auto kind :
+       {sparse::PreconditionerKind::Jacobi, sparse::PreconditionerKind::Ic0}) {
+    sparse::CgOptions opts;
+    opts.preconditioner = kind;
+    runtime::set_global_threads(t_min);
+    const auto lo = sparse::conjugate_gradient(big.matrix, big.rhs, opts);
+    runtime::set_global_threads(t_max);
+    const auto hi = sparse::conjugate_gradient(big.matrix, big.rhs, opts);
+    if (lo.x.size() != hi.x.size() || lo.iterations != hi.iterations)
+      bitwise_identical = false;
+    else
+      for (std::size_t i = 0; i < lo.x.size(); ++i)
+        if (lo.x[i] != hi.x[i]) bitwise_identical = false;
+  }
+  runtime::set_global_threads(1);
+
+  const auto& largest = records.back();
+  std::size_t it_jacobi = 0, it_ssor = 0, it_ic0 = 0;
+  for (const auto& r : largest) {
+    if (r.kind == sparse::PreconditionerKind::Jacobi) it_jacobi = r.iterations;
+    if (r.kind == sparse::PreconditionerKind::Ssor) it_ssor = r.iterations;
+    if (r.kind == sparse::PreconditionerKind::Ic0) it_ic0 = r.iterations;
+  }
+  const bool ssor_reduces = it_ssor < it_jacobi;
+  const bool ic0_reduces = it_ic0 < it_jacobi;
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"solver_convergence\",\n");
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"tolerance\": %.1e,\n", sparse::CgOptions{}.tolerance);
+  std::printf("  \"cases\": [\n");
+  for (std::size_t s = 0; s < systems.size(); ++s) {
+    std::printf("    {\"name\": \"conv%zu\", \"side_um\": %.0f, "
+                "\"unknowns\": %zu, \"nnz\": %zu, \"solves\": [\n",
+                s, sides[s], systems[s].matrix.dim(), systems[s].matrix.nnz());
+    for (std::size_t k = 0; k < records[s].size(); ++k) {
+      const auto& r = records[s][k];
+      std::printf("      {\"precond\": \"%s\", \"iterations\": %zu, "
+                  "\"residual\": %.3e, \"converged\": %s, \"setup_s\": %.4f, "
+                  "\"apply_s\": %.4f, \"total_s\": %.4f}%s\n",
+                  sparse::to_string(r.kind), r.iterations, r.residual,
+                  r.converged ? "true" : "false", r.setup_s, r.apply_s,
+                  r.total_s, k + 1 < records[s].size() ? "," : "");
+    }
+    std::printf("    ]}%s\n", s + 1 < systems.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"identity_threads\": [%zu, %zu],\n", t_min, t_max);
+  std::printf("  \"threads_bitwise_identical\": %s,\n",
+              bitwise_identical ? "true" : "false");
+  std::printf("  \"largest_jacobi_iterations\": %zu,\n", it_jacobi);
+  std::printf("  \"ssor_reduces_vs_jacobi\": %s,\n",
+              ssor_reduces ? "true" : "false");
+  std::printf("  \"ic0_reduces_vs_jacobi\": %s\n",
+              ic0_reduces ? "true" : "false");
+  std::printf("}\n");
+  return (bitwise_identical && ssor_reduces && ic0_reduces) ? 0 : 1;
+}

@@ -5,7 +5,10 @@
 //
 // Usage: analyze_netlist [netlist.sp] [out_dir]
 // With no arguments a demonstration netlist is generated first.
+// LMMIR_PRECOND selects the golden-solver preconditioner
+// (none|jacobi|ssor|ic0; default jacobi).
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 
@@ -53,10 +56,16 @@ int main(int argc, char** argv) {
 
   util::Stopwatch watch;
   const pdn::Circuit circuit(netlist);
-  const pdn::Solution sol = pdn::solve_ir_drop(circuit);
-  std::printf("solve: %zu unknowns, %zu CG iterations, residual %.2e, %.3f s\n",
-              sol.unknowns, sol.cg_iterations, sol.cg_residual,
-              watch.seconds());
+  pdn::SolveOptions solve_opts;
+  solve_opts.cg.preconditioner =
+      sparse::preconditioner_kind_from_env(solve_opts.cg.preconditioner);
+  const pdn::Solution sol = pdn::solve_ir_drop(circuit, solve_opts);
+  std::printf("solve: %zu unknowns, %zu PCG iterations (%s), residual %.2e, "
+              "%.3f s (precond setup %.3f s, apply %.3f s)\n",
+              sol.unknowns, sol.cg_iterations,
+              sparse::to_string(sol.preconditioner), sol.cg_residual,
+              watch.seconds(), sol.precond_setup_seconds,
+              sol.precond_apply_seconds);
   std::printf("VDD %.3f V | worst IR drop %.4f V (%.2f%%)\n", sol.vdd,
               sol.worst_drop, 100.0 * sol.worst_drop / sol.vdd);
 

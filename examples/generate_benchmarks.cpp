@@ -4,6 +4,8 @@
 // analyze_netlist / the data pipeline.
 //
 // Usage: generate_benchmarks [count] [out_dir] [seed]
+// LMMIR_PRECOND selects the golden-solver preconditioner
+// (none|jacobi|ssor|ic0; default jacobi).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -26,10 +28,13 @@ int main(int argc, char** argv) {
   gen::SuiteOptions suite;  // default 1/8 contest scale
   const auto configs = gen::fake_training_suite(count, seed, suite);
 
+  pdn::SolveOptions solve_opts;
+  solve_opts.cg.preconditioner =
+      sparse::preconditioner_kind_from_env(solve_opts.cg.preconditioner);
   for (const auto& cfg : configs) {
     const spice::Netlist nl = gen::generate_pdn(cfg);
     const pdn::Circuit circuit(nl);
-    const pdn::Solution sol = pdn::solve_ir_drop(circuit);
+    const pdn::Solution sol = pdn::solve_ir_drop(circuit, solve_opts);
     grid::Grid2D ir = pdn::rasterize_ir_drop(nl, sol);
     const feat::FeatureMaps maps = feat::compute_feature_maps(nl);
     const std::string dir = out_dir + "/" + cfg.name;

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "sparse/preconditioner.hpp"
 #include "spice/parser.hpp"
 #include "util/log.hpp"
 
@@ -46,6 +47,8 @@ PipelineOptions PipelineOptions::from_environment() {
       static_cast<int>(env_long("LMMIR_PRETRAIN_EPOCHS", 3));
   o.seed = static_cast<std::uint64_t>(env_long("LMMIR_SEED", 7));
   o.train.seed = o.seed + 1;
+  o.sample.solver_precond =
+      sparse::preconditioner_kind_from_env(o.sample.solver_precond);
   return o;
 }
 

@@ -10,7 +10,8 @@
 //
 // Environment overrides (read once at construction):
 //   LMMIR_INPUT_SIDE, LMMIR_PC_GRID, LMMIR_SCALE, LMMIR_FAKE_CASES,
-//   LMMIR_REAL_CASES, LMMIR_EPOCHS, LMMIR_PRETRAIN_EPOCHS, LMMIR_SEED.
+//   LMMIR_REAL_CASES, LMMIR_EPOCHS, LMMIR_PRETRAIN_EPOCHS, LMMIR_SEED,
+//   LMMIR_PRECOND (golden-solver preconditioner: none|jacobi|ssor|ic0).
 #include <memory>
 #include <string>
 #include <vector>

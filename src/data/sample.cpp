@@ -28,7 +28,9 @@ Sample make_sample(const spice::Netlist& netlist, const std::string& name,
   // Golden solve -> ground truth map in percent of vdd.
   util::Stopwatch solve_watch;
   const pdn::Circuit circuit(netlist);
-  const pdn::Solution sol = pdn::solve_ir_drop(circuit);
+  pdn::SolveOptions solve_opts;
+  solve_opts.cg.preconditioner = opts.solver_precond;
+  const pdn::Solution sol = pdn::solve_ir_drop(circuit, solve_opts);
   grid::Grid2D truth = pdn::rasterize_ir_drop(netlist, sol);
   s.golden_solve_seconds = solve_watch.seconds();
   s.vdd = sol.vdd;

@@ -10,6 +10,7 @@
 #include "features/spatial.hpp"
 #include "gen/began.hpp"
 #include "grid/grid2d.hpp"
+#include "sparse/preconditioner.hpp"
 #include "spice/netlist.hpp"
 #include "tensor/tensor.hpp"
 
@@ -18,6 +19,9 @@ namespace lmmir::data {
 struct SampleOptions {
   std::size_t input_side = 64;  // paper: 512; reduced default for 1 core
   int pc_grid = 8;              // netlist token grid (G*G tokens)
+  /// Preconditioner for the golden IR-drop solve backing the ground truth.
+  sparse::PreconditionerKind solver_precond =
+      sparse::PreconditionerKind::Jacobi;
 };
 
 /// Stored regression targets are percent-of-vdd x kTargetScale, keeping

@@ -12,43 +12,46 @@ using spice::ElementType;
 using spice::kGroundNode;
 using spice::NodeId;
 
-Solution solve_ir_drop(const Circuit& circuit, const SolveOptions& opts) {
+AssembledSystem assemble_ir_system(const Circuit& circuit) {
   const auto& nl = circuit.netlist();
   const std::size_t n = nl.node_count();
   if (circuit.pinned().empty())
     throw std::runtime_error("solve_ir_drop: netlist has no voltage source");
 
+  AssembledSystem sys;
   // Map solvable free nodes to unknown indices.
-  std::vector<std::ptrdiff_t> unknown_of(n, -1);
+  sys.unknown_of.assign(n, -1);
   std::size_t n_unknown = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const NodeId id = static_cast<NodeId>(i);
     if (circuit.is_pinned(id)) continue;
     if (!circuit.component_powered(id)) continue;
-    unknown_of[i] = static_cast<std::ptrdiff_t>(n_unknown++);
+    sys.unknown_of[i] = static_cast<std::ptrdiff_t>(n_unknown++);
   }
 
   sparse::CooBuilder coo(n_unknown);
-  std::vector<double> rhs(n_unknown, 0.0);
+  sys.rhs.assign(n_unknown, 0.0);
 
   auto stamp_conductance = [&](NodeId a, NodeId b, double g) {
     const bool a_ground = a == kGroundNode;
     const bool b_ground = b == kGroundNode;
-    const std::ptrdiff_t ua = a_ground ? -1 : unknown_of[static_cast<std::size_t>(a)];
-    const std::ptrdiff_t ub = b_ground ? -1 : unknown_of[static_cast<std::size_t>(b)];
+    const std::ptrdiff_t ua =
+        a_ground ? -1 : sys.unknown_of[static_cast<std::size_t>(a)];
+    const std::ptrdiff_t ub =
+        b_ground ? -1 : sys.unknown_of[static_cast<std::size_t>(b)];
     const bool a_pinned = !a_ground && circuit.is_pinned(a);
     const bool b_pinned = !b_ground && circuit.is_pinned(b);
 
     if (ua >= 0) {
       coo.add(static_cast<std::size_t>(ua), static_cast<std::size_t>(ua), g);
       if (ub >= 0) coo.add(static_cast<std::size_t>(ua), static_cast<std::size_t>(ub), -g);
-      else if (b_pinned) rhs[static_cast<std::size_t>(ua)] += g * circuit.pinned_voltage(b);
+      else if (b_pinned) sys.rhs[static_cast<std::size_t>(ua)] += g * circuit.pinned_voltage(b);
       // b at ground contributes nothing to the rhs.
     }
     if (ub >= 0) {
       coo.add(static_cast<std::size_t>(ub), static_cast<std::size_t>(ub), g);
       if (ua >= 0) coo.add(static_cast<std::size_t>(ub), static_cast<std::size_t>(ua), -g);
-      else if (a_pinned) rhs[static_cast<std::size_t>(ub)] += g * circuit.pinned_voltage(a);
+      else if (a_pinned) sys.rhs[static_cast<std::size_t>(ub)] += g * circuit.pinned_voltage(a);
     }
   };
 
@@ -63,12 +66,12 @@ Solution solve_ir_drop(const Circuit& circuit, const SolveOptions& opts) {
         const NodeId from = e.node1;
         const NodeId to = e.node2;
         if (from != kGroundNode) {
-          const auto u = unknown_of[static_cast<std::size_t>(from)];
-          if (u >= 0) rhs[static_cast<std::size_t>(u)] -= e.value;
+          const auto u = sys.unknown_of[static_cast<std::size_t>(from)];
+          if (u >= 0) sys.rhs[static_cast<std::size_t>(u)] -= e.value;
         }
         if (to != kGroundNode) {
-          const auto u = unknown_of[static_cast<std::size_t>(to)];
-          if (u >= 0) rhs[static_cast<std::size_t>(u)] += e.value;
+          const auto u = sys.unknown_of[static_cast<std::size_t>(to)];
+          if (u >= 0) sys.rhs[static_cast<std::size_t>(u)] += e.value;
         }
         break;
       }
@@ -77,25 +80,39 @@ Solution solve_ir_drop(const Circuit& circuit, const SolveOptions& opts) {
     }
   }
 
-  const auto csr = sparse::CsrMatrix::from_coo(coo);
-  const auto cg = sparse::conjugate_gradient(csr, rhs, opts.cg);
+  sys.matrix = sparse::CsrMatrix::from_coo(coo);
+  return sys;
+}
+
+Solution solve_ir_drop(const Circuit& circuit, const SolveOptions& opts) {
+  const auto& nl = circuit.netlist();
+  const std::size_t n = nl.node_count();
+  AssembledSystem sys = assemble_ir_system(circuit);
+  auto cg = sparse::conjugate_gradient(sys.matrix, sys.rhs, opts.cg);
   if (!cg.converged)
-    util::log_warn("solve_ir_drop: CG stopped at residual ", cg.residual,
-                   " after ", cg.iterations, " iterations");
+    util::log_warn("solve_ir_drop: CG (", sparse::to_string(cg.preconditioner),
+                   ") stopped at residual ", cg.residual, " after ",
+                   cg.iterations, " iterations",
+                   cg.breakdown ? " [breakdown]" : "");
 
   Solution sol;
   sol.vdd = circuit.vdd();
-  sol.unknowns = n_unknown;
+  sol.unknowns = sys.matrix.dim();
   sol.cg_iterations = cg.iterations;
   sol.cg_residual = cg.residual;
   sol.converged = cg.converged;
+  sol.breakdown = cg.breakdown;
+  sol.preconditioner = cg.preconditioner;
+  sol.residual_history = std::move(cg.residual_history);
+  sol.precond_setup_seconds = cg.precond_setup_seconds;
+  sol.precond_apply_seconds = cg.precond_apply_seconds;
   sol.node_voltage.assign(n, sol.vdd);
   for (std::size_t i = 0; i < n; ++i) {
     const NodeId id = static_cast<NodeId>(i);
     if (circuit.is_pinned(id))
       sol.node_voltage[i] = circuit.pinned_voltage(id);
-    else if (unknown_of[i] >= 0)
-      sol.node_voltage[i] = cg.x[static_cast<std::size_t>(unknown_of[i])];
+    else if (sys.unknown_of[i] >= 0)
+      sol.node_voltage[i] = cg.x[static_cast<std::size_t>(sys.unknown_of[i])];
     // unpowered islands stay at vdd (zero drop), matching Circuit's warning
   }
   sol.ir_drop.resize(n);

@@ -2,8 +2,11 @@
 // Golden static IR-drop solver.  Performs reduced modified nodal analysis:
 // voltage-source-pinned nodes are eliminated (Dirichlet boundary), the
 // remaining conductance system G v = i is SPD and solved with
-// Jacobi-preconditioned CG.  This is the "commercial tool" stand-in that
-// produces ground truth for every experiment.
+// preconditioned CG (Jacobi / SSOR / IC0, see sparse/preconditioner.hpp).
+// This is the "commercial tool" stand-in that produces ground truth for
+// every experiment, so it carries per-solve telemetry (iterations,
+// residual history, preconditioner setup/apply time).
+#include <cstddef>
 #include <vector>
 
 #include "pdn/circuit.hpp"
@@ -12,8 +15,20 @@
 namespace lmmir::pdn {
 
 struct SolveOptions {
-  sparse::CgOptions cg;
+  sparse::CgOptions cg;  // tolerance, iteration cap, preconditioner kind
 };
+
+/// The reduced MNA system of a circuit, exposed so tests and benches can
+/// reach the raw SPD matrix the solver iterates on.
+struct AssembledSystem {
+  sparse::CsrMatrix matrix;            // reduced conductance matrix G
+  std::vector<double> rhs;             // current injections i
+  std::vector<std::ptrdiff_t> unknown_of;  // netlist node -> unknown (-1: none)
+};
+
+/// Stamp the reduced conductance system (pinned nodes folded into the rhs,
+/// unpowered islands excluded).
+AssembledSystem assemble_ir_system(const Circuit& circuit);
 
 struct Solution {
   /// Voltage per netlist node (pinned nodes hold their source value;
@@ -27,6 +42,12 @@ struct Solution {
   std::size_t cg_iterations = 0;
   double cg_residual = 0.0;
   bool converged = false;
+  bool breakdown = false;         // PCG degenerated (see CgResult::breakdown)
+  // Solver telemetry.
+  sparse::PreconditionerKind preconditioner = sparse::PreconditionerKind::Jacobi;
+  std::vector<double> residual_history;  // relative residual per iteration
+  double precond_setup_seconds = 0.0;
+  double precond_apply_seconds = 0.0;
 };
 
 /// Solve the static IR drop of the circuit. Throws std::runtime_error when

@@ -1,26 +1,88 @@
 #include "sparse/cg.hpp"
 
 #include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <memory>
 #include <stdexcept>
+
+#include "runtime/parallel_for.hpp"
+#include "util/stopwatch.hpp"
 
 namespace lmmir::sparse {
 
 namespace {
+
+/// Fixed reduction block: partial sums are computed per block (serial
+/// inside each block) and combined serially in block order, so the result
+/// is bitwise-identical for any runtime thread count.
+constexpr std::size_t kReduceBlock = 4096;
+
 double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::size_t n = a.size();
+  if (n <= kReduceBlock) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+    return acc;
+  }
+  const std::size_t nblocks = (n + kReduceBlock - 1) / kReduceBlock;
+  std::vector<double> partial(nblocks, 0.0);
+  runtime::parallel_for(
+      0, nblocks, runtime::grain_for_cost(2 * kReduceBlock),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t blk = lo; blk < hi; ++blk) {
+          const std::size_t from = blk * kReduceBlock;
+          const std::size_t to = std::min(n, from + kReduceBlock);
+          double acc = 0.0;
+          for (std::size_t i = from; i < to; ++i) acc += a[i] * b[i];
+          partial[blk] = acc;
+        }
+      });
   double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  for (double p : partial) acc += p;
   return acc;
 }
+
 double norm2(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+/// x += alpha*p, r -= alpha*ap in one pass (disjoint element writes).
+void update_iterate(std::vector<double>& x, std::vector<double>& r,
+                    const std::vector<double>& p, const std::vector<double>& ap,
+                    double alpha) {
+  runtime::parallel_for(0, x.size(), runtime::grain_for_cost(4),
+                        [&](std::size_t lo, std::size_t hi) {
+                          for (std::size_t i = lo; i < hi; ++i) {
+                            x[i] += alpha * p[i];
+                            r[i] -= alpha * ap[i];
+                          }
+                        });
+}
+
+/// p = z + beta*p.
+void update_direction(std::vector<double>& p, const std::vector<double>& z,
+                      double beta) {
+  runtime::parallel_for(0, p.size(), runtime::grain_for_cost(2),
+                        [&](std::size_t lo, std::size_t hi) {
+                          for (std::size_t i = lo; i < hi; ++i)
+                            p[i] = z[i] + beta * p[i];
+                        });
+}
+
+/// Step sizes beyond this are numerically meaningless for conductance
+/// systems and risk overflowing the iterate: treat as breakdown instead.
+constexpr double kAlphaLimit = 1e100;
+
 }  // namespace
 
 CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
-                            const CgOptions& opts) {
+                            const CgOptions& opts,
+                            const Preconditioner* precond) {
   const std::size_t n = a.dim();
   if (b.size() != n)
     throw std::invalid_argument("conjugate_gradient: rhs size mismatch");
 
   CgResult res;
+  res.preconditioner = precond ? precond->kind() : opts.preconditioner;
   res.x.assign(n, 0.0);
   if (n == 0) {
     res.converged = true;
@@ -33,37 +95,77 @@ CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
     return res;
   }
 
-  // Jacobi preconditioner M = diag(A); guard against zero diagonals.
-  std::vector<double> inv_diag = a.diagonal();
-  for (auto& d : inv_diag) d = (d != 0.0) ? 1.0 / d : 1.0;
+  std::unique_ptr<Preconditioner> owned;
+  const Preconditioner* m = precond;
+  if (!m) {
+    util::Stopwatch setup_watch;
+    owned = make_preconditioner(opts.preconditioner, a);
+    m = owned.get();
+    res.precond_setup_seconds = setup_watch.seconds();
+  }
 
   std::vector<double> r = b;  // r = b - A*0
   std::vector<double> z(n), p(n), ap(n);
-  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  {
+    util::Stopwatch apply_watch;
+    m->apply(r, z);
+    res.precond_apply_seconds += apply_watch.seconds();
+  }
   p = z;
   double rz = dot(r, z);
+  res.residual = 1.0;  // ||b - A*0|| / ||b||
+  if (!(rz > 0.0) || !std::isfinite(rz)) {
+    // M is not positive definite on r (degenerate preconditioner input).
+    res.breakdown = true;
+    return res;
+  }
 
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
     a.multiply(p, ap);
     const double pap = dot(p, ap);
-    if (pap <= 0.0) break;  // matrix not SPD (or breakdown)
+    if (!(pap > 0.0) || !std::isfinite(pap)) {
+      res.breakdown = true;  // matrix not SPD along p (semi-definite case)
+      break;
+    }
     const double alpha = rz / pap;
-    for (std::size_t i = 0; i < n; ++i) {
-      res.x[i] += alpha * p[i];
-      r[i] -= alpha * ap[i];
+    if (!std::isfinite(alpha) || std::abs(alpha) > kAlphaLimit) {
+      res.breakdown = true;  // step would overflow the iterate
+      break;
+    }
+    update_iterate(res.x, r, p, ap, alpha);
+    const double next_residual = norm2(r) / bnorm;
+    if (!std::isfinite(next_residual)) {
+      // ||r||² overflowed: roll the update back (entries are still finite,
+      // alpha was bounded) and stop with the last usable iterate.
+      update_iterate(res.x, r, p, ap, -alpha);
+      res.breakdown = true;
+      break;
     }
     res.iterations = it + 1;
-    res.residual = norm2(r) / bnorm;
+    res.residual = next_residual;
+    if (opts.record_residual_history)
+      res.residual_history.push_back(next_residual);
     if (res.residual < opts.tolerance) {
       res.converged = true;
       return res;
     }
-    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    {
+      util::Stopwatch apply_watch;
+      m->apply(r, z);
+      res.precond_apply_seconds += apply_watch.seconds();
+    }
     const double rz_next = dot(r, z);
+    if (!(rz_next > 0.0) || !std::isfinite(rz_next)) {
+      res.breakdown = true;  // z lost positivity: cannot form a new direction
+      break;
+    }
     const double beta = rz_next / rz;
     rz = rz_next;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    update_direction(p, z, beta);
   }
+  // Breakdown and iteration-exhaustion paths both report a finite residual.
+  if (!std::isfinite(res.residual))
+    res.residual = std::numeric_limits<double>::max();
   return res;
 }
 

@@ -1,28 +1,52 @@
 #pragma once
-// Jacobi-preconditioned Conjugate Gradient.  PDN conductance matrices are
-// SPD and diagonally dominant, for which Jacobi-CG converges in a few
-// hundred iterations even on 10^5-node systems.
+// Preconditioner-agnostic Preconditioned Conjugate Gradient.  PDN
+// conductance matrices are SPD and diagonally dominant, for which Jacobi
+// PCG converges in a few hundred iterations even on 10^5-node systems;
+// SSOR / IC(0) (see sparse/preconditioner.hpp) cut that further.
+//
+// Hot loops (SpMV, dot, axpy, Jacobi apply) fan out over the runtime
+// thread pool under the bitwise-determinism contract: dot products reduce
+// over fixed-size blocks whose partials are summed serially in block
+// order, so results are identical for any thread count.
 #include <cstddef>
 #include <vector>
 
 #include "sparse/csr.hpp"
+#include "sparse/preconditioner.hpp"
 
 namespace lmmir::sparse {
 
 struct CgOptions {
   std::size_t max_iterations = 20000;
   double tolerance = 1e-10;  // on ||r|| / ||b||
+  PreconditionerKind preconditioner = PreconditionerKind::Jacobi;
+  bool record_residual_history = true;
 };
 
 struct CgResult {
   std::vector<double> x;
   std::size_t iterations = 0;
-  double residual = 0.0;  // final relative residual
+  double residual = 0.0;  // final relative residual, always finite
   bool converged = false;
+  /// True when the iteration degenerated (semi-definite matrix, indefinite
+  /// preconditioner, overflow): x holds the last usable iterate and
+  /// `residual` stays finite — never NaN.
+  bool breakdown = false;
+  PreconditionerKind preconditioner = PreconditionerKind::Jacobi;
+  /// Relative residual after each accepted iteration (telemetry; filled
+  /// when CgOptions::record_residual_history).
+  std::vector<double> residual_history;
+  double precond_setup_seconds = 0.0;  // factory time (0 when injected)
+  double precond_apply_seconds = 0.0;  // summed M⁻¹ applications
 };
 
 /// Solve A x = b for SPD A. Throws std::invalid_argument on size mismatch.
+/// `precond` injects a prebuilt preconditioner, amortizing setup across
+/// sequential solves of the same matrix (apply() is not concurrency-safe;
+/// see preconditioner.hpp); when null, one is built from
+/// `opts.preconditioner`.
 CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
-                            const CgOptions& opts = {});
+                            const CgOptions& opts = {},
+                            const Preconditioner* precond = nullptr);
 
 }  // namespace lmmir::sparse

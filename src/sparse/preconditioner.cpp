@@ -1,0 +1,272 @@
+#include "sparse/preconditioner.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "runtime/parallel_for.hpp"
+#include "util/log.hpp"
+
+namespace lmmir::sparse {
+
+const char* to_string(PreconditionerKind kind) {
+  switch (kind) {
+    case PreconditionerKind::None: return "none";
+    case PreconditionerKind::Jacobi: return "jacobi";
+    case PreconditionerKind::Ssor: return "ssor";
+    case PreconditionerKind::Ic0: return "ic0";
+  }
+  return "unknown";
+}
+
+std::optional<PreconditionerKind> preconditioner_kind_from_string(
+    std::string_view key) {
+  std::string k(key);
+  for (auto& c : k) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (k == "none" || k == "identity") return PreconditionerKind::None;
+  if (k == "jacobi" || k == "diag") return PreconditionerKind::Jacobi;
+  if (k == "ssor") return PreconditionerKind::Ssor;
+  if (k == "ic0" || k == "ic" || k == "ichol") return PreconditionerKind::Ic0;
+  return std::nullopt;
+}
+
+PreconditionerKind preconditioner_kind_from_env(PreconditionerKind fallback) {
+  const char* v = std::getenv("LMMIR_PRECOND");
+  if (!v) return fallback;
+  if (const auto kind = preconditioner_kind_from_string(v)) return *kind;
+  util::log_warn("ignoring malformed LMMIR_PRECOND='", v,
+                 "' (want none|jacobi|ssor|ic0)");
+  return fallback;
+}
+
+namespace {
+
+class IdentityPreconditioner final : public Preconditioner {
+ public:
+  PreconditionerKind kind() const override { return PreconditionerKind::None; }
+  void apply(const std::vector<double>& r,
+             std::vector<double>& z) const override {
+    z = r;
+  }
+};
+
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  explicit JacobiPreconditioner(const CsrMatrix& a) : inv_diag_(a.diagonal()) {
+    for (auto& d : inv_diag_) d = (d != 0.0) ? 1.0 / d : 1.0;
+  }
+  PreconditionerKind kind() const override { return PreconditionerKind::Jacobi; }
+  void apply(const std::vector<double>& r,
+             std::vector<double>& z) const override {
+    z.resize(r.size());
+    // Elementwise scale: disjoint writes, bitwise-identical for any thread
+    // count.
+    runtime::parallel_for(0, r.size(), runtime::grain_for_cost(1),
+                          [&](std::size_t lo, std::size_t hi) {
+                            for (std::size_t i = lo; i < hi; ++i)
+                              z[i] = inv_diag_[i] * r[i];
+                          });
+  }
+
+ private:
+  std::vector<double> inv_diag_;
+};
+
+/// Symmetric Gauss-Seidel / SSOR sweep,
+///   M = (1/(ω(2-ω))) (D + ωL) D⁻¹ (D + ωU),
+/// so z = M⁻¹r = ω(2-ω) (D + ωU)⁻¹ D (D + ωL)⁻¹ r: a forward solve, a
+/// diagonal scale, and a backward solve over the matrix rows.  The
+/// triangular sweeps carry a loop dependence, so the apply is serial —
+/// identical results for any runtime thread count by construction.  Holds
+/// a reference to the matrix: no extra storage.
+class SsorPreconditioner final : public Preconditioner {
+ public:
+  explicit SsorPreconditioner(const CsrMatrix& a, double omega = 1.0)
+      : a_(a), omega_(omega), diag_(a.diagonal()) {
+    if (!(omega > 0.0) || !(omega < 2.0))
+      throw std::invalid_argument("SsorPreconditioner: omega must be in (0,2)");
+    for (auto& d : diag_)
+      if (d == 0.0) d = 1.0;  // empty row: act as identity there
+  }
+  PreconditionerKind kind() const override { return PreconditionerKind::Ssor; }
+
+  void apply(const std::vector<double>& r,
+             std::vector<double>& z) const override {
+    const std::size_t n = a_.dim();
+    const auto& row_ptr = a_.row_ptr();
+    const auto& col_idx = a_.col_idx();
+    const auto& vals = a_.values();
+    work_.resize(n);
+    z.resize(n);
+    // Forward: (D + ωL) y = r, strictly-lower entries come first in each
+    // sorted row.
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = r[i];
+      for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+        const std::size_t j = col_idx[k];
+        if (j >= i) break;
+        s -= omega_ * vals[k] * work_[j];
+      }
+      work_[i] = s / diag_[i];
+    }
+    // Scale by ω(2-ω) · D (the D⁻¹ middle factor combined with the
+    // 1/(ω(2-ω)) normalization).
+    const double scale = omega_ * (2.0 - omega_);
+    for (std::size_t i = 0; i < n; ++i) work_[i] *= scale * diag_[i];
+    // Backward: (D + ωU) z = work, strictly-upper entries trail the row.
+    for (std::size_t ii = n; ii-- > 0;) {
+      double s = work_[ii];
+      for (std::size_t k = row_ptr[ii + 1]; k-- > row_ptr[ii];) {
+        const std::size_t j = col_idx[k];
+        if (j <= ii) break;
+        s -= omega_ * vals[k] * z[j];
+      }
+      z[ii] = s / diag_[ii];
+    }
+  }
+
+ private:
+  const CsrMatrix& a_;
+  double omega_;                      // ω=1 from the factory: symmetric GS
+  std::vector<double> diag_;          // zero-diagonal rows patched to 1
+  mutable std::vector<double> work_;  // forward-sweep intermediate
+};
+
+/// Incomplete Cholesky with zero fill-in: L has exactly the lower-triangle
+/// sparsity of A and A ≈ L Lᵀ.  Apply = forward solve L y = r, then the
+/// transposed backward solve Lᵀ z = y done as a column sweep over L's rows.
+/// Both sweeps are serial (triangular dependence) and therefore
+/// thread-count independent.
+class Ic0Preconditioner final : public Preconditioner {
+ public:
+  explicit Ic0Preconditioner(const CsrMatrix& a) {
+    n_ = a.dim();
+    // A diagonal shift A + α·diag(A) repairs non-SPD pivots; PDN matrices
+    // factor at α = 0.
+    for (double alpha : {0.0, 1e-3, 1e-2, 1e-1, 0.5, 1.0, 10.0}) {
+      if (factor(a, alpha)) return;
+    }
+    throw std::runtime_error(
+        "Ic0Preconditioner: factorization broke down even with diagonal "
+        "shifts (matrix far from SPD)");
+  }
+  PreconditionerKind kind() const override { return PreconditionerKind::Ic0; }
+
+  void apply(const std::vector<double>& r,
+             std::vector<double>& z) const override {
+    work_ = r;
+    // Forward: L y = r (diagonal entry is last in each row of L).
+    for (std::size_t i = 0; i < n_; ++i) {
+      double s = work_[i];
+      for (std::size_t k = row_ptr_[i]; k + 1 < row_ptr_[i + 1]; ++k)
+        s -= vals_[k] * work_[col_idx_[k]];
+      work_[i] = s / vals_[row_ptr_[i + 1] - 1];
+    }
+    // Backward: Lᵀ z = y as a column sweep using L's row storage.
+    z = work_;
+    for (std::size_t ii = n_; ii-- > 0;) {
+      const std::size_t diag_k = row_ptr_[ii + 1] - 1;
+      z[ii] /= vals_[diag_k];
+      const double zi = z[ii];
+      for (std::size_t k = row_ptr_[ii]; k < diag_k; ++k)
+        z[col_idx_[k]] -= vals_[k] * zi;
+    }
+  }
+
+ private:
+  /// One factorization attempt; false on a non-positive pivot.
+  bool factor(const CsrMatrix& a, double alpha) {
+    const auto& arp = a.row_ptr();
+    const auto& aci = a.col_idx();
+    const auto& av = a.values();
+    row_ptr_.assign(n_ + 1, 0);
+    col_idx_.clear();
+    vals_.clear();
+    // Lower-triangle pattern of A with the diagonal forced present.
+    for (std::size_t i = 0; i < n_; ++i) {
+      bool saw_diag = false;
+      for (std::size_t k = arp[i]; k < arp[i + 1]; ++k) {
+        const std::size_t j = aci[k];
+        if (j > i) break;
+        double v = av[k];
+        if (j == i) {
+          saw_diag = true;
+          v += alpha * v;
+        }
+        col_idx_.push_back(j);
+        vals_.push_back(v);
+      }
+      if (!saw_diag) {  // empty diagonal: keep the row solvable
+        col_idx_.push_back(i);
+        vals_.push_back(1.0);
+      }
+      row_ptr_[i + 1] = col_idx_.size();
+    }
+    // In-place row-by-row factorization on the fixed pattern.
+    for (std::size_t i = 0; i < n_; ++i) {
+      const std::size_t diag_k = row_ptr_[i + 1] - 1;
+      for (std::size_t k = row_ptr_[i]; k < diag_k; ++k) {
+        const std::size_t j = col_idx_[k];
+        // l_ij = (a_ij - Σ_{t<j} l_it l_jt) / l_jj via a two-pointer merge
+        // of row i's and row j's already-factored prefixes.
+        double s = vals_[k];
+        std::size_t pi = row_ptr_[i];
+        std::size_t pj = row_ptr_[j];
+        const std::size_t j_diag = row_ptr_[j + 1] - 1;
+        while (pi < k && pj < j_diag) {
+          if (col_idx_[pi] == col_idx_[pj]) {
+            s -= vals_[pi] * vals_[pj];
+            ++pi;
+            ++pj;
+          } else if (col_idx_[pi] < col_idx_[pj]) {
+            ++pi;
+          } else {
+            ++pj;
+          }
+        }
+        vals_[k] = s / vals_[j_diag];
+      }
+      double s = vals_[diag_k];
+      for (std::size_t k = row_ptr_[i]; k < diag_k; ++k)
+        s -= vals_[k] * vals_[k];
+      if (!(s > 0.0) || !std::isfinite(s)) return false;  // pivot breakdown
+      vals_[diag_k] = std::sqrt(s);
+    }
+    return true;
+  }
+
+  std::size_t n_ = 0;
+  std::vector<std::size_t> row_ptr_;  // L, lower triangle incl. diagonal
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> vals_;
+  mutable std::vector<double> work_;  // forward-solve intermediate
+};
+
+}  // namespace
+
+std::unique_ptr<Preconditioner> make_preconditioner(PreconditionerKind kind,
+                                                    const CsrMatrix& a) {
+  switch (kind) {
+    case PreconditionerKind::None:
+      return std::make_unique<IdentityPreconditioner>();
+    case PreconditionerKind::Jacobi:
+      return std::make_unique<JacobiPreconditioner>(a);
+    case PreconditionerKind::Ssor:
+      return std::make_unique<SsorPreconditioner>(a);
+    case PreconditionerKind::Ic0:
+      return std::make_unique<Ic0Preconditioner>(a);
+  }
+  throw std::invalid_argument("make_preconditioner: unknown kind");
+}
+
+std::unique_ptr<Preconditioner> make_preconditioner(std::string_view key,
+                                                    const CsrMatrix& a) {
+  const auto kind = preconditioner_kind_from_string(key);
+  if (!kind)
+    throw std::invalid_argument("make_preconditioner: unknown key '" +
+                                std::string(key) + "'");
+  return make_preconditioner(*kind, a);
+}
+
+}  // namespace lmmir::sparse

@@ -1,6 +1,7 @@
 #include "spice/writer.hpp"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -25,7 +26,10 @@ std::string node_spelling(const Netlist& nl, NodeId id) {
 void write_netlist(std::ostream& out, const Netlist& nl,
                    const std::string& title) {
   out << "* " << title << '\n';
-  out.precision(12);
+  // max_digits10: write -> parse round-trips every double exactly, so a
+  // netlist written to disk solves to the same ground truth as the
+  // in-memory one.
+  out.precision(std::numeric_limits<double>::max_digits10);
   for (const auto& e : nl.elements()) {
     out << type_letter(e.type) << e.name << ' ' << node_spelling(nl, e.node1)
         << ' ' << node_spelling(nl, e.node2) << ' ' << e.value << '\n';

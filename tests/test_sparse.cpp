@@ -1,6 +1,8 @@
 // sparse: CSR construction, SpMV, CG solver vs dense Cholesky.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sparse/cg.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/dense.hpp"
@@ -155,5 +157,70 @@ TEST_P(CgVsCholesky, Agree) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, CgVsCholesky,
                          ::testing::Values(2, 5, 16, 40, 100));
+
+// --- CG breakdown handling on degenerate (semi-definite) systems ---------
+
+/// Graph-Laplacian of a single edge: exactly singular, PSD.
+CsrMatrix singular_edge_laplacian(double leak = 0.0) {
+  CooBuilder coo(2);
+  coo.add(0, 0, 1.0 + leak);
+  coo.add(0, 1, -1.0);
+  coo.add(1, 0, -1.0);
+  coo.add(1, 1, 1.0 + leak);
+  return CsrMatrix::from_coo(coo);
+}
+
+TEST(CgBreakdown, SingularInconsistentRhsStaysFinite) {
+  // b = [1, 1] is orthogonal to the range of [[1,-1],[-1,1]]: the very
+  // first search direction has pᵀAp == 0.  The solver must flag breakdown
+  // with a finite residual and iterate — never NaN-poison the solve.
+  const auto m = singular_edge_laplacian();
+  const auto res = conjugate_gradient(m, {1.0, 1.0});
+  EXPECT_FALSE(res.converged);
+  EXPECT_TRUE(res.breakdown);
+  EXPECT_TRUE(std::isfinite(res.residual));
+  for (double v : res.x) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(CgBreakdown, SingularConsistentRhsConverges) {
+  // b = [1, -1] lies in the range: CG reaches the minimum-norm solution in
+  // one step without tripping the breakdown guards.
+  const auto m = singular_edge_laplacian();
+  const auto res = conjugate_gradient(m, {1.0, -1.0});
+  EXPECT_TRUE(res.converged);
+  EXPECT_FALSE(res.breakdown);
+  EXPECT_NEAR(res.x[0], 0.5, 1e-9);
+  EXPECT_NEAR(res.x[1], -0.5, 1e-9);
+}
+
+TEST(CgBreakdown, NearSingularNeverProducesNan) {
+  // A tiny ground leak makes pᵀAp positive but ~1e-12: the old solver blew
+  // up through a huge alpha into inf/NaN (beta = inf/inf).  The guarded
+  // solver either converges or stops finite.
+  const auto m = singular_edge_laplacian(1e-12);
+  const auto res = conjugate_gradient(m, {1.0, 1.0});
+  EXPECT_TRUE(std::isfinite(res.residual));
+  for (double v : res.x) EXPECT_TRUE(std::isfinite(v));
+  if (!res.converged) {
+    EXPECT_TRUE(res.breakdown);
+  }
+}
+
+TEST(Cg, RecordsResidualHistory) {
+  CooBuilder coo(3);
+  coo.add(0, 0, 4.0);
+  coo.add(0, 1, -1.0);
+  coo.add(1, 0, -1.0);
+  coo.add(1, 1, 4.0);
+  coo.add(1, 2, -1.0);
+  coo.add(2, 1, -1.0);
+  coo.add(2, 2, 4.0);
+  const auto m = CsrMatrix::from_coo(coo);
+  const auto res = conjugate_gradient(m, {1.0, 2.0, 3.0});
+  ASSERT_TRUE(res.converged);
+  ASSERT_EQ(res.residual_history.size(), res.iterations);
+  EXPECT_DOUBLE_EQ(res.residual_history.back(), res.residual);
+  EXPECT_LT(res.residual_history.back(), CgOptions{}.tolerance);
+}
 
 }  // namespace

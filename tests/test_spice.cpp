@@ -4,6 +4,8 @@
 #include "spice/parser.hpp"
 #include "spice/writer.hpp"
 
+#include "gen/began.hpp"
+#include "gen/suite.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -126,6 +128,40 @@ TEST(Writer, RoundTripPreservesEverything) {
     EXPECT_DOUBLE_EQ(back.elements()[i].value, nl.elements()[i].value);
   }
   EXPECT_EQ(back.node_count(), nl.node_count());
+}
+
+TEST(Writer, GeneratedSuiteRoundTripsStructurally) {
+  // The corpus-generation path the golden solver consumes: every generated
+  // netlist must survive write -> re-parse with its structure intact
+  // (node/element counts, element types/names/values, endpoint names).
+  lmmir::gen::SuiteOptions sopts;
+  sopts.scale = 0.045;  // small dies: keeps the batch fast
+  const auto configs = lmmir::gen::fake_training_suite(3, 0xC0FFEE, sopts);
+  for (const auto& cfg : configs) {
+    SCOPED_TRACE(cfg.name);
+    const Netlist nl = lmmir::gen::generate_pdn(cfg);
+    const std::string written = write_netlist_string(nl, cfg.name);
+    const Netlist back = parse_netlist_string(written);
+    ASSERT_EQ(back.node_count(), nl.node_count());
+    ASSERT_EQ(back.element_count(), nl.element_count());
+    for (auto t : {ElementType::Resistor, ElementType::CurrentSource,
+                   ElementType::VoltageSource})
+      EXPECT_EQ(back.count(t), nl.count(t));
+    auto node_name = [](const Netlist& n, NodeId id) {
+      return id == kGroundNode ? std::string("0") : n.node(id).raw_name;
+    };
+    for (std::size_t i = 0; i < nl.elements().size(); ++i) {
+      const auto& a = nl.elements()[i];
+      const auto& b = back.elements()[i];
+      ASSERT_EQ(b.type, a.type) << "element " << i;
+      EXPECT_EQ(b.name, a.name) << "element " << i;
+      EXPECT_DOUBLE_EQ(b.value, a.value) << "element " << i;
+      EXPECT_EQ(node_name(back, b.node1), node_name(nl, a.node1));
+      EXPECT_EQ(node_name(back, b.node2), node_name(nl, a.node2));
+    }
+    // Second round trip is a fixed point: identical text.
+    EXPECT_EQ(write_netlist_string(back, cfg.name), written);
+  }
 }
 
 TEST(Parser, FuzzNeverCrashesOnlyThrows) {
