@@ -4,16 +4,27 @@
 // MNA system once, and runs PCG under every preconditioner, reporting
 // iterations-to-tolerance and wall time as a JSON perf record.  Also
 // verifies the PCG determinism contract: 1-thread and N-thread solves of
-// the largest system must be bitwise identical.
+// the largest system must be bitwise identical (including the
+// level-scheduled SSOR / IC(0) triangular applies), and measures the
+// SolverContext on the two repeated-solve workloads:
+//
+//   * cold-vs-warm pdn::optimize — the ECO loop re-solved from scratch
+//     per round vs. through a shared context (numeric refresh +
+//     warm-started PCG).  Context reuse must CUT total PCG iterations.
+//   * a load sweep — same PDN, currents rescaled per solve: rhs-only
+//     refreshes must keep the IC(0) factor (one setup amortized across
+//     the sweep) and still beat the per-solve cold starts.
 //
 // Exit status is non-zero when IC(0) or SSOR fails to reduce iterations
-// vs. Jacobi on the largest circuit, or when the thread-identity check
-// fails — CI runs this as a smoke test.
+// vs. Jacobi on the largest circuit, when the thread-identity check
+// fails, or when context reuse stops cutting iterations — CI runs this
+// as a smoke test.
 //
 // Knobs (environment):
 //   LMMIR_BENCH_CASES    number of circuit sizes        (default 3)
 //   LMMIR_BENCH_SCALE    linear size multiplier         (default 1.0)
 //   LMMIR_BENCH_THREADS  comma list of pool sizes       (default "1,8")
+//   LMMIR_BENCH_ROUNDS   ECO / sweep repeat count       (default 6)
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -23,7 +34,9 @@
 
 #include "gen/began.hpp"
 #include "pdn/circuit.hpp"
+#include "pdn/optimize.hpp"
 #include "pdn/solver.hpp"
+#include "pdn/solver_context.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sparse/cg.hpp"
 #include "util/stopwatch.hpp"
@@ -123,7 +136,8 @@ int main() {
   }
 
   // Determinism: solve the largest system at min vs max pool size and
-  // compare the iterates bitwise (the blocked-reduction contract).
+  // compare the iterates bitwise (the blocked-reduction contract).  SSOR
+  // and IC(0) exercise the level-scheduled triangular applies.
   std::size_t t_min = thread_cfgs.front(), t_max = thread_cfgs.front();
   for (std::size_t t : thread_cfgs) {
     t_min = std::min(t_min, t);
@@ -132,7 +146,8 @@ int main() {
   const auto& big = systems.back();
   bool bitwise_identical = true;
   for (const auto kind :
-       {sparse::PreconditionerKind::Jacobi, sparse::PreconditionerKind::Ic0}) {
+       {sparse::PreconditionerKind::Jacobi, sparse::PreconditionerKind::Ssor,
+        sparse::PreconditionerKind::Ic0}) {
     sparse::CgOptions opts;
     opts.preconditioner = kind;
     runtime::set_global_threads(t_min);
@@ -157,6 +172,99 @@ int main() {
   const bool ssor_reduces = it_ssor < it_jacobi;
   const bool ic0_reduces = it_ic0 < it_jacobi;
 
+  // ---- Scenario: cold-vs-warm pdn::optimize (the ECO repeated-solve
+  // workload).  Same stressed PDN, unreachable target so every round
+  // executes; the context path must cut total PCG iterations.
+  const int rounds =
+      static_cast<int>(std::max(1L, env_long("LMMIR_BENCH_ROUNDS", 6)));
+  struct EcoRecord {
+    sparse::PreconditionerKind kind;
+    std::size_t cold_iters = 0, warm_iters = 0;
+    std::size_t cold_builds = 0, warm_builds = 0, warm_starts = 0;
+    int golden_solves = 0;
+    double cold_s = 0.0, warm_s = 0.0;
+  };
+  gen::GeneratorConfig eco_cfg;
+  eco_cfg.name = "eco";
+  eco_cfg.width_um = eco_cfg.height_um = std::max(24.0, 48.0 * scale);
+  eco_cfg.seed = 909;
+  eco_cfg.use_default_stack();
+  eco_cfg.total_current =
+      2.0 * 0.08 * (eco_cfg.width_um * eco_cfg.height_um) / (64.0 * 64.0);
+  const spice::Netlist eco_nl = gen::generate_pdn(eco_cfg);
+  std::vector<EcoRecord> eco_records;
+  bool warm_cuts_iterations = true;
+  for (const auto kind : {sparse::PreconditionerKind::Jacobi,
+                          sparse::PreconditionerKind::Ssor,
+                          sparse::PreconditionerKind::Ic0}) {
+    pdn::StrengthenOptions sopts;
+    sopts.target_fraction = 1e-7;  // never met: the cap is the exit
+    sopts.max_iterations = rounds;
+    sopts.solve.cg.preconditioner = kind;
+    EcoRecord rec;
+    rec.kind = kind;
+
+    sopts.use_solver_context = false;
+    util::Stopwatch cold_watch;
+    const auto cold = pdn::strengthen_pdn(eco_nl, sopts);
+    rec.cold_s = cold_watch.seconds();
+    rec.cold_iters = cold.total_cg_iterations;
+    rec.cold_builds = cold.precond_builds;
+    rec.golden_solves = cold.golden_solves;
+
+    sopts.use_solver_context = true;
+    util::Stopwatch warm_watch;
+    const auto warm = pdn::strengthen_pdn(eco_nl, sopts);
+    rec.warm_s = warm_watch.seconds();
+    rec.warm_iters = warm.total_cg_iterations;
+    rec.warm_builds = warm.precond_builds;
+    rec.warm_starts = warm.warm_starts;
+    if (!(rec.warm_iters < rec.cold_iters)) warm_cuts_iterations = false;
+    eco_records.push_back(rec);
+  }
+
+  // ---- Scenario: load sweep (rhs-only repeated solves).  The matrix
+  // never changes, so the context keeps one IC(0) factor for the whole
+  // sweep and every solve warm-starts from its neighbor.
+  struct SweepRecord {
+    std::size_t cold_iters = 0, warm_iters = 0;
+    std::size_t warm_builds = 0;
+    double cold_s = 0.0, warm_s = 0.0;
+  } sweep;
+  {
+    spice::Netlist nl = gen::generate_pdn(eco_cfg);
+    pdn::SolveOptions sopts;
+    sopts.cg.preconditioner = sparse::PreconditionerKind::Ic0;
+    util::Stopwatch cold_watch;
+    {
+      spice::Netlist cold_nl = nl;
+      for (int r = 0; r < rounds; ++r) {
+        const auto& els = cold_nl.elements();
+        for (std::size_t i = 0; i < els.size(); ++i)
+          if (els[i].type == spice::ElementType::CurrentSource)
+            cold_nl.set_element_value(i, els[i].value * (r ? 1.07 : 1.0));
+        sweep.cold_iters +=
+            pdn::solve_ir_drop(pdn::Circuit(cold_nl), sopts).cg_iterations;
+      }
+    }
+    sweep.cold_s = cold_watch.seconds();
+    util::Stopwatch warm_watch;
+    {
+      pdn::SolverContext ctx(sopts);
+      for (int r = 0; r < rounds; ++r) {
+        const auto& els = nl.elements();
+        for (std::size_t i = 0; i < els.size(); ++i)
+          if (els[i].type == spice::ElementType::CurrentSource)
+            nl.set_element_value(i, els[i].value * (r ? 1.07 : 1.0));
+        ctx.solve(pdn::Circuit(nl));
+      }
+      sweep.warm_iters = ctx.stats().total_cg_iterations;
+      sweep.warm_builds = ctx.stats().precond_builds;
+    }
+    sweep.warm_s = warm_watch.seconds();
+    if (!(sweep.warm_iters < sweep.cold_iters)) warm_cuts_iterations = false;
+  }
+
   std::printf("{\n");
   std::printf("  \"bench\": \"solver_convergence\",\n");
   std::printf("  \"hardware_concurrency\": %u,\n",
@@ -179,14 +287,41 @@ int main() {
     std::printf("    ]}%s\n", s + 1 < systems.size() ? "," : "");
   }
   std::printf("  ],\n");
+  std::printf("  \"eco_cold_vs_warm\": {\n");
+  std::printf("    \"rounds\": %d, \"solves\": [\n", rounds);
+  for (std::size_t k = 0; k < eco_records.size(); ++k) {
+    const auto& r = eco_records[k];
+    std::printf(
+        "      {\"precond\": \"%s\", \"golden_solves\": %d, "
+        "\"cold_iterations\": %zu, "
+        "\"warm_iterations\": %zu, \"cold_precond_builds\": %zu, "
+        "\"warm_precond_builds\": %zu, \"warm_starts\": %zu, "
+        "\"cold_s\": %.4f, \"warm_s\": %.4f}%s\n",
+        sparse::to_string(r.kind), r.golden_solves, r.cold_iters,
+        r.warm_iters, r.cold_builds, r.warm_builds, r.warm_starts, r.cold_s,
+        r.warm_s, k + 1 < eco_records.size() ? "," : "");
+  }
+  std::printf("    ]\n");
+  std::printf("  },\n");
+  std::printf("  \"load_sweep_ic0\": {\"rounds\": %d, "
+              "\"cold_iterations\": %zu, \"warm_iterations\": %zu, "
+              "\"warm_precond_builds\": %zu, \"cold_s\": %.4f, "
+              "\"warm_s\": %.4f},\n",
+              rounds, sweep.cold_iters, sweep.warm_iters, sweep.warm_builds,
+              sweep.cold_s, sweep.warm_s);
   std::printf("  \"identity_threads\": [%zu, %zu],\n", t_min, t_max);
   std::printf("  \"threads_bitwise_identical\": %s,\n",
               bitwise_identical ? "true" : "false");
   std::printf("  \"largest_jacobi_iterations\": %zu,\n", it_jacobi);
   std::printf("  \"ssor_reduces_vs_jacobi\": %s,\n",
               ssor_reduces ? "true" : "false");
-  std::printf("  \"ic0_reduces_vs_jacobi\": %s\n",
+  std::printf("  \"ic0_reduces_vs_jacobi\": %s,\n",
               ic0_reduces ? "true" : "false");
+  std::printf("  \"context_reuse_cuts_iterations\": %s\n",
+              warm_cuts_iterations ? "true" : "false");
   std::printf("}\n");
-  return (bitwise_identical && ssor_reduces && ic0_reduces) ? 0 : 1;
+  return (bitwise_identical && ssor_reduces && ic0_reduces &&
+          warm_cuts_iterations)
+             ? 0
+             : 1;
 }

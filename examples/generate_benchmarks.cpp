@@ -16,6 +16,7 @@
 #include "pdn/circuit.hpp"
 #include "pdn/raster.hpp"
 #include "pdn/solver.hpp"
+#include "pdn/solver_context.hpp"
 #include "pdn/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -28,9 +29,14 @@ int main(int argc, char** argv) {
   gen::SuiteOptions suite;  // default 1/8 contest scale
   const auto configs = gen::fake_training_suite(count, seed, suite);
 
+  // One solver context for the whole run: suite cases with a repeated
+  // topology hit the refresh + warm-start fast path; the rest rebuild
+  // automatically (same cost as a cold solve).
+  pdn::SolverContext solver_context;
   pdn::SolveOptions solve_opts;
   solve_opts.cg.preconditioner =
       sparse::preconditioner_kind_from_env(solve_opts.cg.preconditioner);
+  solve_opts.context = &solver_context;
   for (const auto& cfg : configs) {
     const spice::Netlist nl = gen::generate_pdn(cfg);
     const pdn::Circuit circuit(nl);
@@ -45,7 +51,12 @@ int main(int argc, char** argv) {
                 st.name.c_str(), st.nodes, st.shape_string().c_str(),
                 100.0 * sol.worst_drop / sol.vdd, dir.c_str());
   }
+  const auto& st = solver_context.stats();
   std::printf("wrote %d benchmark case(s) under %s/\n", count,
               out_dir.c_str());
+  std::printf("solver context: %zu solve(s) = %zu rebuild(s) + %zu "
+              "refresh(es), %zu preconditioner build(s), %zu warm start(s)\n",
+              st.solves, st.rebuilds, st.refreshes, st.precond_builds,
+              st.warm_starts);
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "pdn/solver_context.hpp"
 #include "sparse/preconditioner.hpp"
 #include "spice/parser.hpp"
 #include "util/log.hpp"
@@ -49,8 +50,20 @@ PipelineOptions PipelineOptions::from_environment() {
   o.train.seed = o.seed + 1;
   o.sample.solver_precond =
       sparse::preconditioner_kind_from_env(o.sample.solver_precond);
+  o.solver_context_reuse = env_long("LMMIR_SOLVER_REUSE", 1) != 0;
   return o;
 }
+
+namespace {
+void log_context_stats(const char* what, const pdn::SolverContext& ctx) {
+  const auto& st = ctx.stats();
+  util::log_info(what, ": solver context — ", st.solves, " solve(s), ",
+                 st.rebuilds, " rebuild(s), ", st.refreshes, " refresh(es), ",
+                 st.precond_builds, " precond build(s), ", st.warm_starts,
+                 " warm start(s), ", st.total_cg_iterations,
+                 " total PCG iteration(s)");
+}
+}  // namespace
 
 data::Dataset Pipeline::build_training_dataset() const {
   data::DatasetOptions d;
@@ -61,11 +74,23 @@ data::Dataset Pipeline::build_training_dataset() const {
   d.real_oversample = opts_.real_oversample;
   d.suite_scale = opts_.suite_scale;
   d.seed = opts_.seed;
-  return data::build_training_dataset(d);
+  if (!opts_.solver_context_reuse) return data::build_training_dataset(d);
+  pdn::SolverContext ctx;
+  d.sample.solver_context = &ctx;
+  data::Dataset ds = data::build_training_dataset(d);
+  log_context_stats("dataset", ctx);
+  return ds;
 }
 
 std::vector<data::Sample> Pipeline::build_hidden_testset() const {
-  return data::build_table2_testset(opts_.sample, opts_.suite_scale);
+  if (!opts_.solver_context_reuse)
+    return data::build_table2_testset(opts_.sample, opts_.suite_scale);
+  data::SampleOptions sample = opts_.sample;
+  pdn::SolverContext ctx;
+  sample.solver_context = &ctx;
+  auto tests = data::build_table2_testset(sample, opts_.suite_scale);
+  log_context_stats("testset", ctx);
+  return tests;
 }
 
 data::Sample Pipeline::sample_from_netlist_file(const std::string& path) const {

@@ -11,7 +11,9 @@
 // Environment overrides (read once at construction):
 //   LMMIR_INPUT_SIDE, LMMIR_PC_GRID, LMMIR_SCALE, LMMIR_FAKE_CASES,
 //   LMMIR_REAL_CASES, LMMIR_EPOCHS, LMMIR_PRETRAIN_EPOCHS, LMMIR_SEED,
-//   LMMIR_PRECOND (golden-solver preconditioner: none|jacobi|ssor|ic0).
+//   LMMIR_PRECOND (golden-solver preconditioner: none|jacobi|ssor|ic0),
+//   LMMIR_SOLVER_REUSE (0 disables the shared SolverContext during
+//   dataset / testset golden solves).
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,6 +34,11 @@ struct PipelineOptions {
   int real_oversample = 4;
   train::TrainConfig train;
   std::uint64_t seed = 7;
+  /// Share one pdn::SolverContext across the golden solves of a dataset /
+  /// testset build (pattern + preconditioner reuse and warm starts for
+  /// consecutive same-topology cases; distinct topologies rebuild
+  /// automatically).  Env: LMMIR_SOLVER_REUSE=0 to disable.
+  bool solver_context_reuse = true;
 
   /// Defaults overridden from LMMIR_* environment variables.
   static PipelineOptions from_environment();

@@ -8,6 +8,7 @@
 #include "pdn/circuit.hpp"
 #include "pdn/raster.hpp"
 #include "pdn/solver.hpp"
+#include "pdn/solver_context.hpp"
 #include "pointcloud/cloud.hpp"
 #include "pointcloud/pool.hpp"
 #include "util/stopwatch.hpp"
@@ -30,6 +31,7 @@ Sample make_sample(const spice::Netlist& netlist, const std::string& name,
   const pdn::Circuit circuit(netlist);
   pdn::SolveOptions solve_opts;
   solve_opts.cg.preconditioner = opts.solver_precond;
+  solve_opts.context = opts.solver_context;
   const pdn::Solution sol = pdn::solve_ir_drop(circuit, solve_opts);
   grid::Grid2D truth = pdn::rasterize_ir_drop(netlist, sol);
   s.golden_solve_seconds = solve_watch.seconds();

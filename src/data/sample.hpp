@@ -14,6 +14,10 @@
 #include "spice/netlist.hpp"
 #include "tensor/tensor.hpp"
 
+namespace lmmir::pdn {
+class SolverContext;  // pdn/solver_context.hpp
+}
+
 namespace lmmir::data {
 
 struct SampleOptions {
@@ -22,6 +26,13 @@ struct SampleOptions {
   /// Preconditioner for the golden IR-drop solve backing the ground truth.
   sparse::PreconditionerKind solver_precond =
       sparse::PreconditionerKind::Jacobi;
+  /// Optional shared solver cache for corpus generation: consecutive
+  /// samples of the same PDN topology (load sweeps, ECO variants) reuse
+  /// the assembled pattern / preconditioner and warm-start PCG; unrelated
+  /// topologies fall back to a full rebuild automatically.  Not owned; the
+  /// caller keeps it alive across make_sample calls and does not share one
+  /// context between concurrent solves.
+  pdn::SolverContext* solver_context = nullptr;
 };
 
 /// Stored regression targets are percent-of-vdd x kTargetScale, keeping

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "pdn/solver_context.hpp"
 #include "util/log.hpp"
 
 namespace lmmir::pdn {
@@ -21,18 +22,32 @@ StrengthenResult strengthen_pdn(const spice::Netlist& netlist,
   StrengthenResult res;
   res.netlist = netlist;
 
-  for (int iter = 0; iter <= opts.max_iterations; ++iter) {
+  // The ECO loop only rewrites resistor VALUES, so every round after the
+  // first hits the context's numeric-refresh + warm-start fast path.
+  SolveOptions solve_opts = opts.solve;
+  solve_opts.context = nullptr;  // the loop owns its context explicitly
+  SolverContext context(solve_opts);
+
+  auto analyze = [&](const Circuit& circuit) {
+    ++res.golden_solves;
+    Solution sol = opts.use_solver_context ? context.solve(circuit)
+                                           : solve_ir_drop(circuit, solve_opts);
+    res.total_cg_iterations += sol.cg_iterations;
+    return sol;
+  };
+
+  for (int round = 0;; ++round) {
     const Circuit circuit(res.netlist);
-    const Solution sol = solve_ir_drop(circuit);
-    if (iter == 0) res.initial_worst_drop = sol.worst_drop;
+    const Solution sol = analyze(circuit);
+    if (round == 0) res.initial_worst_drop = sol.worst_drop;
     res.final_worst_drop = sol.worst_drop;
 
     const double target = opts.target_fraction * sol.vdd;
     if (sol.worst_drop <= target) {
       res.met_target = true;
-      return res;
+      break;
     }
-    if (iter == opts.max_iterations) break;
+    if (round == opts.max_iterations) break;  // analysis budget exhausted
 
     // Mark violating nodes.
     const double hotspot = opts.hotspot_fraction * sol.worst_drop;
@@ -55,11 +70,18 @@ StrengthenResult strengthen_pdn(const spice::Netlist& netlist,
       res.netlist.set_element_value(i, e.value * opts.resistance_scale);
       ++upsized;
     }
+    if (upsized == 0) break;  // no-op round: nothing to count or re-solve
     res.resistors_upsized += upsized;
     ++res.iterations;
-    util::log_info("strengthen_pdn: iter ", iter, " worst ", sol.worst_drop,
+    util::log_info("strengthen_pdn: round ", round, " worst ", sol.worst_drop,
                    " V, upsized ", upsized, " segment(s)");
-    if (upsized == 0) break;  // nothing left to improve
+  }
+
+  if (opts.use_solver_context) {
+    res.precond_builds = context.stats().precond_builds;
+    res.warm_starts = context.stats().warm_starts;
+  } else {
+    res.precond_builds = static_cast<std::size_t>(res.golden_solves);
   }
   return res;
 }

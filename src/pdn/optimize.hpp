@@ -18,15 +18,35 @@ struct StrengthenOptions {
   /// Resistance multiplier applied to upsized segments (0 < s < 1).
   double resistance_scale = 0.6;
   int max_iterations = 5;
+  /// Golden-solver configuration for every analysis round.
+  SolveOptions solve{};
+  /// Solve successive rounds through a shared SolverContext: the ECO loop
+  /// only rewrites resistor values, so each re-analysis is a numeric
+  /// refresh on the cached pattern with a reused IC(0) factor and a
+  /// warm-started PCG.  Disable to force a cold solve per round (the
+  /// pre-context behavior; the bench's baseline).
+  bool use_solver_context = true;
 };
 
 struct StrengthenResult {
   spice::Netlist netlist;        // the strengthened PDN
-  int iterations = 0;            // ECO rounds actually executed
+  /// ECO rounds that actually upsized at least one segment.  A run that
+  /// exhausts the budget reports exactly max_iterations; a round whose
+  /// hotspot set touches no resistor is NOT counted (nothing executed).
+  int iterations = 0;
+  /// Golden analysis solves performed: one per ECO round plus the final
+  /// re-analysis, counted directly rather than inferred from iterations
+  /// (the old `iterations + 1` inference over-counted by one when a round
+  /// found nothing to upsize).
+  int golden_solves = 0;
   double initial_worst_drop = 0; // volts
   double final_worst_drop = 0;   // volts
   std::size_t resistors_upsized = 0;  // total across rounds
   bool met_target = false;
+  // Solver-reuse telemetry (what the SolverContext amortized).
+  std::size_t total_cg_iterations = 0;
+  std::size_t precond_builds = 0;     // == golden_solves on the cold path
+  std::size_t warm_starts = 0;
 };
 
 /// Run the strengthening loop. Throws like solve_ir_drop on unsolvable

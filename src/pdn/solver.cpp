@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
+#include "pdn/solver_context.hpp"
 #include "spice/netlist.hpp"
 #include "util/log.hpp"
 
@@ -84,17 +86,16 @@ AssembledSystem assemble_ir_system(const Circuit& circuit) {
   return sys;
 }
 
-Solution solve_ir_drop(const Circuit& circuit, const SolveOptions& opts) {
-  const auto& nl = circuit.netlist();
-  const std::size_t n = nl.node_count();
-  AssembledSystem sys = assemble_ir_system(circuit);
-  auto cg = sparse::conjugate_gradient(sys.matrix, sys.rhs, opts.cg);
+namespace detail {
+
+Solution finish_solution(const Circuit& circuit, const AssembledSystem& sys,
+                         sparse::CgResult cg) {
   if (!cg.converged)
     util::log_warn("solve_ir_drop: CG (", sparse::to_string(cg.preconditioner),
                    ") stopped at residual ", cg.residual, " after ",
                    cg.iterations, " iterations",
                    cg.breakdown ? " [breakdown]" : "");
-
+  const std::size_t n = circuit.netlist().node_count();
   Solution sol;
   sol.vdd = circuit.vdd();
   sol.unknowns = sys.matrix.dim();
@@ -106,6 +107,8 @@ Solution solve_ir_drop(const Circuit& circuit, const SolveOptions& opts) {
   sol.residual_history = std::move(cg.residual_history);
   sol.precond_setup_seconds = cg.precond_setup_seconds;
   sol.precond_apply_seconds = cg.precond_apply_seconds;
+  sol.warm_started = cg.warm_started;
+  sol.initial_residual = cg.initial_residual;
   sol.node_voltage.assign(n, sol.vdd);
   for (std::size_t i = 0; i < n; ++i) {
     const NodeId id = static_cast<NodeId>(i);
@@ -121,6 +124,15 @@ Solution solve_ir_drop(const Circuit& circuit, const SolveOptions& opts) {
     sol.worst_drop = std::max(sol.worst_drop, sol.ir_drop[i]);
   }
   return sol;
+}
+
+}  // namespace detail
+
+Solution solve_ir_drop(const Circuit& circuit, const SolveOptions& opts) {
+  if (opts.context) return opts.context->solve(circuit, opts);
+  AssembledSystem sys = assemble_ir_system(circuit);
+  auto cg = sparse::conjugate_gradient(sys.matrix, sys.rhs, opts.cg);
+  return detail::finish_solution(circuit, sys, std::move(cg));
 }
 
 }  // namespace lmmir::pdn

@@ -76,10 +76,13 @@ constexpr double kAlphaLimit = 1e100;
 
 CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
                             const CgOptions& opts,
-                            const Preconditioner* precond) {
+                            const Preconditioner* precond,
+                            const std::vector<double>* x0) {
   const std::size_t n = a.dim();
   if (b.size() != n)
     throw std::invalid_argument("conjugate_gradient: rhs size mismatch");
+  if (x0 && x0->size() != n)
+    throw std::invalid_argument("conjugate_gradient: x0 size mismatch");
 
   CgResult res;
   res.preconditioner = precond ? precond->kind() : opts.preconditioner;
@@ -91,7 +94,7 @@ CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
 
   const double bnorm = norm2(b);
   if (bnorm == 0.0) {
-    res.converged = true;
+    res.converged = true;  // x = 0 is exact; ignore any guess
     return res;
   }
 
@@ -106,6 +109,30 @@ CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
 
   std::vector<double> r = b;  // r = b - A*0
   std::vector<double> z(n), p(n), ap(n);
+  if (x0) {
+    // Warm start: r = b - A·x₀.  A guess with a non-finite residual (stale
+    // iterate of an exploded solve) is discarded rather than trusted.
+    res.x = *x0;
+    a.multiply(res.x, ap);
+    runtime::parallel_for(0, n, runtime::grain_for_cost(1),
+                          [&](std::size_t lo, std::size_t hi) {
+                            for (std::size_t i = lo; i < hi; ++i)
+                              r[i] -= ap[i];
+                          });
+    const double r0 = norm2(r) / bnorm;
+    if (std::isfinite(r0)) {
+      res.warm_started = true;
+      res.initial_residual = r0;
+      res.residual = r0;
+      if (r0 < opts.tolerance) {
+        res.converged = true;  // the guess already satisfies the tolerance
+        return res;
+      }
+    } else {
+      res.x.assign(n, 0.0);
+      r = b;
+    }
+  }
   {
     util::Stopwatch apply_watch;
     m->apply(r, z);
@@ -113,7 +140,7 @@ CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
   }
   p = z;
   double rz = dot(r, z);
-  res.residual = 1.0;  // ||b - A*0|| / ||b||
+  if (!res.warm_started) res.residual = 1.0;  // ||b - A*0|| / ||b||
   if (!(rz > 0.0) || !std::isfinite(rz)) {
     // M is not positive definite on r (degenerate preconditioner input).
     res.breakdown = true;

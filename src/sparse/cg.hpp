@@ -28,6 +28,11 @@ struct CgResult {
   std::size_t iterations = 0;
   double residual = 0.0;  // final relative residual, always finite
   bool converged = false;
+  /// True when the solve started from a caller-supplied iterate.
+  bool warm_started = false;
+  /// ||b - A·x₀|| / ||b|| before the first iteration (1.0 for a cold
+  /// start): how much work the warm start already paid for.
+  double initial_residual = 1.0;
   /// True when the iteration degenerated (semi-definite matrix, indefinite
   /// preconditioner, overflow): x holds the last usable iterate and
   /// `residual` stays finite — never NaN.
@@ -44,9 +49,15 @@ struct CgResult {
 /// `precond` injects a prebuilt preconditioner, amortizing setup across
 /// sequential solves of the same matrix (apply() is not concurrency-safe;
 /// see preconditioner.hpp); when null, one is built from
-/// `opts.preconditioner`.
+/// `opts.preconditioner`.  `x0` warm-starts the iteration from a previous
+/// iterate (e.g. the solution of a nearby system): the initial residual
+/// becomes b - A·x₀ and convergence is still measured relative to ||b||,
+/// so a good guess converges in fewer iterations — possibly zero.  When
+/// null the solve starts from zero exactly as before (bitwise-identical
+/// to the pre-warm-start implementation).
 CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
                             const CgOptions& opts = {},
-                            const Preconditioner* precond = nullptr);
+                            const Preconditioner* precond = nullptr,
+                            const std::vector<double>* x0 = nullptr);
 
 }  // namespace lmmir::sparse

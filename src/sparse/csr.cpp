@@ -80,13 +80,18 @@ std::vector<double> CsrMatrix::diagonal() const {
 }
 
 double CsrMatrix::at(std::size_t row, std::size_t col) const {
+  const std::size_t k = find_entry(row, col);
+  return k == npos ? 0.0 : vals_[k];
+}
+
+std::size_t CsrMatrix::find_entry(std::size_t row, std::size_t col) const {
   if (row >= n_ || col >= n_)
-    throw std::out_of_range("CsrMatrix::at: index out of range");
+    throw std::out_of_range("CsrMatrix::find_entry: index out of range");
   const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row]);
   const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row + 1]);
   const auto it = std::lower_bound(begin, end, col);
-  if (it == end || *it != col) return 0.0;
-  return vals_[static_cast<std::size_t>(it - col_idx_.begin())];
+  if (it == end || *it != col) return npos;
+  return static_cast<std::size_t>(it - col_idx_.begin());
 }
 
 double CsrMatrix::symmetry_error() const {

@@ -49,9 +49,21 @@ class CsrMatrix {
   /// Entry lookup (O(log nnz_row)); 0.0 where absent.
   double at(std::size_t row, std::size_t col) const;
 
+  /// Storage slot of entry (row, col) in values(), or npos when the entry
+  /// is not in the sparsity pattern.  Lets callers precompute a numeric-
+  /// refresh plan once and then update values in place (see values_mut).
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t find_entry(std::size_t row, std::size_t col) const;
+
   const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
   const std::vector<std::size_t>& col_idx() const { return col_idx_; }
   const std::vector<double>& values() const { return vals_; }
+
+  /// Mutable numeric values on the FIXED sparsity pattern — the in-place
+  /// refresh path for repeated solves of topologically identical systems
+  /// (pdn::SolverContext).  The pattern itself (row_ptr/col_idx) is
+  /// immutable after construction.
+  std::vector<double>& values_mut() { return vals_; }
 
   /// Max |A - Aᵀ| entry; 0 for exactly symmetric matrices.
   double symmetry_error() const;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "runtime/parallel_for.hpp"
+#include "sparse/trisolve.hpp"
 #include "util/log.hpp"
 
 namespace lmmir::sparse {
@@ -76,14 +77,19 @@ class JacobiPreconditioner final : public Preconditioner {
 /// Symmetric Gauss-Seidel / SSOR sweep,
 ///   M = (1/(ω(2-ω))) (D + ωL) D⁻¹ (D + ωU),
 /// so z = M⁻¹r = ω(2-ω) (D + ωU)⁻¹ D (D + ωL)⁻¹ r: a forward solve, a
-/// diagonal scale, and a backward solve over the matrix rows.  The
-/// triangular sweeps carry a loop dependence, so the apply is serial —
-/// identical results for any runtime thread count by construction.  Holds
-/// a reference to the matrix: no extra storage.
+/// diagonal scale, and a backward solve over the matrix rows.  Both
+/// triangular sweeps are level-scheduled (trisolve.hpp): rows of one
+/// dependency wavefront solve concurrently, each with the exact serial
+/// per-row arithmetic, so results stay bitwise-identical for any runtime
+/// thread count.  Holds a reference to the matrix: no extra storage.
 class SsorPreconditioner final : public Preconditioner {
  public:
   explicit SsorPreconditioner(const CsrMatrix& a, double omega = 1.0)
-      : a_(a), omega_(omega), diag_(a.diagonal()) {
+      : a_(a),
+        omega_(omega),
+        diag_(a.diagonal()),
+        forward_(LevelSchedule::lower(a.row_ptr(), a.col_idx(), a.dim())),
+        backward_(LevelSchedule::upper(a.row_ptr(), a.col_idx(), a.dim())) {
     if (!(omega > 0.0) || !(omega < 2.0))
       throw std::invalid_argument("SsorPreconditioner: omega must be in (0,2)");
     for (auto& d : diag_)
@@ -97,11 +103,12 @@ class SsorPreconditioner final : public Preconditioner {
     const auto& row_ptr = a_.row_ptr();
     const auto& col_idx = a_.col_idx();
     const auto& vals = a_.values();
+    const std::size_t row_cost = 2 * (a_.nnz() / (n ? n : 1) + 1);
     work_.resize(n);
     z.resize(n);
     // Forward: (D + ωL) y = r, strictly-lower entries come first in each
     // sorted row.
-    for (std::size_t i = 0; i < n; ++i) {
+    for_each_level(forward_, row_cost, [&](std::size_t i) {
       double s = r[i];
       for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
         const std::size_t j = col_idx[k];
@@ -109,13 +116,17 @@ class SsorPreconditioner final : public Preconditioner {
         s -= omega_ * vals[k] * work_[j];
       }
       work_[i] = s / diag_[i];
-    }
+    });
     // Scale by ω(2-ω) · D (the D⁻¹ middle factor combined with the
-    // 1/(ω(2-ω)) normalization).
+    // 1/(ω(2-ω)) normalization).  Elementwise: disjoint writes.
     const double scale = omega_ * (2.0 - omega_);
-    for (std::size_t i = 0; i < n; ++i) work_[i] *= scale * diag_[i];
+    runtime::parallel_for(0, n, runtime::grain_for_cost(2),
+                          [&](std::size_t lo, std::size_t hi) {
+                            for (std::size_t i = lo; i < hi; ++i)
+                              work_[i] *= scale * diag_[i];
+                          });
     // Backward: (D + ωU) z = work, strictly-upper entries trail the row.
-    for (std::size_t ii = n; ii-- > 0;) {
+    for_each_level(backward_, row_cost, [&](std::size_t ii) {
       double s = work_[ii];
       for (std::size_t k = row_ptr[ii + 1]; k-- > row_ptr[ii];) {
         const std::size_t j = col_idx[k];
@@ -123,21 +134,24 @@ class SsorPreconditioner final : public Preconditioner {
         s -= omega_ * vals[k] * z[j];
       }
       z[ii] = s / diag_[ii];
-    }
+    });
   }
 
  private:
   const CsrMatrix& a_;
   double omega_;                      // ω=1 from the factory: symmetric GS
   std::vector<double> diag_;          // zero-diagonal rows patched to 1
+  LevelSchedule forward_;             // wavefronts of the (D+ωL) solve
+  LevelSchedule backward_;            // wavefronts of the (D+ωU) solve
   mutable std::vector<double> work_;  // forward-sweep intermediate
 };
 
 /// Incomplete Cholesky with zero fill-in: L has exactly the lower-triangle
-/// sparsity of A and A ≈ L Lᵀ.  Apply = forward solve L y = r, then the
-/// transposed backward solve Lᵀ z = y done as a column sweep over L's rows.
-/// Both sweeps are serial (triangular dependence) and therefore
-/// thread-count independent.
+/// sparsity of A and A ≈ L Lᵀ.  Apply = forward solve L y = r over L, then
+/// backward solve Lᵀ z = y as a row-gather sweep over an explicitly stored
+/// U = Lᵀ.  Both sweeps are level-scheduled (trisolve.hpp): the rows of one
+/// dependency wavefront solve concurrently with fixed per-row arithmetic,
+/// so results are bitwise-identical for any runtime thread count.
 class Ic0Preconditioner final : public Preconditioner {
  public:
   explicit Ic0Preconditioner(const CsrMatrix& a) {
@@ -145,7 +159,12 @@ class Ic0Preconditioner final : public Preconditioner {
     // A diagonal shift A + α·diag(A) repairs non-SPD pivots; PDN matrices
     // factor at α = 0.
     for (double alpha : {0.0, 1e-3, 1e-2, 1e-1, 0.5, 1.0, 10.0}) {
-      if (factor(a, alpha)) return;
+      if (factor(a, alpha)) {
+        build_transpose();
+        forward_ = LevelSchedule::lower(row_ptr_, col_idx_, n_);
+        backward_ = LevelSchedule::upper(ut_row_ptr_, ut_col_idx_, n_);
+        return;
+      }
     }
     throw std::runtime_error(
         "Ic0Preconditioner: factorization broke down even with diagonal "
@@ -155,23 +174,25 @@ class Ic0Preconditioner final : public Preconditioner {
 
   void apply(const std::vector<double>& r,
              std::vector<double>& z) const override {
-    work_ = r;
+    const std::size_t row_cost =
+        2 * (col_idx_.size() / (n_ ? n_ : 1) + 1);
+    work_.resize(n_);
+    z.resize(n_);
     // Forward: L y = r (diagonal entry is last in each row of L).
-    for (std::size_t i = 0; i < n_; ++i) {
-      double s = work_[i];
+    for_each_level(forward_, row_cost, [&](std::size_t i) {
+      double s = r[i];
       for (std::size_t k = row_ptr_[i]; k + 1 < row_ptr_[i + 1]; ++k)
         s -= vals_[k] * work_[col_idx_[k]];
       work_[i] = s / vals_[row_ptr_[i + 1] - 1];
-    }
-    // Backward: Lᵀ z = y as a column sweep using L's row storage.
-    z = work_;
-    for (std::size_t ii = n_; ii-- > 0;) {
-      const std::size_t diag_k = row_ptr_[ii + 1] - 1;
-      z[ii] /= vals_[diag_k];
-      const double zi = z[ii];
-      for (std::size_t k = row_ptr_[ii]; k < diag_k; ++k)
-        z[col_idx_[k]] -= vals_[k] * zi;
-    }
+    });
+    // Backward: Lᵀ z = y, gathered per row of U = Lᵀ (diagonal entry is
+    // first in each row of U).
+    for_each_level(backward_, row_cost, [&](std::size_t i) {
+      double s = work_[i];
+      for (std::size_t k = ut_row_ptr_[i] + 1; k < ut_row_ptr_[i + 1]; ++k)
+        s -= ut_vals_[k] * z[ut_col_idx_[k]];
+      z[i] = s / ut_vals_[ut_row_ptr_[i]];
+    });
   }
 
  private:
@@ -236,10 +257,38 @@ class Ic0Preconditioner final : public Preconditioner {
     return true;
   }
 
+  /// U = Lᵀ in CSR (row i holds L's column i, ascending, diagonal first):
+  /// turns the backward solve's column scatter into a per-row gather the
+  /// level scheduler can fan out.
+  void build_transpose() {
+    ut_row_ptr_.assign(n_ + 1, 0);
+    for (std::size_t j : col_idx_) ++ut_row_ptr_[j + 1];
+    for (std::size_t i = 0; i < n_; ++i) ut_row_ptr_[i + 1] += ut_row_ptr_[i];
+    ut_col_idx_.resize(col_idx_.size());
+    ut_vals_.resize(vals_.size());
+    std::vector<std::size_t> cursor(ut_row_ptr_.begin(),
+                                    ut_row_ptr_.end() - 1);
+    // Walking L's rows in ascending order writes each U row's columns in
+    // ascending order, and the first entry of column i encountered is the
+    // diagonal L_ii (rows below i contribute the strictly-upper tail).
+    for (std::size_t i = 0; i < n_; ++i)
+      for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+        const std::size_t j = col_idx_[k];
+        ut_col_idx_[cursor[j]] = i;
+        ut_vals_[cursor[j]] = vals_[k];
+        ++cursor[j];
+      }
+  }
+
   std::size_t n_ = 0;
   std::vector<std::size_t> row_ptr_;  // L, lower triangle incl. diagonal
   std::vector<std::size_t> col_idx_;
   std::vector<double> vals_;
+  std::vector<std::size_t> ut_row_ptr_;  // U = Lᵀ (see build_transpose)
+  std::vector<std::size_t> ut_col_idx_;
+  std::vector<double> ut_vals_;
+  LevelSchedule forward_;   // wavefronts of the L solve
+  LevelSchedule backward_;  // wavefronts of the Lᵀ solve
   mutable std::vector<double> work_;  // forward-solve intermediate
 };
 

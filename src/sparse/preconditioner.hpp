@@ -11,12 +11,20 @@
 //   SSOR   — symmetric successive over-relaxation sweep; no extra storage
 //            beyond the matrix, roughly halves iterations on grids.
 //   IC0    — incomplete Cholesky with zero fill-in; strongest iteration
-//            reduction, triangular-solve apply (inherently serial).
+//            reduction, triangular-solve apply.
+//
+// The SSOR and IC(0) triangular sweeps are level-scheduled (see
+// sparse/trisolve.hpp): rows are grouped into dependency wavefronts so the
+// apply fans out over the runtime thread pool while staying
+// bitwise-identical for any thread count.
 //
 // Setup happens in the factory.  Instances are immutable after
 // construction but apply() reuses an internal scratch buffer, so use one
 // instance per concurrently-running solve.  SSOR references the matrix it
 // was built from (no copy); the matrix must outlive the preconditioner.
+// Because SSOR reads the matrix on every apply, an in-place numeric
+// refresh of the matrix values (pdn::SolverContext) requires rebuilding
+// the SSOR instance; IC(0) copies its factor and stays self-contained.
 #include <cstddef>
 #include <memory>
 #include <optional>

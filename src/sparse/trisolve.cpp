@@ -1,0 +1,67 @@
+#include "sparse/trisolve.hpp"
+
+#include <algorithm>
+
+namespace lmmir::sparse {
+
+LevelSchedule LevelSchedule::from_levels(const std::vector<std::size_t>& level,
+                                         std::size_t n_levels) {
+  LevelSchedule s;
+  const std::size_t n = level.size();
+  s.level_ptr_.assign(n_levels + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) ++s.level_ptr_[level[i] + 1];
+  for (std::size_t l = 0; l < n_levels; ++l)
+    s.level_ptr_[l + 1] += s.level_ptr_[l];
+  // Counting sort: iterating rows in ascending order keeps each level's
+  // row list ascending, which the sweeps rely on for locality and
+  // reproducible chunking.
+  s.rows_.resize(n);
+  std::vector<std::size_t> cursor(s.level_ptr_.begin(),
+                                  s.level_ptr_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) s.rows_[cursor[level[i]]++] = i;
+  return s;
+}
+
+LevelSchedule LevelSchedule::lower(const std::vector<std::size_t>& row_ptr,
+                                   const std::vector<std::size_t>& col_idx,
+                                   std::size_t n) {
+  std::vector<std::size_t> level(n, 0);
+  std::size_t n_levels = n ? 1 : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t lvl = 0;
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const std::size_t j = col_idx[k];
+      if (j >= i) break;  // rows are sorted: past the strict lower part
+      lvl = std::max(lvl, level[j] + 1);
+    }
+    level[i] = lvl;
+    n_levels = std::max(n_levels, lvl + 1);
+  }
+  return from_levels(level, n_levels);
+}
+
+LevelSchedule LevelSchedule::upper(const std::vector<std::size_t>& row_ptr,
+                                   const std::vector<std::size_t>& col_idx,
+                                   std::size_t n) {
+  std::vector<std::size_t> level(n, 0);
+  std::size_t n_levels = n ? 1 : 0;
+  for (std::size_t i = n; i-- > 0;) {
+    std::size_t lvl = 0;
+    for (std::size_t k = row_ptr[i + 1]; k-- > row_ptr[i];) {
+      const std::size_t j = col_idx[k];
+      if (j <= i) break;  // past the strict upper part
+      lvl = std::max(lvl, level[j] + 1);
+    }
+    level[i] = lvl;
+    n_levels = std::max(n_levels, lvl + 1);
+  }
+  return from_levels(level, n_levels);
+}
+
+double LevelSchedule::average_width() const {
+  const std::size_t levels = level_count();
+  if (levels == 0) return 0.0;
+  return static_cast<double>(rows_.size()) / static_cast<double>(levels);
+}
+
+}  // namespace lmmir::sparse

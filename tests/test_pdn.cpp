@@ -3,7 +3,9 @@
 
 #include <cmath>
 
+#include "gen/began.hpp"
 #include "pdn/circuit.hpp"
+#include "pdn/optimize.hpp"
 #include "pdn/raster.hpp"
 #include "pdn/solver.hpp"
 #include "pdn/stats.hpp"
@@ -182,6 +184,86 @@ TEST(Stats, CountsElements) {
   EXPECT_EQ(st.voltage_sources, 1u);
   EXPECT_EQ(st.layers, 2);
   EXPECT_EQ(st.shape_string(), "3x1");
+}
+
+// ------------------------------------- ECO-loop round/solve accounting
+//
+// Regression for the off-by-one reporting in strengthen_pdn's exit paths:
+// the solve count used to be inferred as `iterations + 1`, which
+// mis-reported runs that ended early; golden_solves is now counted
+// directly and `iterations` is pinned to the rounds that actually
+// upsized something.
+
+lmmir::gen::GeneratorConfig stressed_mesh(std::uint64_t seed) {
+  lmmir::gen::GeneratorConfig cfg;
+  cfg.name = "acct";
+  cfg.width_um = 28;
+  cfg.height_um = 28;
+  cfg.seed = seed;
+  cfg.total_current = 0.3;  // stressed: the ECO loop always has work
+  cfg.use_default_stack();
+  return cfg;
+}
+
+TEST(StrengthenAccounting, CapExitReportsExactRoundAndSolveCounts) {
+  const auto nl = lmmir::gen::generate_pdn(stressed_mesh(41));
+  pdn::StrengthenOptions opts;
+  opts.target_fraction = 1e-6;  // unreachable: the budget is the exit path
+  opts.max_iterations = 2;
+  const auto res = pdn::strengthen_pdn(nl, opts);
+  EXPECT_FALSE(res.met_target);
+  // Budget-capped run: exactly max_iterations ECO rounds, each preceded by
+  // an analysis solve, plus the final re-analysis.
+  EXPECT_EQ(res.iterations, 2);
+  EXPECT_EQ(res.golden_solves, 3);
+}
+
+TEST(StrengthenAccounting, ImmediateTargetCountsTheOneAnalysis) {
+  const auto nl = lmmir::gen::generate_pdn(stressed_mesh(42));
+  pdn::StrengthenOptions opts;
+  opts.target_fraction = 0.9;  // trivially met by the first analysis
+  const auto res = pdn::strengthen_pdn(nl, opts);
+  EXPECT_TRUE(res.met_target);
+  EXPECT_EQ(res.iterations, 0);
+  EXPECT_EQ(res.golden_solves, 1);  // the old inference claimed 1 too —
+                                    // but via iterations+1; now explicit
+}
+
+TEST(StrengthenAccounting, GoldenSolvesIsIterationsPlusOneOnFullRuns) {
+  const auto nl = lmmir::gen::generate_pdn(stressed_mesh(43));
+  pdn::StrengthenOptions opts;
+  opts.target_fraction = 0.02;
+  opts.max_iterations = 4;
+  const auto res = pdn::strengthen_pdn(nl, opts);
+  // Every executed round re-analyzed afterwards (met-target and capped
+  // runs alike): solves = rounds + 1 whenever no round was a no-op.
+  EXPECT_EQ(res.golden_solves, res.iterations + 1);
+}
+
+TEST(StrengthenAccounting, ContextReuseMatchesColdLoop) {
+  const auto nl = lmmir::gen::generate_pdn(stressed_mesh(44));
+  pdn::StrengthenOptions opts;
+  opts.target_fraction = 1e-6;
+  opts.max_iterations = 3;
+  opts.solve.cg.preconditioner = lmmir::sparse::PreconditionerKind::Ic0;
+  opts.use_solver_context = false;
+  const auto cold = pdn::strengthen_pdn(nl, opts);
+  opts.use_solver_context = true;
+  const auto warm = pdn::strengthen_pdn(nl, opts);
+
+  EXPECT_EQ(cold.iterations, warm.iterations);
+  EXPECT_EQ(cold.golden_solves, warm.golden_solves);
+  EXPECT_EQ(cold.resistors_upsized, warm.resistors_upsized);
+  EXPECT_NEAR(warm.final_worst_drop, cold.final_worst_drop,
+              1e-8 * std::max(1.0, cold.final_worst_drop));
+  // Every ECO round changes conductances, so the factor is rebuilt per
+  // round on both paths — but the context warm-starts every round after
+  // the first and that must cut the total PCG work.
+  EXPECT_EQ(cold.precond_builds, static_cast<std::size_t>(cold.golden_solves));
+  EXPECT_EQ(warm.precond_builds, static_cast<std::size_t>(warm.golden_solves));
+  EXPECT_EQ(warm.warm_starts,
+            static_cast<std::size_t>(warm.golden_solves) - 1);
+  EXPECT_LT(warm.total_cg_iterations, cold.total_cg_iterations);
 }
 
 }  // namespace

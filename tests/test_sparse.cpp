@@ -6,6 +6,7 @@
 #include "sparse/cg.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/dense.hpp"
+#include "sparse/trisolve.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -221,6 +222,130 @@ TEST(Cg, RecordsResidualHistory) {
   ASSERT_EQ(res.residual_history.size(), res.iterations);
   EXPECT_DOUBLE_EQ(res.residual_history.back(), res.residual);
   EXPECT_LT(res.residual_history.back(), CgOptions{}.tolerance);
+}
+
+TEST(Cg, WarmStartFromExactSolutionTakesZeroIterations) {
+  CooBuilder coo(2);
+  coo.add(0, 0, 2.0);
+  coo.add(1, 1, 5.0);
+  const auto m = CsrMatrix::from_coo(coo);
+  const std::vector<double> b = {4.0, 10.0};
+  const std::vector<double> exact = {2.0, 2.0};
+  const auto res = conjugate_gradient(m, b, {}, nullptr, &exact);
+  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.warm_started);
+  EXPECT_EQ(res.iterations, 0u);
+  EXPECT_DOUBLE_EQ(res.x[0], 2.0);
+  EXPECT_DOUBLE_EQ(res.x[1], 2.0);
+}
+
+TEST(Cg, WarmStartRejectsWrongSizeGuess) {
+  CooBuilder coo(2);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, 1.0);
+  const auto m = CsrMatrix::from_coo(coo);
+  const std::vector<double> bad = {1.0};
+  EXPECT_THROW(conjugate_gradient(m, {1.0, 1.0}, {}, nullptr, &bad),
+               std::invalid_argument);
+}
+
+TEST(Cg, ColdStartUnchangedByWarmStartPlumbing) {
+  // x0 == nullptr must take exactly the historical code path: a zero
+  // initial iterate and initial_residual pinned to 1.
+  CooBuilder coo(2);
+  coo.add(0, 0, 3.0);
+  coo.add(0, 1, 1.0);
+  coo.add(1, 0, 1.0);
+  coo.add(1, 1, 3.0);
+  const auto m = CsrMatrix::from_coo(coo);
+  const auto res = conjugate_gradient(m, {1.0, -2.0});
+  ASSERT_TRUE(res.converged);
+  EXPECT_FALSE(res.warm_started);
+  EXPECT_DOUBLE_EQ(res.initial_residual, 1.0);
+}
+
+// -------------------------------------------------- level schedules
+
+TEST(LevelSchedule, DiagonalMatrixIsOneLevel) {
+  CooBuilder coo(5);
+  for (std::size_t i = 0; i < 5; ++i) coo.add(i, i, 2.0);
+  const auto m = CsrMatrix::from_coo(coo);
+  const auto s = LevelSchedule::lower(m.row_ptr(), m.col_idx(), m.dim());
+  EXPECT_EQ(s.level_count(), 1u);
+  EXPECT_EQ(s.row_count(), 5u);
+  EXPECT_DOUBLE_EQ(s.average_width(), 5.0);
+}
+
+TEST(LevelSchedule, TridiagonalChainIsFullySequential) {
+  const std::size_t n = 6;
+  CooBuilder coo(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    coo.add(i, i, 2.0);
+    if (i + 1 < n) {
+      coo.add(i, i + 1, -1.0);
+      coo.add(i + 1, i, -1.0);
+    }
+  }
+  const auto m = CsrMatrix::from_coo(coo);
+  const auto lo = LevelSchedule::lower(m.row_ptr(), m.col_idx(), m.dim());
+  const auto up = LevelSchedule::upper(m.row_ptr(), m.col_idx(), m.dim());
+  EXPECT_EQ(lo.level_count(), n);  // a chain has no wavefront parallelism
+  EXPECT_EQ(up.level_count(), n);
+  // Lower levels emit rows in ascending order, upper in descending.
+  EXPECT_EQ(lo.rows().front(), 0u);
+  EXPECT_EQ(up.rows().front(), n - 1);
+}
+
+TEST(LevelSchedule, EveryDependencyLivesInAnEarlierLevel) {
+  // Random-ish SPD-patterned matrix: band + a few long-range entries.
+  const std::size_t n = 40;
+  CooBuilder coo(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    coo.add(i, i, 4.0);
+    if (i >= 3) {
+      coo.add(i, i - 3, -1.0);
+      coo.add(i - 3, i, -1.0);
+    }
+    if (i >= 11) {
+      coo.add(i, i - 11, -0.5);
+      coo.add(i - 11, i, -0.5);
+    }
+  }
+  const auto m = CsrMatrix::from_coo(coo);
+  for (const bool lower : {true, false}) {
+    const auto s = lower
+                       ? LevelSchedule::lower(m.row_ptr(), m.col_idx(), m.dim())
+                       : LevelSchedule::upper(m.row_ptr(), m.col_idx(), m.dim());
+    ASSERT_EQ(s.row_count(), n);
+    std::vector<std::size_t> level_of(n, 0);
+    for (std::size_t l = 0; l + 1 < s.level_ptr().size(); ++l)
+      for (std::size_t k = s.level_ptr()[l]; k < s.level_ptr()[l + 1]; ++k)
+        level_of[s.rows()[k]] = l;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t k = m.row_ptr()[i]; k < m.row_ptr()[i + 1]; ++k) {
+        const std::size_t j = m.col_idx()[k];
+        if (lower ? (j < i) : (j > i)) {
+          EXPECT_LT(level_of[j], level_of[i])
+              << (lower ? "lower" : "upper") << " dep " << j << " -> " << i;
+        }
+      }
+  }
+}
+
+TEST(Csr, FindEntryLocatesSlots) {
+  CooBuilder coo(3);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 2, -2.0);
+  coo.add(2, 2, 5.0);
+  auto m = CsrMatrix::from_coo(coo);
+  const std::size_t k = m.find_entry(1, 2);
+  ASSERT_NE(k, CsrMatrix::npos);
+  EXPECT_DOUBLE_EQ(m.values()[k], -2.0);
+  EXPECT_EQ(m.find_entry(0, 2), CsrMatrix::npos);
+  EXPECT_THROW(m.find_entry(3, 0), std::out_of_range);
+  // values_mut writes through to the SpMV.
+  m.values_mut()[k] = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 7.0);
 }
 
 }  // namespace
