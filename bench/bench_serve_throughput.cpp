@@ -1,4 +1,5 @@
-// Serving throughput: dynamic batching + thread-pool scaling.
+// Serving throughput: dynamic batching + thread-pool scaling + the
+// arena-backed zero-allocation inference path.
 //
 // Drives an InferenceServer with concurrent client threads over generated
 // contest-style cases and reports latency percentiles and throughput as a
@@ -6,6 +7,16 @@
 // On multi-core hosts the 8-thread configuration parallelizes the batched
 // forward over the pool; the record includes hardware_concurrency so
 // single-core results are interpretable.
+//
+// The arena scenario runs the same workload with tensor arenas off and on
+// at the minimum and maximum thread counts, counting every global
+// operator-new call per phase, and then drives a deterministic
+// steady-state probe (1 thread, batch size 1, serial requests).  The
+// bench exits non-zero unless
+//   * every configuration (threads x arena) reproduces the serial
+//     reference predictions bitwise, and
+//   * after a two-pass warm-up the arena performs ZERO further heap
+//     allocations for tensor memory across the steady-state rounds.
 //
 // Knobs (environment):
 //   LMMIR_BENCH_THREADS   comma list of pool sizes      (default "1,8")
@@ -19,6 +30,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,7 +40,45 @@
 #include "models/registry.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serve/server.hpp"
+#include "tensor/arena.hpp"
 #include "util/stopwatch.hpp"
+
+// ---- global allocation counter ----------------------------------------
+// Replacing the global throwing operator new in this TU instruments every
+// heap allocation the whole binary performs (malloc-backed, matching
+// deletes below).  Aligned-new falls through to the default implementation,
+// which is self-consistent — std::vector<float> and the rest of the hot
+// path use the plain forms counted here.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -61,6 +111,78 @@ struct ConfigResult {
   double seconds = 0.0;
   serve::ServerStats stats;
 };
+
+struct ArenaPhase {
+  std::size_t threads = 0;
+  bool arena = false;
+  double seconds = 0.0;
+  double throughput_rps = 0.0;
+  std::uint64_t global_allocs = 0;   // operator-new calls during the phase
+  double allocs_per_request = 0.0;
+  bool identical = true;             // predictions == serial reference
+  tensor::ArenaStats arena_stats;    // zeros when arena == false
+};
+
+/// Drive `clients x requests_per_client` synchronous predictions against
+/// a fresh server; returns phase metrics and checks every prediction
+/// against the reference bitwise.
+ArenaPhase run_client_workload(
+    const std::shared_ptr<models::IrModel>& model,
+    const std::vector<data::Sample>& samples,
+    const std::vector<std::vector<float>>& reference, std::size_t threads,
+    bool arena, std::size_t clients, std::size_t requests_per_client) {
+  // The off phase must be arena-free end to end, including the pool
+  // workers' scratch arenas, or its allocation counts would be flattered.
+  runtime::set_global_threads(threads, arena);
+  serve::ServeOptions opts;
+  opts.max_batch = 8;
+  opts.max_wait_us = 1000;
+  opts.use_tensor_arena = arena;
+  serve::InferenceServer server(model, opts);
+
+  std::atomic<bool> identical{true};
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  util::Stopwatch watch;
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c)
+    pool.emplace_back([&, c] {
+      for (std::size_t r = 0; r < requests_per_client; ++r) {
+        const std::size_t si = (c + r) % samples.size();
+        const auto res =
+            server.predict(serve::request_from_sample(samples[si]));
+        if (res.map.data() != reference[si]) identical.store(false);
+      }
+    });
+  for (auto& t : pool) t.join();
+
+  ArenaPhase p;
+  p.threads = threads;
+  p.arena = arena;
+  p.seconds = watch.seconds();
+  p.throughput_rps = server.stats().throughput_rps;
+  p.global_allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  const std::size_t total = clients * requests_per_client;
+  p.allocs_per_request =
+      total ? static_cast<double>(p.global_allocs) / static_cast<double>(total)
+            : 0.0;
+  p.identical = identical.load();
+  p.arena_stats = server.arena_stats();
+  return p;
+}
+
+void print_arena_stats_json(const tensor::ArenaStats& s) {
+  std::printf(
+      "{\"node_allocs\": %zu, \"node_reuses\": %zu, \"buffer_allocs\": %zu, "
+      "\"buffer_reuses\": %zu, \"scratch_allocs\": %zu, \"scratch_reuses\": "
+      "%zu, \"allocations_saved\": %zu, \"bytes_reserved\": %zu, "
+      "\"live_nodes\": %zu}",
+      s.node_allocs, s.node_reuses, s.buffer_allocs, s.buffer_reuses,
+      s.scratch_allocs, s.scratch_reuses, s.allocations_saved(),
+      s.bytes_reserved, s.live_nodes);
+}
 
 }  // namespace
 
@@ -96,18 +218,21 @@ int main() {
     return 2;
   }
 
-  // Reference predictions (serial, single-request) for the identity check.
+  // Reference predictions (serial, single-request, arena OFF) for every
+  // identity check below.
   runtime::set_global_threads(1);
   std::vector<std::vector<float>> reference;
   {
     serve::ServeOptions ref_opts;
     ref_opts.max_batch = 1;
+    ref_opts.use_tensor_arena = false;
     serve::InferenceServer ref_server(model, ref_opts);
     for (const auto& s : samples)
       reference.push_back(
           ref_server.predict(serve::request_from_sample(s)).map.data());
   }
 
+  // ---- thread-scaling configs (arena on: the production default) ------
   std::vector<ConfigResult> results;
   std::atomic<bool> identical{true};
   for (std::size_t threads : thread_cfgs) {
@@ -138,7 +263,6 @@ int main() {
     cr.stats = server.stats();
     results.push_back(cr);
   }
-  runtime::set_global_threads(1);
 
   // min/max by thread count, not list order (LMMIR_BENCH_THREADS may be
   // given in any order).
@@ -150,6 +274,64 @@ int main() {
   }
   const double base_rps = min_cfg->stats.throughput_rps;
   const double peak_rps = max_cfg->stats.throughput_rps;
+
+  // ---- arena on-vs-off scenario (min and max thread counts) -----------
+  std::vector<ArenaPhase> arena_phases;
+  bool arena_identical = true;
+  for (std::size_t threads : {min_cfg->threads, max_cfg->threads}) {
+    for (bool arena : {false, true}) {
+      arena_phases.push_back(run_client_workload(model, samples, reference,
+                                                 threads, arena, clients,
+                                                 requests_per_client));
+      arena_identical = arena_identical && arena_phases.back().identical;
+    }
+    if (min_cfg->threads == max_cfg->threads) break;
+  }
+
+  // ---- deterministic steady-state probe --------------------------------
+  // 1 runtime thread, batch size 1, one dispatcher, serial requests: after
+  // the two-pass warm-up below (the second pass absorbs the mid-pass
+  // recycling shortfall — docs/TENSOR.md) the arena must perform zero
+  // further tensor heap allocations.
+  runtime::set_global_threads(1);
+  std::uint64_t warm_heap = 0, steady_heap = 0;
+  std::uint64_t warm_global = 0, steady_global = 0;
+  std::size_t steady_requests = 0;
+  bool steady_identical = true;
+  tensor::ArenaStats steady_stats;
+  {
+    serve::ServeOptions opts;
+    opts.max_batch = 1;
+    opts.worker_threads = 1;
+    opts.use_tensor_arena = true;
+    serve::InferenceServer server(model, opts);
+
+    const std::uint64_t g0 = g_alloc_count.load(std::memory_order_relaxed);
+    // Warm-up: two passes per shape.  The first pass creates the
+    // buffers; the second tops up the small inventory shortfall left by
+    // mid-pass recycling (see docs/TENSOR.md), after which the pools
+    // cover every subsequent pass exactly.
+    for (int round = 0; round < 2; ++round)
+      for (const auto& s : samples)
+        server.predict(serve::request_from_sample(s));
+    warm_heap = server.arena_stats().heap_allocations();
+    warm_global = g_alloc_count.load(std::memory_order_relaxed) - g0;
+
+    const std::uint64_t g1 = g_alloc_count.load(std::memory_order_relaxed);
+    const std::size_t rounds = 3;
+    for (std::size_t round = 0; round < rounds; ++round)
+      for (std::size_t si = 0; si < samples.size(); ++si) {
+        const auto res =
+            server.predict(serve::request_from_sample(samples[si]));
+        if (res.map.data() != reference[si]) steady_identical = false;
+        ++steady_requests;
+      }
+    steady_stats = server.arena_stats();
+    steady_heap = steady_stats.heap_allocations();
+    steady_global = g_alloc_count.load(std::memory_order_relaxed) - g1;
+  }
+  runtime::set_global_threads(1);
+  const bool zero_steady_state = steady_heap == warm_heap;
 
   std::printf("{\n");
   std::printf("  \"bench\": \"serve_throughput\",\n");
@@ -174,8 +356,62 @@ int main() {
                 i + 1 < results.size() ? "," : "");
   }
   std::printf("  ],\n");
+  std::printf("  \"arena_scenario\": {\n");
+  std::printf("    \"identical_on_vs_off\": %s,\n",
+              arena_identical ? "true" : "false");
+  std::printf("    \"phases\": [\n");
+  for (std::size_t i = 0; i < arena_phases.size(); ++i) {
+    const auto& p = arena_phases[i];
+    std::printf("      {\"threads\": %zu, \"arena\": %s, \"seconds\": %.4f, "
+                "\"throughput_rps\": %.2f, \"global_allocs\": %llu, "
+                "\"allocs_per_request\": %.1f, \"identical\": %s, "
+                "\"arena_stats\": ",
+                p.threads, p.arena ? "true" : "false", p.seconds,
+                p.throughput_rps,
+                static_cast<unsigned long long>(p.global_allocs),
+                p.allocs_per_request, p.identical ? "true" : "false");
+    print_arena_stats_json(p.arena_stats);
+    std::printf("}%s\n", i + 1 < arena_phases.size() ? "," : "");
+  }
+  std::printf("    ],\n");
+  std::printf("    \"steady_state\": {\"warmup_tensor_heap_allocs\": %llu, "
+              "\"steady_tensor_heap_allocs\": %llu, "
+              "\"steady_requests\": %zu, "
+              "\"warmup_global_allocs\": %llu, "
+              "\"steady_global_allocs\": %llu, "
+              "\"allocations_saved\": %zu, "
+              "\"zero_steady_state_tensor_allocations\": %s, "
+              "\"identical\": %s}\n",
+              static_cast<unsigned long long>(warm_heap),
+              static_cast<unsigned long long>(steady_heap),
+              steady_requests,
+              static_cast<unsigned long long>(warm_global),
+              static_cast<unsigned long long>(steady_global),
+              steady_stats.allocations_saved(),
+              zero_steady_state ? "true" : "false",
+              steady_identical ? "true" : "false");
+  std::printf("  },\n");
   std::printf("  \"speedup_max_vs_min_threads\": %.3f\n",
               base_rps > 0.0 ? peak_rps / base_rps : 0.0);
   std::printf("}\n");
-  return identical.load() ? 0 : 1;
+
+  if (!identical.load()) {
+    std::fprintf(stderr, "FAIL: batched predictions diverged from the "
+                         "sequential reference\n");
+    return 1;
+  }
+  if (!arena_identical || !steady_identical) {
+    std::fprintf(stderr, "FAIL: arena-on predictions diverged from the "
+                         "arena-off reference\n");
+    return 1;
+  }
+  if (!zero_steady_state) {
+    std::fprintf(stderr,
+                 "FAIL: arena mode still allocated tensor memory in steady "
+                 "state (%llu warm-up -> %llu steady)\n",
+                 static_cast<unsigned long long>(warm_heap),
+                 static_cast<unsigned long long>(steady_heap));
+    return 1;
+  }
+  return 0;
 }

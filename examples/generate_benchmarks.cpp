@@ -3,12 +3,22 @@
 // golden IR-drop ground truth), ready to train on or to feed back through
 // analyze_netlist / the data pipeline.
 //
+// The golden solves fan out over the runtime thread pool, one
+// pdn::SolverContext per worker stripe (pdn::solve_ir_drop_batch), so a
+// multi-core host solves the corpus in parallel while repeated topologies
+// inside a stripe still hit the refresh + warm-start fast path.  The
+// stripe partition is thread-count independent, so the written golden
+// maps are bitwise identical for any LMMIR_THREADS.
+//
 // Usage: generate_benchmarks [count] [out_dir] [seed]
 // LMMIR_PRECOND selects the golden-solver preconditioner
 // (none|jacobi|ssor|ic0; default jacobi).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "features/contest_io.hpp"
 #include "features/maps.hpp"
@@ -18,6 +28,7 @@
 #include "pdn/solver.hpp"
 #include "pdn/solver_context.hpp"
 #include "pdn/stats.hpp"
+#include "runtime/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace lmmir;
@@ -29,34 +40,62 @@ int main(int argc, char** argv) {
   gen::SuiteOptions suite;  // default 1/8 contest scale
   const auto configs = gen::fake_training_suite(count, seed, suite);
 
-  // One solver context for the whole run: suite cases with a repeated
-  // topology hit the refresh + warm-start fast path; the rest rebuild
-  // automatically (same cost as a cold solve).
-  pdn::SolverContext solver_context;
   pdn::SolveOptions solve_opts;
   solve_opts.cg.preconditioner =
       sparse::preconditioner_kind_from_env(solve_opts.cg.preconditioner);
-  solve_opts.context = &solver_context;
-  for (const auto& cfg : configs) {
-    const spice::Netlist nl = gen::generate_pdn(cfg);
-    const pdn::Circuit circuit(nl);
-    const pdn::Solution sol = pdn::solve_ir_drop(circuit, solve_opts);
-    grid::Grid2D ir = pdn::rasterize_ir_drop(nl, sol);
-    const feat::FeatureMaps maps = feat::compute_feature_maps(nl);
-    const std::string dir = out_dir + "/" + cfg.name;
-    feat::write_contest_case(dir, nl, maps, ir);
+  pdn::SolverContextStats context_stats;
 
-    const pdn::TestcaseStats st = pdn::compute_stats(nl, cfg.name);
-    std::printf("%-10s %6zu nodes  %-9s  worst drop %.2f%%  -> %s\n",
-                st.name.c_str(), st.nodes, st.shape_string().c_str(),
-                100.0 * sol.worst_drop / sol.vdd, dir.c_str());
+  // Work in groups of kGroup cases: generate the group's netlists
+  // (deterministic per-config RNG, so grouping changes nothing), solve
+  // them across the pool with one SolverContext per stripe, then
+  // featurize + write before the next group — peak memory is one
+  // group's netlists/circuits/solutions, not the whole corpus.  The
+  // group/stripe partition depends only on the case count, so the
+  // written golden maps are bitwise identical for any thread count.
+  constexpr std::size_t kGroup = 64;
+  constexpr std::size_t kStripes = 8;
+  std::size_t contexts_used = 0;
+  for (std::size_t begin = 0; begin < configs.size(); begin += kGroup) {
+    const std::size_t end = std::min(configs.size(), begin + kGroup);
+    contexts_used += std::min(kStripes, end - begin);
+
+    std::vector<spice::Netlist> netlists;
+    std::vector<std::unique_ptr<pdn::Circuit>> circuits;
+    std::vector<const pdn::Circuit*> circuit_ptrs;
+    netlists.reserve(end - begin);
+    circuits.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      netlists.push_back(gen::generate_pdn(configs[i]));
+      circuits.push_back(std::make_unique<pdn::Circuit>(netlists.back()));
+      circuit_ptrs.push_back(circuits.back().get());
+    }
+    const std::vector<pdn::Solution> solutions = pdn::solve_ir_drop_batch(
+        circuit_ptrs, solve_opts, kStripes, &context_stats);
+
+    // Featurize + write serially (disk-bound; keeps the printed order).
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& cfg = configs[i];
+      const spice::Netlist& nl = netlists[i - begin];
+      const pdn::Solution& sol = solutions[i - begin];
+      grid::Grid2D ir = pdn::rasterize_ir_drop(nl, sol);
+      const feat::FeatureMaps maps = feat::compute_feature_maps(nl);
+      const std::string dir = out_dir + "/" + cfg.name;
+      feat::write_contest_case(dir, nl, maps, ir);
+
+      const pdn::TestcaseStats st = pdn::compute_stats(nl, cfg.name);
+      std::printf("%-10s %6zu nodes  %-9s  worst drop %.2f%%  -> %s\n",
+                  st.name.c_str(), st.nodes, st.shape_string().c_str(),
+                  100.0 * sol.worst_drop / sol.vdd, dir.c_str());
+    }
   }
-  const auto& st = solver_context.stats();
   std::printf("wrote %d benchmark case(s) under %s/\n", count,
               out_dir.c_str());
-  std::printf("solver context: %zu solve(s) = %zu rebuild(s) + %zu "
-              "refresh(es), %zu preconditioner build(s), %zu warm start(s)\n",
-              st.solves, st.rebuilds, st.refreshes, st.precond_builds,
-              st.warm_starts);
+  std::printf("solver contexts (%zu striped context(s) over %zu thread(s)): "
+              "%zu solve(s) = %zu rebuild(s) + %zu refresh(es), %zu "
+              "preconditioner build(s), %zu warm start(s)\n",
+              contexts_used,
+              runtime::global_threads(), context_stats.solves,
+              context_stats.rebuilds, context_stats.refreshes,
+              context_stats.precond_builds, context_stats.warm_starts);
   return 0;
 }

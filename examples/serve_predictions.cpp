@@ -86,5 +86,11 @@ int main() {
               "p50 %.1f ms  p95 %.1f ms  p99 %.1f ms | %.1f req/s\n",
               st.completed, st.batches, st.mean_batch, st.p50_us / 1e3,
               st.p95_us / 1e3, st.p99_us / 1e3, st.throughput_rps);
+  const tensor::ArenaStats arena = server->arena_stats();
+  if (arena.node_allocs + arena.node_reuses > 0)
+    std::printf("tensor arena: %zu allocation(s) saved, %zu heap "
+                "allocation(s) (warm-up), %.1f MiB reserved\n",
+                arena.allocations_saved(), arena.heap_allocations(),
+                static_cast<double>(arena.bytes_reserved) / (1024.0 * 1024.0));
   return 0;
 }

@@ -51,6 +51,7 @@ PipelineOptions PipelineOptions::from_environment() {
   o.sample.solver_precond =
       sparse::preconditioner_kind_from_env(o.sample.solver_precond);
   o.solver_context_reuse = env_long("LMMIR_SOLVER_REUSE", 1) != 0;
+  o.tensor_arena = env_long("LMMIR_TENSOR_ARENA", 1) != 0;
   return o;
 }
 
@@ -100,6 +101,7 @@ data::Sample Pipeline::sample_from_netlist_file(const std::string& path) const {
 
 std::unique_ptr<serve::InferenceServer> Pipeline::make_server(
     std::shared_ptr<models::IrModel> model, serve::ServeOptions options) const {
+  options.use_tensor_arena = options.use_tensor_arena && opts_.tensor_arena;
   return std::make_unique<serve::InferenceServer>(std::move(model), options);
 }
 

@@ -13,7 +13,9 @@
 //   LMMIR_REAL_CASES, LMMIR_EPOCHS, LMMIR_PRETRAIN_EPOCHS, LMMIR_SEED,
 //   LMMIR_PRECOND (golden-solver preconditioner: none|jacobi|ssor|ic0),
 //   LMMIR_SOLVER_REUSE (0 disables the shared SolverContext during
-//   dataset / testset golden solves).
+//   dataset / testset golden solves),
+//   LMMIR_TENSOR_ARENA (0 disables arena-backed tensor recycling on the
+//   inference path; see docs/TENSOR.md).
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +41,12 @@ struct PipelineOptions {
   /// consecutive same-topology cases; distinct topologies rebuild
   /// automatically).  Env: LMMIR_SOLVER_REUSE=0 to disable.
   bool solver_context_reuse = true;
+  /// Recycle inference tensors through per-worker arenas in the servers
+  /// this pipeline creates (zero steady-state allocations on the forward
+  /// path; bitwise-identical results).  Env: LMMIR_TENSOR_ARENA=0 to
+  /// disable.  make_server() ANDs this with ServeOptions::
+  /// use_tensor_arena, so either knob can switch arenas off.
+  bool tensor_arena = true;
 
   /// Defaults overridden from LMMIR_* environment variables.
   static PipelineOptions from_environment();

@@ -25,6 +25,18 @@ class IrModel : public nn::Module {
   /// Returns the predicted IR-drop map [N, 1, S, S].
   virtual Tensor forward(const Tensor& circuit, const Tensor& tokens) = 0;
 
+  /// Inference entry point: forward under NoGradGuard, so no tape is
+  /// recorded and — when the calling thread has a tensor::ArenaScope
+  /// installed — every intermediate recycles through the arena instead
+  /// of the heap.  Used by trainer evaluation; the serving workers
+  /// apply the same NoGradGuard + ArenaScope pattern inline in
+  /// run_batch (they scope batch assembly too).  Training code calls
+  /// forward() directly.
+  Tensor predict(const Tensor& circuit, const Tensor& tokens) {
+    tensor::NoGradGuard no_grad;
+    return forward(circuit, tokens);
+  }
+
   virtual std::string name() const = 0;
   virtual Capabilities capabilities() const = 0;
   /// How many circuit channels the model consumes (3 = contest features

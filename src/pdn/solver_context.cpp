@@ -1,8 +1,10 @@
 #include "pdn/solver_context.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
 
+#include "runtime/thread_pool.hpp"
 #include "util/stopwatch.hpp"
 
 namespace lmmir::pdn {
@@ -195,6 +197,60 @@ void SolverContext::refresh(const Circuit& circuit) {
     sys_.rhs[s.row] += s.sign * elements[s.element].value;
   stats_.refresh_seconds += watch.seconds();
   ++stats_.refreshes;
+}
+
+std::vector<Solution> solve_ir_drop_batch(
+    const std::vector<const Circuit*>& circuits, const SolveOptions& opts,
+    std::size_t stripes, SolverContextStats* aggregate) {
+  const std::size_t n = circuits.size();
+  std::vector<Solution> out(n);
+  if (n == 0) return out;
+  if (stripes == 0) stripes = 1;
+  stripes = std::min(stripes, n);
+
+  SolveOptions stripe_opts = opts;
+  stripe_opts.context = nullptr;  // each stripe owns its context
+
+  std::mutex agg_mu;
+  // Contiguous blocks keep consecutive same-topology cases in one
+  // context's reuse chain; the partition depends only on (n, stripes),
+  // so any thread count replays the same chains bitwise.
+  auto run_stripe = [&](std::size_t s) {
+    const std::size_t begin = s * n / stripes;
+    const std::size_t end = (s + 1) * n / stripes;
+    SolverContext ctx;
+    for (std::size_t i = begin; i < end; ++i)
+      out[i] = ctx.solve(*circuits[i], stripe_opts);
+    if (aggregate) {
+      std::lock_guard<std::mutex> lock(agg_mu);
+      *aggregate += ctx.stats();
+    }
+  };
+
+  runtime::ThreadPool* pool = runtime::global_pool();
+  if (!pool || pool->in_worker()) {
+    for (std::size_t s = 0; s < stripes; ++s) run_stripe(s);
+    return out;
+  }
+  // Every stripe runs as a posted job: on workers the nested solver
+  // kernels run inline (no nested parallelism), so no stripe ever blocks
+  // on pool latches behind another stripe's whole solve — which is what
+  // would happen if the caller ran a stripe itself and its inner
+  // parallel_for queued chunks behind the busy workers.
+  std::vector<std::future<void>> futures;
+  futures.reserve(stripes);
+  for (std::size_t s = 0; s < stripes; ++s)
+    futures.push_back(pool->submit([&run_stripe, s] { run_stripe(s); }));
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return out;
 }
 
 void SolverContext::invalidate() {

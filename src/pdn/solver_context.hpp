@@ -56,6 +56,21 @@ struct SolverContextStats {
   double assemble_seconds = 0.0;       // full assemblies + plan builds
   double refresh_seconds = 0.0;        // in-place value updates
   double precond_setup_seconds = 0.0;
+
+  /// Field-wise sum (aggregation across per-stripe contexts).
+  SolverContextStats& operator+=(const SolverContextStats& o) {
+    solves += o.solves;
+    rebuilds += o.rebuilds;
+    refreshes += o.refreshes;
+    matrix_refreshes += o.matrix_refreshes;
+    precond_builds += o.precond_builds;
+    warm_starts += o.warm_starts;
+    total_cg_iterations += o.total_cg_iterations;
+    assemble_seconds += o.assemble_seconds;
+    refresh_seconds += o.refresh_seconds;
+    precond_setup_seconds += o.precond_setup_seconds;
+    return *this;
+  }
 };
 
 class SolverContext {
@@ -131,5 +146,26 @@ class SolverContext {
   std::unique_ptr<sparse::Preconditioner> precond_;
   std::vector<double> last_x_;  // previous iterate, reduced-system order
 };
+
+/// Golden-solve a batch of independent circuits across the runtime pool,
+/// one SolverContext per worker stripe (the corpus-generation workload:
+/// many cases, repeated topologies benefiting from refresh + warm
+/// starts).
+///
+/// The batch is split into at most `stripes` contiguous index blocks;
+/// each block processes its cases in index order through a private
+/// SolverContext, and blocks fan out over runtime::global_pool().
+/// Because the stripe partition depends only on the case count — never
+/// on the thread count — every context's reuse chain (pattern refresh,
+/// preconditioner reuse, PCG warm start) is identical no matter how many
+/// threads execute it: results are bitwise reproducible for any
+/// LMMIR_THREADS, including fully serial.
+///
+/// `opts.context` is ignored (each stripe owns its context).  When
+/// `aggregate` is non-null the per-stripe context stats are summed into
+/// it.  Throws like solve_ir_drop (the first stripe failure wins).
+std::vector<Solution> solve_ir_drop_batch(
+    const std::vector<const Circuit*>& circuits, const SolveOptions& opts,
+    std::size_t stripes = 8, SolverContextStats* aggregate = nullptr);
 
 }  // namespace lmmir::pdn

@@ -5,6 +5,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "tensor/arena.hpp"
 #include "util/log.hpp"
 
 namespace lmmir::runtime {
@@ -29,12 +30,20 @@ bool Latch::try_wait() {
   return count_ <= 0;
 }
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads)
+    : ThreadPool(threads, tensor::arena_enabled_from_env()) {}
+
+ThreadPool::ThreadPool(std::size_t threads, bool worker_arenas) {
   if (threads == 0) threads = 1;
   workers_.reserve(threads);
+  if (worker_arenas) {
+    worker_arenas_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+      worker_arenas_.push_back(std::make_unique<tensor::TensorArena>());
+  }
   try {
     for (std::size_t i = 0; i < threads; ++i)
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] { worker_loop(i); });
   } catch (...) {
     // Thread creation failed mid-spawn (resource exhaustion).  Join the
     // workers that did start before rethrowing — destroying a joinable
@@ -58,8 +67,15 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+tensor::TensorArena* ThreadPool::worker_arena(std::size_t i) const {
+  return i < worker_arenas_.size() ? worker_arenas_[i].get() : nullptr;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
   tl_worker_of = this;
+  // Install this worker's arena for the thread's whole lifetime: any
+  // kernel chunk running here draws pooled scratch from it.
+  tensor::ArenaScope scope(worker_arena(index));
   for (;;) {
     std::function<void()> job;
     {
@@ -117,11 +133,16 @@ std::mutex g_mu;
 std::size_t g_threads = 0;  // 0 = not yet initialized
 std::unique_ptr<ThreadPool> g_pool;
 
-void configure_locked(std::size_t threads) {
+void configure_locked(std::size_t threads, bool worker_arenas) {
   threads = std::clamp<std::size_t>(threads, 1, kMaxThreads);
   g_pool.reset();  // join old workers before replacing
-  if (threads > 1) g_pool = std::make_unique<ThreadPool>(threads - 1);
+  if (threads > 1)
+    g_pool = std::make_unique<ThreadPool>(threads - 1, worker_arenas);
   g_threads = threads;
+}
+
+void configure_locked(std::size_t threads) {
+  configure_locked(threads, tensor::arena_enabled_from_env());
 }
 
 }  // namespace
@@ -135,6 +156,11 @@ std::size_t global_threads() {
 void set_global_threads(std::size_t threads) {
   std::lock_guard<std::mutex> lock(g_mu);
   configure_locked(threads);
+}
+
+void set_global_threads(std::size_t threads, bool worker_arenas) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  configure_locked(threads, worker_arenas);
 }
 
 ThreadPool* global_pool() {

@@ -17,9 +17,14 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+namespace lmmir::tensor {
+class TensorArena;
+}
 
 namespace lmmir::runtime {
 
@@ -45,14 +50,25 @@ class Latch {
 
 class ThreadPool {
  public:
-  /// Spawns `threads` workers (at least one).
+  /// Spawns `threads` workers (at least one).  Each worker owns a
+  /// tensor::TensorArena installed as its thread-local active arena for
+  /// the worker's lifetime (when `worker_arenas`; the one-arg overload
+  /// follows LMMIR_TENSOR_ARENA), so op-internal scratch drawn inside
+  /// fanned-out kernel chunks — e.g. conv2d's im2col buffer — is pooled
+  /// per worker instead of heap-allocated per chunk.
   explicit ThreadPool(std::size_t threads);
+  ThreadPool(std::size_t threads, bool worker_arenas);
   /// Drains the queue (pending jobs still run), then joins all workers.
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const { return workers_.size(); }
+
+  /// Worker `i`'s arena, or nullptr (arenas disabled / index out of
+  /// range).  Counters are written by the owning worker: read them only
+  /// while the pool is quiescent.
+  tensor::TensorArena* worker_arena(std::size_t i) const;
 
   /// Enqueue a job; the future reports completion and rethrows the job's
   /// exception on get().
@@ -66,9 +82,10 @@ class ThreadPool {
   bool in_worker() const;
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<tensor::TensorArena>> worker_arenas_;
   std::deque<std::function<void()>> queue_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -81,8 +98,11 @@ std::size_t global_threads();
 
 /// Reconfigure the process-wide pool to `threads` total concurrency
 /// (clamped to >= 1; 1 means fully serial).  Not safe to call while
-/// parallel kernels are in flight on other threads.
+/// parallel kernels are in flight on other threads.  Worker arenas
+/// follow LMMIR_TENSOR_ARENA; the two-arg overload forces them on or
+/// off (A/B measurement runs).
 void set_global_threads(std::size_t threads);
+void set_global_threads(std::size_t threads, bool worker_arenas);
 
 /// The shared pool, or nullptr when running serial (global_threads() <= 1).
 /// The pointer stays valid until the next set_global_threads call.

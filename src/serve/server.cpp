@@ -40,10 +40,15 @@ InferenceServer::InferenceServer(std::shared_ptr<models::IrModel> model,
   // identity, making every layer per-sample and inference side-effect free
   // (batched == sequential bitwise; concurrent dispatchers are safe).
   model_->set_training(false);
+  if (opts_.use_tensor_arena) {
+    arenas_.reserve(opts_.worker_threads);
+    for (std::size_t i = 0; i < opts_.worker_threads; ++i)
+      arenas_.push_back(std::make_unique<tensor::TensorArena>());
+  }
   dispatchers_.reserve(opts_.worker_threads);
   try {
     for (std::size_t i = 0; i < opts_.worker_threads; ++i)
-      dispatchers_.emplace_back([this] { dispatcher_loop(); });
+      dispatchers_.emplace_back([this, i] { dispatcher_loop(i); });
   } catch (...) {
     shutdown();  // join the dispatchers that did start, then rethrow
     throw;
@@ -102,7 +107,9 @@ bool InferenceServer::batchable(const PredictRequest& a,
   return true;
 }
 
-void InferenceServer::dispatcher_loop() {
+void InferenceServer::dispatcher_loop(std::size_t worker_index) {
+  tensor::TensorArena* arena =
+      worker_index < arenas_.size() ? arenas_[worker_index].get() : nullptr;
   for (;;) {
     std::vector<Pending> batch;
     {
@@ -132,43 +139,59 @@ void InferenceServer::dispatcher_loop() {
         queue_.pop_front();
       }
     }
-    run_batch(batch);
+    run_batch(batch, arena);  // resets the arena before fulfilling promises
   }
 }
 
-void InferenceServer::run_batch(std::vector<Pending>& batch) {
+void InferenceServer::run_batch(std::vector<Pending>& batch,
+                                tensor::TensorArena* arena) {
   const auto t_start = Clock::now();
   const std::size_t n = batch.size();
   std::size_t fulfilled = 0;  // promises already satisfied (never re-set)
   try {
-    // Stack [C,S,S] -> [N,C,S,S] (and tokens [T,F] -> [N,T,F]), exactly the
-    // concatenation data::make_batch performs for training batches.
-    const auto& cs = batch.front().request.circuit.shape();
-    std::vector<float> circ;
-    circ.reserve(n * batch.front().request.circuit.numel());
-    for (const auto& p : batch)
-      circ.insert(circ.end(), p.request.circuit.data().begin(),
-                  p.request.circuit.data().end());
-    Tensor circuit = Tensor::from_data(
-        {static_cast<int>(n), cs[0], cs[1], cs[2]}, std::move(circ));
-    circuit = data::slice_channels(circuit, model_->in_channels());
-
-    Tensor tokens;
-    if (batch.front().request.tokens.defined()) {
-      const auto& ts = batch.front().request.tokens.shape();
-      std::vector<float> toks;
-      toks.reserve(n * batch.front().request.tokens.numel());
-      for (const auto& p : batch)
-        toks.insert(toks.end(), p.request.tokens.data().begin(),
-                    p.request.tokens.data().end());
-      tokens = Tensor::from_data({static_cast<int>(n), ts[0], ts[1]},
-                                 std::move(toks));
-    }
-
     Tensor pred;
     {
-      tensor::NoGradGuard no_grad;  // inference builds no tape
+      tensor::NoGradGuard no_grad;     // inference builds no tape...
+      tensor::ArenaScope scope(arena); // ...and recycles through the arena.
+
+      // Stack [C,S,S] -> [N,C,S,S] (and tokens [T,F] -> [N,T,F]), exactly
+      // the concatenation data::make_batch performs for training batches.
+      const auto& cs = batch.front().request.circuit.shape();
+      const std::size_t per = batch.front().request.circuit.numel();
+      // Every element is overwritten by the per-request copies below.
+      std::vector<float> circ = tensor::arena_buffer_overwrite(n * per);
+      std::size_t off = 0;
+      for (const auto& p : batch) {
+        std::copy(p.request.circuit.data().begin(),
+                  p.request.circuit.data().end(),
+                  circ.begin() + static_cast<std::ptrdiff_t>(off));
+        off += per;
+      }
+      Tensor circuit = Tensor::from_data(
+          {static_cast<int>(n), cs[0], cs[1], cs[2]}, std::move(circ));
+      circuit = data::slice_channels(circuit, model_->in_channels());
+
+      Tensor tokens;
+      if (batch.front().request.tokens.defined()) {
+        const auto& ts = batch.front().request.tokens.shape();
+        const std::size_t per_tok = batch.front().request.tokens.numel();
+        std::vector<float> toks = tensor::arena_buffer_overwrite(n * per_tok);
+        std::size_t tok_off = 0;
+        for (const auto& p : batch) {
+          std::copy(p.request.tokens.data().begin(),
+                    p.request.tokens.data().end(),
+                    toks.begin() + static_cast<std::ptrdiff_t>(tok_off));
+          tok_off += per_tok;
+        }
+        tokens = Tensor::from_data({static_cast<int>(n), ts[0], ts[1]},
+                                   std::move(toks));
+      }
+
       pred = model_->forward(circuit, tokens);
+      // The scope ends here: the batch inputs and every intermediate
+      // return to the arena as their handles drop.  `pred` stays alive
+      // (arena-backed) while the owning result slices are copied out
+      // below, outside the scope.
     }
     const auto t_done = Clock::now();
     const double compute_us = elapsed_us(t_start, t_done);
@@ -196,6 +219,8 @@ void InferenceServer::run_batch(std::vector<Pending>& batch) {
 
     const std::size_t per = pred.numel() / n;
     const tensor::Shape map_shape{pred.dim(1), pred.dim(2), pred.dim(3)};
+    std::vector<PredictResult> results;
+    results.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       PredictResult r;
       r.id = batch[i].request.id;
@@ -209,16 +234,30 @@ void InferenceServer::run_batch(std::vector<Pending>& batch) {
       r.compute_us = compute_us;
       r.total_us = elapsed_us(batch[i].arrival, t_done);
       r.batch_size = n;
-      batch[i].promise.set_value(std::move(r));
+      results.push_back(std::move(r));
+    }
+    // Release the batched output and run the per-request arena barrier
+    // BEFORE fulfilling the promises: a caller returning from predict()
+    // then observes a quiescent arena (live_nodes 0, pools swept) in
+    // arena_stats().
+    pred = Tensor();
+    if (arena) arena->reset();
+    for (std::size_t i = 0; i < n; ++i) {
+      batch[i].promise.set_value(std::move(results[i]));
       ++fulfilled;
     }
   } catch (const std::exception& e) {
     util::log_error("InferenceServer: batch of ", n, " failed: ", e.what());
+    // Unwinding released every tensor; the barrier still has to run or
+    // the dead buffers stay out of the pools (and the quiescence
+    // contract breaks) for every batch after a failure.
+    if (arena) arena->reset();
     for (std::size_t i = fulfilled; i < batch.size(); ++i)
       batch[i].promise.set_exception(std::current_exception());
   } catch (...) {
     util::log_error("InferenceServer: batch of ", n,
                     " failed with a non-std exception");
+    if (arena) arena->reset();
     for (std::size_t i = fulfilled; i < batch.size(); ++i)
       batch[i].promise.set_exception(std::current_exception());
   }
@@ -236,6 +275,12 @@ void InferenceServer::shutdown() {
   for (auto& d : dispatchers_)
     if (d.joinable()) d.join();
   dispatchers_.clear();
+}
+
+tensor::ArenaStats InferenceServer::arena_stats() const {
+  tensor::ArenaStats total;
+  for (const auto& a : arenas_) total += a->stats();
+  return total;
 }
 
 ServerStats InferenceServer::stats() const {

@@ -35,6 +35,7 @@
 
 #include "data/sample.hpp"
 #include "models/common.hpp"
+#include "tensor/arena.hpp"
 #include "tensor/tensor.hpp"
 
 namespace lmmir::serve {
@@ -47,6 +48,13 @@ struct ServeOptions {
   /// (each Pending holds full input tensors; an unbounded queue would grow
   /// without limit whenever arrival outpaces compute). 0 = unbounded.
   std::size_t max_queue = 1024;
+  /// Recycle inference tensors through one tensor::TensorArena per
+  /// dispatcher thread (reset between batches): the batched forward is
+  /// allocation-free in steady state once every batch shape has been
+  /// seen, with bitwise-identical predictions.  Result maps are always
+  /// owning copies — they outlive the request scope.
+  /// Default follows LMMIR_TENSOR_ARENA (unset/non-zero = on).
+  bool use_tensor_arena = tensor::arena_enabled_from_env();
 };
 
 struct PredictRequest {
@@ -107,6 +115,13 @@ class InferenceServer {
   const ServeOptions& options() const { return opts_; }
   const models::IrModel& model() const { return *model_; }
 
+  /// Aggregated tensor-arena counters across the dispatcher arenas (all
+  /// zero when use_tensor_arena is off).  The counters are written by
+  /// the dispatchers without synchronization: call while the server is
+  /// idle (no in-flight requests), e.g. after the futures you're
+  /// measuring have resolved.
+  tensor::ArenaStats arena_stats() const;
+
   /// Latency samples retained for the stats() distribution (ring buffer).
   static constexpr std::size_t kStatsWindow = 16384;
 
@@ -119,12 +134,13 @@ class InferenceServer {
     Clock::time_point arrival;
   };
 
-  void dispatcher_loop();
-  void run_batch(std::vector<Pending>& batch);
+  void dispatcher_loop(std::size_t worker_index);
+  void run_batch(std::vector<Pending>& batch, tensor::TensorArena* arena);
   static bool batchable(const PredictRequest& a, const PredictRequest& b);
 
   std::shared_ptr<models::IrModel> model_;
   ServeOptions opts_;
+  std::vector<std::unique_ptr<tensor::TensorArena>> arenas_;  // per dispatcher
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -1,0 +1,246 @@
+#include "tensor/arena.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace lmmir::tensor {
+
+namespace {
+thread_local TensorArena* g_active_arena = nullptr;
+}
+
+std::shared_ptr<TensorImpl> TensorArena::make_node(Shape shape,
+                                                   std::vector<float> data) {
+  std::shared_ptr<TensorImpl> node;
+  const std::size_t n = slots_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    auto& slot = slots_[(cursor_ + k) % n];
+    // use_count == 1 means only the arena's slot reference remains: the
+    // node is dead and safe to reinitialize in place.
+    if (slot.use_count() == 1) {
+      node = slot;
+      cursor_ = (cursor_ + k + 1) % n;
+      break;
+    }
+  }
+  // Pair with the release decrement of the last external reference: an
+  // escaped tensor may drop its handle on another thread, and without
+  // this fence the reinitialization below would be unordered with that
+  // thread's final reads of the node.
+  if (node) std::atomic_thread_fence(std::memory_order_acquire);
+  if (node) {
+    ++stats_.node_reuses;
+    // The buffer the dead node still carries goes back to the per-size
+    // pool before the (possibly different-sized) new one moves in.
+    if (!node->data.empty()) release(std::move(node->data));
+    node->shape = std::move(shape);
+    node->data = std::move(data);
+    node->grad.clear();
+    node->requires_grad = false;
+    node->parents.clear();
+    node->backward_fn = nullptr;
+  } else {
+    ++stats_.node_allocs;
+    node = std::make_shared<TensorImpl>();
+    node->shape = std::move(shape);
+    node->data = std::move(data);
+    slots_.push_back(node);
+  }
+  return node;
+}
+
+std::vector<float> TensorArena::acquire(std::size_t n) {
+  auto it = buffers_.find(n);
+  if (it != buffers_.end() && !it->second.empty()) {
+    std::vector<float> v = std::move(it->second.back());
+    it->second.pop_back();
+    v.assign(n, 0.0f);  // capacity >= n: zero-fill without reallocating
+    ++stats_.buffer_reuses;
+    return v;
+  }
+  ++stats_.buffer_allocs;
+  return std::vector<float>(n, 0.0f);
+}
+
+std::vector<float> TensorArena::acquire_copy(const float* first,
+                                             const float* last) {
+  const std::size_t n = static_cast<std::size_t>(last - first);
+  auto it = buffers_.find(n);
+  if (it != buffers_.end() && !it->second.empty()) {
+    std::vector<float> v = std::move(it->second.back());
+    it->second.pop_back();
+    v.assign(first, last);
+    ++stats_.buffer_reuses;
+    return v;
+  }
+  ++stats_.buffer_allocs;
+  return std::vector<float>(first, last);
+}
+
+std::vector<float> TensorArena::acquire_unfilled(std::size_t n) {
+  auto it = buffers_.find(n);
+  if (it != buffers_.end() && !it->second.empty()) {
+    std::vector<float> v = std::move(it->second.back());
+    it->second.pop_back();
+    // Pooled buffers are stored at exactly size n: hand the recycled
+    // contents back as-is (the caller's contract is to overwrite all).
+    ++stats_.buffer_reuses;
+    return v;
+  }
+  ++stats_.buffer_allocs;
+  return std::vector<float>(n, 0.0f);
+}
+
+void TensorArena::release(std::vector<float>&& buf) {
+  if (buf.capacity() == 0) return;
+  buffers_[buf.size()].push_back(std::move(buf));
+}
+
+namespace {
+/// Best capacity-fit pop from a scratch free-list: scratch sizes track
+/// kernel chunking, so nearby sizes recur but rarely repeat exactly.
+template <typename T>
+std::vector<T> acquire_from_pool(std::vector<std::vector<T>>& pool,
+                                 std::size_t n, ArenaStats& stats) {
+  std::size_t best = pool.size();
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (pool[i].capacity() < n) continue;
+    if (best == pool.size() || pool[i].capacity() < pool[best].capacity())
+      best = i;
+  }
+  if (best != pool.size()) {
+    std::vector<T> v = std::move(pool[best]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best));
+    v.assign(n, T{});
+    ++stats.scratch_reuses;
+    return v;
+  }
+  ++stats.scratch_allocs;
+  return std::vector<T>(n, T{});
+}
+}  // namespace
+
+std::vector<float> TensorArena::acquire_scratch(std::size_t n) {
+  return acquire_from_pool(scratch_, n, stats_);
+}
+
+void TensorArena::release_scratch(std::vector<float>&& buf) {
+  if (buf.capacity() == 0) return;
+  scratch_.push_back(std::move(buf));
+}
+
+std::vector<std::size_t> TensorArena::acquire_index_scratch(std::size_t n) {
+  return acquire_from_pool(index_scratch_, n, stats_);
+}
+
+void TensorArena::release_index_scratch(std::vector<std::size_t>&& buf) {
+  if (buf.capacity() == 0) return;
+  index_scratch_.push_back(std::move(buf));
+}
+
+void TensorArena::reset() {
+  // Sweep the buffers still attached to dead nodes back into the
+  // per-size pools so the next request's acquires hit immediately —
+  // without this, each size-class would miss once more on the second
+  // pass (acquire runs before the slot recycle that frees the old
+  // buffer).  Live (escaped) nodes keep theirs.
+  for (auto& slot : slots_)
+    if (slot.use_count() == 1 && !slot->data.empty()) {
+      // Same pairing as make_node: the last external reference may have
+      // been dropped on another thread (escaped tensor); order the move
+      // below after that thread's release decrement.
+      std::atomic_thread_fence(std::memory_order_acquire);
+      release(std::move(slot->data));
+    }
+  cursor_ = 0;
+  ++stats_.resets;
+}
+
+std::size_t TensorArena::live_nodes() const {
+  std::size_t live = 0;
+  for (const auto& slot : slots_)
+    if (slot.use_count() > 1) ++live;
+  return live;
+}
+
+ArenaStats TensorArena::stats() const {
+  ArenaStats s = stats_;
+  std::size_t bytes = 0;
+  for (const auto& slot : slots_)
+    bytes += slot->data.capacity() * sizeof(float) +
+             slot->grad.capacity() * sizeof(float) + sizeof(TensorImpl);
+  for (const auto& [size, list] : buffers_) {
+    (void)size;
+    for (const auto& b : list) bytes += b.capacity() * sizeof(float);
+  }
+  for (const auto& b : scratch_) bytes += b.capacity() * sizeof(float);
+  for (const auto& b : index_scratch_)
+    bytes += b.capacity() * sizeof(std::size_t);
+  s.bytes_reserved = bytes;
+  s.live_nodes = live_nodes();
+  return s;
+}
+
+ArenaScope::ArenaScope(TensorArena* arena) : saved_(g_active_arena) {
+  if (arena) g_active_arena = arena;
+}
+
+ArenaScope::~ArenaScope() { g_active_arena = saved_; }
+
+TensorArena* active_arena() { return g_active_arena; }
+
+bool arena_enabled_from_env() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("LMMIR_TENSOR_ARENA");
+    return !(v && v[0] == '0' && v[1] == '\0');
+  }();
+  return enabled;
+}
+
+std::vector<float> arena_buffer(std::size_t n) {
+  if (TensorArena* a = active_arena(); a && !grad_enabled())
+    return a->acquire(n);
+  return std::vector<float>(n, 0.0f);
+}
+
+std::vector<float> arena_buffer_copy(const float* first, const float* last) {
+  if (TensorArena* a = active_arena(); a && !grad_enabled())
+    return a->acquire_copy(first, last);
+  return std::vector<float>(first, last);
+}
+
+std::vector<float> arena_buffer_overwrite(std::size_t n) {
+  if (TensorArena* a = active_arena(); a && !grad_enabled())
+    return a->acquire_unfilled(n);
+  return std::vector<float>(n, 0.0f);
+}
+
+ScratchBuffer::ScratchBuffer(std::size_t n) : arena_(active_arena()) {
+  buf_ = arena_ ? arena_->acquire_scratch(n) : std::vector<float>(n, 0.0f);
+}
+
+ScratchBuffer::~ScratchBuffer() {
+  if (arena_) arena_->release_scratch(std::move(buf_));
+}
+
+std::vector<float> ScratchBuffer::take() {
+  arena_ = nullptr;
+  return std::move(buf_);
+}
+
+IndexScratchBuffer::IndexScratchBuffer(std::size_t n)
+    : arena_(active_arena()) {
+  buf_ = arena_ ? arena_->acquire_index_scratch(n)
+                : std::vector<std::size_t>(n, 0);
+}
+
+IndexScratchBuffer::~IndexScratchBuffer() {
+  if (arena_) arena_->release_index_scratch(std::move(buf_));
+}
+
+std::vector<std::size_t> IndexScratchBuffer::take() {
+  arena_ = nullptr;
+  return std::move(buf_);
+}
+
+}  // namespace lmmir::tensor

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "tensor/arena.hpp"
 #include "tensor/tensor.hpp"
 
 namespace lmmir::tensor::ophelp {

@@ -26,7 +26,8 @@ Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
     throw std::invalid_argument("batch_norm2d: running stats size mismatch");
 
   const std::size_t m = n * hw;  // elements per channel
-  std::vector<float> mean(c), invstd(c);
+  ScratchBuffer mean(c);
+  ScratchBuffer invstd(c);
   if (training) {
     for (std::size_t ci = 0; ci < c; ++ci) {
       double acc = 0.0;
@@ -58,8 +59,8 @@ Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
     }
   }
 
-  std::vector<float> xhat(x.numel());
-  std::vector<float> y(x.numel());
+  ScratchBuffer xhat(x.numel());
+  std::vector<float> y = arena_buffer(x.numel());
   for (std::size_t ni = 0; ni < n; ++ni)
     for (std::size_t ci = 0; ci < c; ++ci) {
       const float* in = x.data().data() + (ni * c + ci) * hw;
@@ -79,8 +80,8 @@ Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   if (needs_grad({&x, &gamma, &beta})) {
     attach(out, {x, gamma, beta},
            [self = out.get(), px = x.impl(), pg = gamma.impl(),
-            pb = beta.impl(), xhat = std::move(xhat),
-            invstd = std::move(invstd), n, c, hw, m, training]() {
+            pb = beta.impl(), xhat = xhat.take(), invstd = invstd.take(), n,
+            c, hw, m, training]() {
              for (std::size_t ci = 0; ci < c; ++ci) {
                // Per-channel reductions of dY and dY·x̂.
                double sum_dy = 0.0, sum_dy_xhat = 0.0;
@@ -140,7 +141,9 @@ Tensor layer_norm_lastdim(const Tensor& x, const Tensor& gamma,
     throw std::invalid_argument("layer_norm_lastdim: affine shape mismatch");
   const std::size_t rows = x.numel() / d;
 
-  std::vector<float> xhat(x.numel()), y(x.numel()), invstd(rows);
+  ScratchBuffer xhat(x.numel());
+  ScratchBuffer invstd(rows);
+  std::vector<float> y = arena_buffer(x.numel());
   for (std::size_t r = 0; r < rows; ++r) {
     const float* in = x.data().data() + r * d;
     double mu = 0.0;
@@ -166,8 +169,8 @@ Tensor layer_norm_lastdim(const Tensor& x, const Tensor& gamma,
   if (needs_grad({&x, &gamma, &beta})) {
     attach(out, {x, gamma, beta},
            [self = out.get(), px = x.impl(), pg = gamma.impl(),
-            pb = beta.impl(), xhat = std::move(xhat),
-            invstd = std::move(invstd), rows, d]() {
+            pb = beta.impl(), xhat = xhat.take(), invstd = invstd.take(),
+            rows, d]() {
              if (pg->requires_grad) pg->ensure_grad();
              if (pb->requires_grad) pb->ensure_grad();
              if (px->requires_grad) px->ensure_grad();

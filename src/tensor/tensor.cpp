@@ -1,17 +1,26 @@
 #include "tensor/tensor.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_set>
+
+#include "tensor/arena.hpp"
 
 namespace lmmir::tensor {
 
 std::size_t shape_numel(const Shape& shape) {
   std::size_t n = 1;
   for (int d : shape) {
-    if (d < 0) throw std::invalid_argument("shape_numel: negative dim");
-    n *= static_cast<std::size_t>(d);
+    if (d < 0)
+      throw std::invalid_argument("shape_numel: negative dimension in shape " +
+                                  shape_to_string(shape));
+    const auto ud = static_cast<std::size_t>(d);
+    if (ud != 0 && n > std::numeric_limits<std::size_t>::max() / ud)
+      throw std::invalid_argument("shape_numel: element count overflows for " +
+                                  shape_to_string(shape));
+    n *= ud;
   }
   return n;
 }
@@ -39,24 +48,40 @@ NoGradGuard::~NoGradGuard() { g_grad_enabled = saved_; }
 bool grad_enabled() { return g_grad_enabled; }
 
 Tensor Tensor::zeros(const Shape& shape, bool requires_grad) {
-  return from_data(shape, std::vector<float>(shape_numel(shape), 0.0f),
-                   requires_grad);
+  return from_data(shape, arena_buffer(shape_numel(shape)), requires_grad);
 }
 
 Tensor Tensor::full(const Shape& shape, float value, bool requires_grad) {
-  return from_data(shape, std::vector<float>(shape_numel(shape), value),
-                   requires_grad);
+  const std::size_t n = shape_numel(shape);
+  std::vector<float> data;
+  if (TensorArena* a = active_arena(); a && !grad_enabled()) {
+    data = a->acquire_unfilled(n);
+    std::fill(data.begin(), data.end(), value);
+  } else {
+    data.assign(n, value);
+  }
+  return from_data(shape, std::move(data), requires_grad);
 }
 
 Tensor Tensor::from_data(const Shape& shape, std::vector<float> data,
                          bool requires_grad) {
-  if (data.size() != shape_numel(shape))
+  // shape_numel rejects negative dimensions and overflowing counts.
+  const std::size_t expected = shape_numel(shape);
+  if (data.size() != expected)
     throw std::invalid_argument("Tensor::from_data: size mismatch, shape " +
-                                shape_to_string(shape) + " vs " +
-                                std::to_string(data.size()) + " values");
-  auto impl = std::make_shared<TensorImpl>();
-  impl->shape = shape;
-  impl->data = std::move(data);
+                                shape_to_string(shape) + " needs " +
+                                std::to_string(expected) + " values, got " +
+                                std::to_string(data.size()));
+  std::shared_ptr<TensorImpl> impl;
+  if (requires_grad) {
+    // Parameters and leaf variables outlive any request: always owning,
+    // never arena-recycled.
+    impl = std::make_shared<TensorImpl>();
+    impl->shape = shape;
+    impl->data = std::move(data);
+  } else {
+    impl = detail::make_node(shape, std::move(data));
+  }
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
 }
@@ -69,10 +94,12 @@ Tensor Tensor::randn(const Shape& shape, util::Rng& rng, float stddev,
 
 int Tensor::dim(int i) const {
   const int n = ndim();
-  if (i < 0) i += n;
-  if (i < 0 || i >= n)
-    throw std::out_of_range("Tensor::dim: axis out of range");
-  return impl_->shape[static_cast<std::size_t>(i)];
+  const int norm = i < 0 ? i + n : i;
+  if (norm < 0 || norm >= n)
+    throw std::out_of_range("Tensor::dim: axis " + std::to_string(i) +
+                            " out of range for " + std::to_string(n) +
+                            "-d tensor " + shape_to_string(impl_->shape));
+  return impl_->shape[static_cast<std::size_t>(norm)];
 }
 
 float Tensor::item() const {
@@ -116,7 +143,9 @@ void Tensor::backward() {
 void Tensor::zero_grad() { impl_->grad.clear(); }
 
 Tensor Tensor::detach() const {
-  return Tensor::from_data(impl_->shape, impl_->data, false);
+  std::vector<float> copy = arena_buffer_copy(
+      impl_->data.data(), impl_->data.data() + impl_->data.size());
+  return Tensor::from_data(impl_->shape, std::move(copy), false);
 }
 
 namespace detail {
@@ -124,6 +153,10 @@ namespace detail {
 std::shared_ptr<TensorImpl> make_node(Shape shape, std::vector<float> data) {
   if (data.size() != shape_numel(shape))
     throw std::invalid_argument("make_node: size mismatch");
+  // Inference nodes (arena installed, tape off) recycle through the
+  // arena; everything else gets an owning allocation as before.
+  if (TensorArena* a = active_arena(); a && !grad_enabled())
+    return a->make_node(std::move(shape), std::move(data));
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = std::move(shape);
   impl->data = std::move(data);

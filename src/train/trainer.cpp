@@ -113,7 +113,8 @@ grid::Grid2D predict_map(models::IrModel& model, const data::Sample& sample) {
   util::Rng rng(0);
   data::Batch batch = data::make_batch({sample}, {0}, 0.0f, rng);
   const Tensor input = data::slice_channels(batch.circuit, model.in_channels());
-  const Tensor pred = model.forward(input, batch.tokens);
+  // predict() nests a second NoGradGuard — nesting restores correctly.
+  const Tensor pred = model.predict(input, batch.tokens);
 
   const std::size_t side = static_cast<std::size_t>(pred.dim(2));
   grid::Grid2D map(side, side);

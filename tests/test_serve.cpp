@@ -223,4 +223,64 @@ TEST(Serve, PipelineFacadeAndRestore) {
   EXPECT_EQ(map.cols(), static_cast<std::size_t>(kSide));
 }
 
+TEST(Serve, ArenaOnMatchesArenaOffBitwise) {
+  runtime::set_global_threads(1);
+  auto model = std::shared_ptr<models::IrModel>(models::make_model("LMM-IR"));
+  util::Rng rng(777);
+  std::vector<serve::PredictRequest> reqs;
+  for (int i = 0; i < 4; ++i)
+    reqs.push_back(make_request(rng, "arena" + std::to_string(i)));
+
+  auto serve_all = [&](bool arena) {
+    serve::ServeOptions opts;
+    opts.use_tensor_arena = arena;
+    serve::InferenceServer server(model, opts);
+    std::vector<std::vector<float>> out;
+    for (const auto& r : reqs) out.push_back(server.predict(r).map.data());
+    if (!arena) {
+      const auto st = server.arena_stats();
+      EXPECT_EQ(st.node_allocs + st.node_reuses, 0u);  // really off
+    }
+    return out;
+  };
+  const auto off = serve_all(false);
+  const auto on = serve_all(true);
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    ASSERT_EQ(off[i].size(), on[i].size());
+    for (std::size_t j = 0; j < off[i].size(); ++j)
+      ASSERT_EQ(off[i][j], on[i][j]) << "req " << i << " elem " << j;
+  }
+}
+
+TEST(Serve, ArenaSteadyStateIsAllocationFree) {
+  runtime::set_global_threads(1);  // deterministic chunking / scratch use
+  auto model = std::shared_ptr<models::IrModel>(models::make_model("LMM-IR"));
+  util::Rng rng(778);
+  std::vector<serve::PredictRequest> reqs;
+  for (int i = 0; i < 3; ++i)
+    reqs.push_back(make_request(rng, "steady" + std::to_string(i)));
+
+  serve::ServeOptions opts;
+  opts.use_tensor_arena = true;
+  opts.max_batch = 1;        // every batch identical in shape
+  opts.worker_threads = 1;   // one dispatcher, one arena
+  serve::InferenceServer server(model, opts);
+
+  // Warm-up: one request populates the pools (all requests share shapes).
+  for (const auto& r : reqs) server.predict(r);
+  const auto warm = server.arena_stats();
+  EXPECT_GT(warm.heap_allocations(), 0u);
+  EXPECT_EQ(warm.live_nodes, 0u);  // everything returned between batches
+
+  for (int round = 0; round < 3; ++round)
+    for (const auto& r : reqs) server.predict(r);
+  const auto steady = server.arena_stats();
+  EXPECT_EQ(steady.heap_allocations(), warm.heap_allocations())
+      << "steady-state batches allocated tensor memory";
+  EXPECT_GT(steady.allocations_saved(), warm.allocations_saved());
+  EXPECT_EQ(steady.live_nodes, 0u);
+  EXPECT_EQ(steady.resets, warm.resets + 9u);  // one reset per batch
+}
+
 }  // namespace

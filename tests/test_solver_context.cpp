@@ -286,4 +286,103 @@ TEST(LevelScheduledApply, ContextSolveBitwiseIdenticalAcrossThreads) {
   }
 }
 
+// ---- solve_ir_drop_batch: per-worker contexts for corpus generation ----
+
+std::vector<spice::Netlist> batch_netlists(int count) {
+  std::vector<spice::Netlist> nls;
+  for (int i = 0; i < count; ++i) {
+    // Repeat each topology seed twice back-to-back so contiguous stripes
+    // exercise the refresh + warm-start chain, not just cold rebuilds.
+    auto cfg = mesh_config(40 + static_cast<std::uint64_t>(i / 2),
+                           0.10 + 0.01 * (i % 2));
+    nls.push_back(gen::generate_pdn(cfg));
+  }
+  return nls;
+}
+
+std::vector<pdn::Solution> batch_solve(const std::vector<spice::Netlist>& nls,
+                                       std::size_t stripes,
+                                       pdn::SolverContextStats* stats) {
+  std::vector<pdn::Circuit> circuits;
+  circuits.reserve(nls.size());
+  for (const auto& nl : nls) circuits.emplace_back(nl);
+  std::vector<const pdn::Circuit*> ptrs;
+  for (const auto& c : circuits) ptrs.push_back(&c);
+  pdn::SolveOptions opts;
+  opts.cg.preconditioner = sparse::PreconditionerKind::Ic0;
+  return pdn::solve_ir_drop_batch(ptrs, opts, stripes, stats);
+}
+
+// The corpus-generation fast path: per-worker contexts fanned over the
+// pool must reproduce the serial (1-thread) run bitwise, because the
+// stripe partition — and therefore every context's reuse chain — depends
+// only on the case count.
+TEST(SolverBatch, PerWorkerContextsMatchSerialGoldenBitwise) {
+  const auto nls = batch_netlists(6);
+  ThreadGuard guard;
+
+  runtime::set_global_threads(1);
+  pdn::SolverContextStats serial_stats;
+  const auto serial = batch_solve(nls, 3, &serial_stats);
+
+  runtime::set_global_threads(4);
+  pdn::SolverContextStats parallel_stats;
+  const auto parallel = batch_solve(nls, 3, &parallel_stats);
+  runtime::set_global_threads(1);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].converged) << "case " << i;
+    ASSERT_TRUE(parallel[i].converged) << "case " << i;
+    ASSERT_EQ(serial[i].node_voltage.size(), parallel[i].node_voltage.size());
+    for (std::size_t k = 0; k < serial[i].node_voltage.size(); ++k)
+      ASSERT_EQ(serial[i].node_voltage[k], parallel[i].node_voltage[k])
+          << "case " << i << " node " << k;
+  }
+  // Same chains, same telemetry.
+  EXPECT_EQ(serial_stats.solves, parallel_stats.solves);
+  EXPECT_EQ(serial_stats.rebuilds, parallel_stats.rebuilds);
+  EXPECT_EQ(serial_stats.refreshes, parallel_stats.refreshes);
+  EXPECT_EQ(serial_stats.warm_starts, parallel_stats.warm_starts);
+  EXPECT_EQ(serial_stats.total_cg_iterations,
+            parallel_stats.total_cg_iterations);
+}
+
+// Striped contexts agree with independent cold solves to solver
+// tolerance (warm starts change the iterate path, not the answer).
+TEST(SolverBatch, StripedResultsAgreeWithColdSolves) {
+  const auto nls = batch_netlists(4);
+  pdn::SolverContextStats stats;
+  const auto striped = batch_solve(nls, 2, &stats);
+  ASSERT_EQ(striped.size(), nls.size());
+  EXPECT_EQ(stats.solves, nls.size());
+  // The seed-repeat pairing above means at least one refresh happened.
+  EXPECT_GT(stats.refreshes, 0u);
+
+  pdn::SolveOptions opts;
+  opts.cg.preconditioner = sparse::PreconditionerKind::Ic0;
+  for (std::size_t i = 0; i < nls.size(); ++i) {
+    const auto cold = pdn::solve_ir_drop(pdn::Circuit(nls[i]), opts);
+    ASSERT_EQ(cold.node_voltage.size(), striped[i].node_voltage.size());
+    for (std::size_t k = 0; k < cold.node_voltage.size(); ++k)
+      EXPECT_NEAR(cold.node_voltage[k], striped[i].node_voltage[k], 1e-6)
+          << "case " << i << " node " << k;
+  }
+}
+
+TEST(SolverBatch, EmptyAndSingleCaseEdgeCases) {
+  EXPECT_TRUE(pdn::solve_ir_drop_batch({}, pdn::SolveOptions{}).empty());
+
+  const auto nl = gen::generate_pdn(mesh_config(55));
+  const pdn::Circuit circuit(nl);
+  // More stripes than cases clamps to one case per stripe.
+  const auto batch =
+      pdn::solve_ir_drop_batch({&circuit}, pdn::SolveOptions{}, 8);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(batch[0].converged);
+  const auto direct = pdn::solve_ir_drop(circuit);
+  for (std::size_t k = 0; k < direct.node_voltage.size(); ++k)
+    ASSERT_EQ(direct.node_voltage[k], batch[0].node_voltage[k]);
+}
+
 }  // namespace

@@ -1,0 +1,293 @@
+// TensorArena: the inference-path memory recycler.  Steady-state op
+// sequences must be allocation-free, results must be bitwise identical
+// with the arena on or off, training/autograd must never adopt into an
+// arena, and escaped tensors must survive arena destruction.  Also
+// covers the engage condition's ingredients: NoGradGuard nesting and the
+// thread-locality of grad mode / active arenas across pool workers.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "models/registry.hpp"
+#include "pointcloud/pool.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tensor/arena.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lmmir;
+using tensor::Tensor;
+
+// ---- NoGradGuard semantics (the arena's engage condition) -------------
+
+TEST(NoGradGuard, NestingRestoresCorrectly) {
+  ASSERT_TRUE(tensor::grad_enabled());
+  {
+    tensor::NoGradGuard outer;
+    EXPECT_FALSE(tensor::grad_enabled());
+    {
+      tensor::NoGradGuard inner;
+      EXPECT_FALSE(tensor::grad_enabled());
+    }
+    // The inner guard must restore the *outer guard's* state, not the
+    // default: still disabled here.
+    EXPECT_FALSE(tensor::grad_enabled());
+  }
+  EXPECT_TRUE(tensor::grad_enabled());
+}
+
+TEST(NoGradGuard, ThreadLocalAcrossPoolWorkers) {
+  runtime::ThreadPool pool(2, /*worker_arenas=*/false);
+  tensor::NoGradGuard no_grad;  // disables grad on THIS thread only
+  ASSERT_FALSE(tensor::grad_enabled());
+
+  // A pool worker starts with its own thread-local default: enabled.
+  auto fut = pool.submit([] {
+    EXPECT_TRUE(tensor::grad_enabled());
+    // A guard taken on the worker is scoped to the worker.
+    tensor::NoGradGuard worker_guard;
+    EXPECT_FALSE(tensor::grad_enabled());
+  });
+  fut.get();
+
+  // Neither the worker's default nor its guard leaked into the caller.
+  EXPECT_FALSE(tensor::grad_enabled());
+  auto fut2 = pool.submit([] { EXPECT_TRUE(tensor::grad_enabled()); });
+  fut2.get();
+}
+
+TEST(NoGradGuard, OpsRecordNoTapeUnderGuard) {
+  Tensor w = Tensor::full({2, 2}, 0.5f, /*requires_grad=*/true);
+  tensor::NoGradGuard no_grad;
+  Tensor y = tensor::mul(w, w);
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_TRUE(y.impl()->parents.empty());
+}
+
+// ---- per-worker arenas on the runtime pool ----------------------------
+
+TEST(WorkerArena, InstalledPerWorkerAndDistinct) {
+  runtime::ThreadPool pool(2, /*worker_arenas=*/true);
+  ASSERT_NE(pool.worker_arena(0), nullptr);
+  ASSERT_NE(pool.worker_arena(1), nullptr);
+  EXPECT_NE(pool.worker_arena(0), pool.worker_arena(1));
+  EXPECT_EQ(pool.worker_arena(2), nullptr);  // out of range
+
+  // Jobs observe their executing worker's arena as the active one, and
+  // the caller's thread is unaffected.
+  EXPECT_EQ(tensor::active_arena(), nullptr);
+  std::set<tensor::TensorArena*> seen;
+  for (int i = 0; i < 16; ++i) {
+    auto fut = pool.submit([&seen] {
+      tensor::TensorArena* a = tensor::active_arena();
+      ASSERT_NE(a, nullptr);
+      seen.insert(a);  // futures serialize with get() below: no race
+    });
+    fut.get();
+  }
+  for (tensor::TensorArena* a : seen)
+    EXPECT_TRUE(a == pool.worker_arena(0) || a == pool.worker_arena(1));
+  EXPECT_EQ(tensor::active_arena(), nullptr);
+}
+
+TEST(WorkerArena, DisabledPoolInstallsNone) {
+  runtime::ThreadPool pool(1, /*worker_arenas=*/false);
+  EXPECT_EQ(pool.worker_arena(0), nullptr);
+  auto fut = pool.submit([] { EXPECT_EQ(tensor::active_arena(), nullptr); });
+  fut.get();
+}
+
+// ---- adoption rules ---------------------------------------------------
+
+TEST(TensorArena, AdoptsOnlyUnderNoGrad) {
+  tensor::TensorArena arena;
+  Tensor a = Tensor::full({4}, 2.0f);
+
+  {
+    tensor::ArenaScope scope(&arena);
+    // Grad mode on: ops must keep the owning path.
+    Tensor y = tensor::relu(a);
+    EXPECT_EQ(arena.live_nodes(), 0u);
+    EXPECT_EQ(arena.stats().node_allocs, 0u);
+
+    tensor::NoGradGuard no_grad;
+    Tensor z = tensor::relu(a);
+    EXPECT_EQ(arena.live_nodes(), 1u);
+    EXPECT_EQ(arena.stats().node_allocs, 1u);
+  }
+  EXPECT_EQ(arena.live_nodes(), 0u);  // z released its node on scope exit
+}
+
+TEST(TensorArena, RequiresGradTensorsNeverAdopted) {
+  tensor::TensorArena arena;
+  tensor::ArenaScope scope(&arena);
+  tensor::NoGradGuard no_grad;
+  Tensor param =
+      Tensor::from_data({3}, {1.0f, 2.0f, 3.0f}, /*requires_grad=*/true);
+  EXPECT_EQ(arena.live_nodes(), 0u);
+  EXPECT_TRUE(param.requires_grad());
+}
+
+TEST(TensorArena, NoScopeMeansOwningAllocations) {
+  tensor::NoGradGuard no_grad;
+  ASSERT_EQ(tensor::active_arena(), nullptr);
+  Tensor y = tensor::relu(Tensor::full({4}, -1.0f));
+  EXPECT_EQ(y.numel(), 4u);  // plain path still works
+}
+
+// ---- recycling --------------------------------------------------------
+
+/// A representative op chain (conv + matmul + softmax + elementwise) run
+/// under the arena; returns the final value for identity checks.
+std::vector<float> run_op_chain(util::Rng& rng) {
+  Tensor img = Tensor::randn({1, 3, 8, 8}, rng);
+  Tensor kernel = Tensor::randn({4, 3, 3, 3}, rng);
+  Tensor bias = Tensor::zeros({4});
+  Tensor conv = tensor::conv2d(img, kernel, bias, 1, 1);
+  Tensor pooled = tensor::maxpool2d(conv, 2, 2);
+  Tensor flat = tensor::reshape(pooled, {4, 16});
+  Tensor wt = Tensor::randn({16, 5}, rng);
+  Tensor logits = tensor::matmul(flat, wt);
+  Tensor soft = tensor::softmax_lastdim(logits);
+  return tensor::sum_all(soft).data();
+}
+
+TEST(TensorArena, SteadyStateIsAllocationFree) {
+  tensor::TensorArena arena;
+  util::Rng rng(7);
+  {
+    tensor::NoGradGuard no_grad;
+    tensor::ArenaScope scope(&arena);
+    run_op_chain(rng);  // warm-up: pools fill here
+  }
+  arena.reset();
+  const std::size_t warm = arena.stats().heap_allocations();
+  EXPECT_GT(warm, 0u);
+
+  for (int pass = 0; pass < 3; ++pass) {
+    tensor::NoGradGuard no_grad;
+    tensor::ArenaScope scope(&arena);
+    run_op_chain(rng);
+    tensor::active_arena()->reset();
+    ASSERT_EQ(arena.stats().heap_allocations(), warm)
+        << "pass " << pass << " allocated";
+  }
+  EXPECT_GT(arena.stats().allocations_saved(), 0u);
+  EXPECT_EQ(arena.live_nodes(), 0u);
+  EXPECT_GT(arena.stats().bytes_reserved, 0u);
+  EXPECT_EQ(arena.stats().resets, 4u);
+}
+
+TEST(TensorArena, ResultsBitwiseIdenticalOnAndOff) {
+  auto run = [](tensor::TensorArena* arena) {
+    util::Rng rng(99);  // same stream both ways
+    tensor::NoGradGuard no_grad;
+    tensor::ArenaScope scope(arena);
+    std::vector<std::vector<float>> outs;
+    for (int i = 0; i < 2; ++i) {
+      outs.push_back(run_op_chain(rng));
+      if (arena) arena->reset();
+    }
+    return outs;
+  };
+  const auto off = run(nullptr);
+  tensor::TensorArena arena;
+  const auto on = run(&arena);
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    ASSERT_EQ(off[i].size(), on[i].size());
+    for (std::size_t k = 0; k < off[i].size(); ++k)
+      ASSERT_EQ(off[i][k], on[i][k]) << "pass " << i << " elem " << k;
+  }
+}
+
+TEST(TensorArena, ModelForwardBitwiseIdenticalOnAndOff) {
+  auto model = models::make_model("LMM-IR", 17);
+  model->set_training(false);
+  util::Rng rng(5);
+  Tensor circuit = Tensor::randn({1, model->in_channels(), 16, 16}, rng);
+  Tensor tokens = Tensor::randn({1, 9, pc::kTokenFeatureDim}, rng);
+
+  const std::vector<float> off = model->predict(circuit, tokens).data();
+  tensor::TensorArena arena;
+  std::vector<float> on;
+  {
+    tensor::ArenaScope scope(&arena);
+    on = model->predict(circuit, tokens).data();
+  }
+  arena.reset();
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t k = 0; k < off.size(); ++k) ASSERT_EQ(off[k], on[k]);
+  EXPECT_GT(arena.stats().node_allocs, 0u);  // the pass really used it
+  EXPECT_EQ(arena.live_nodes(), 0u);
+}
+
+// ---- lifetime safety --------------------------------------------------
+
+TEST(TensorArena, EscapedTensorSurvivesArenaDestruction) {
+  Tensor escaped;
+  {
+    tensor::TensorArena arena;
+    tensor::NoGradGuard no_grad;
+    tensor::ArenaScope scope(&arena);
+    escaped = tensor::add_scalar(Tensor::zeros({3}), 1.5f);
+    EXPECT_EQ(arena.live_nodes(), 1u);
+  }  // arena destroyed while `escaped` still references its node
+  ASSERT_EQ(escaped.numel(), 3u);
+  for (float v : escaped.data()) EXPECT_EQ(v, 1.5f);  // ASan-checked
+}
+
+TEST(TensorArena, LiveNodePinsItsSlot) {
+  tensor::TensorArena arena;
+  tensor::NoGradGuard no_grad;
+  tensor::ArenaScope scope(&arena);
+  Tensor held = Tensor::full({4}, 3.0f);
+  arena.reset();
+  // A new tensor must not recycle the held slot.
+  Tensor fresh = Tensor::full({4}, 7.0f);
+  for (float v : held.data()) EXPECT_EQ(v, 3.0f);
+  for (float v : fresh.data()) EXPECT_EQ(v, 7.0f);
+  EXPECT_EQ(arena.live_nodes(), 2u);
+}
+
+// ---- scratch ----------------------------------------------------------
+
+TEST(TensorArena, ScratchBuffersPoolAndDetach) {
+  tensor::TensorArena arena;
+  tensor::ArenaScope scope(&arena);
+  {
+    tensor::ScratchBuffer s(64);
+    EXPECT_EQ(s.size(), 64u);
+    for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(s[i], 0.0f);
+  }
+  const std::size_t after_first = arena.stats().scratch_allocs;
+  {
+    tensor::ScratchBuffer s(32);  // capacity-fit reuse of the 64-buffer
+    EXPECT_EQ(arena.stats().scratch_allocs, after_first);
+    EXPECT_GT(arena.stats().scratch_reuses, 0u);
+  }
+  {
+    tensor::ScratchBuffer s(16);
+    std::vector<float> taken = s.take();  // leaves arena custody
+    EXPECT_EQ(taken.size(), 16u);
+  }
+  // The taken buffer did not return: the float pool is now empty, so the
+  // next acquisition must heap-allocate (scratch_allocs increments).
+  const std::size_t before_realloc = arena.stats().scratch_allocs;
+  {
+    tensor::ScratchBuffer s(16);
+    EXPECT_EQ(arena.stats().scratch_allocs, before_realloc + 1);
+  }
+  // Index scratch lives in its own pool.
+  tensor::IndexScratchBuffer idx(8);
+  idx[0] = 42;
+  EXPECT_EQ(idx[0], 42u);
+}
+
+}  // namespace

@@ -2,6 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "tensor/ops.hpp"
 
@@ -24,6 +27,65 @@ TEST(Tensor, ConstructionAndAccess) {
   EXPECT_FLOAT_EQ(f.data()[3], 2.5f);
 
   EXPECT_THROW(Tensor::from_data({2, 2}, {1.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, FromDataValidatesShapeDataAgreement) {
+  // Too few and too many values must both fail with a message naming the
+  // shape and both counts.
+  try {
+    Tensor::from_data({2, 3}, {1.0f, 2.0f});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("[2,3]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("6"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(Tensor::from_data({2}, {1.0f, 2.0f, 3.0f}),
+               std::invalid_argument);
+
+  // Negative dimensions are rejected up front (not folded into numel).
+  try {
+    Tensor::from_data({2, -3}, {1.0f, 2.0f});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("negative"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(Tensor::zeros({-1}), std::invalid_argument);
+  EXPECT_THROW(Tensor::full({3, -2}, 1.0f), std::invalid_argument);
+
+  // A zero dim is legal: empty tensor, empty data.
+  const Tensor empty = Tensor::from_data({0, 4}, {});
+  EXPECT_EQ(empty.numel(), 0u);
+
+  // Overflowing element counts must throw, not wrap.
+  const int big = std::numeric_limits<int>::max();
+  EXPECT_THROW(Tensor::from_data({big, big, big}, {1.0f}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, DimValidatesNegativeIndexBounds) {
+  const Tensor t = Tensor::zeros({4, 5, 6});
+  EXPECT_EQ(t.dim(-1), 6);
+  EXPECT_EQ(t.dim(-3), 4);
+  EXPECT_THROW(t.dim(3), std::out_of_range);
+  EXPECT_THROW(t.dim(-4), std::out_of_range);
+  // The message names the requested axis and the rank.
+  try {
+    t.dim(-4);
+    FAIL() << "expected out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("-4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("3-d"), std::string::npos) << msg;
+  }
+
+  // 0-d scalar: every axis is out of range.
+  const Tensor scalar = Tensor::from_data({}, {1.0f});
+  EXPECT_EQ(scalar.numel(), 1u);
+  EXPECT_THROW(scalar.dim(0), std::out_of_range);
+  EXPECT_THROW(scalar.dim(-1), std::out_of_range);
 }
 
 TEST(Tensor, ItemRequiresScalar) {
