@@ -1,0 +1,154 @@
+#pragma once
+// Shared plumbing for the perf benches: build the JSON record in memory
+// so one copy goes to stdout (human / CI log) and one compacted line is
+// appended to the repo-root BENCH_<name>.json history file — the bench
+// trajectory over time, one JSON object per line, so a perf regression
+// shows up as a diff between the last two lines.
+//
+// History knobs (environment):
+//   LMMIR_BENCH_HISTORY       "0" disables appending
+//   LMMIR_BENCH_HISTORY_DIR   directory for the history files (default:
+//                             nearest ancestor of the CWD containing
+//                             ROADMAP.md, i.e. the repo root when run
+//                             from build/)
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace lmmir::benchio {
+
+/// Integer knob from the environment (malformed values fall back).
+inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atol(v) : fallback;
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atof(v) : fallback;
+}
+
+/// LMMIR_BENCH_THREADS as a pool-size list (default {1, 8}).
+inline std::vector<std::size_t> env_thread_list() {
+  std::vector<std::size_t> out;
+  std::string spec = "1,8";
+  if (const char* v = std::getenv("LMMIR_BENCH_THREADS")) spec = v;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const long n = std::atol(spec.substr(pos, comma - pos).c_str());
+    if (n > 0) out.push_back(static_cast<std::size_t>(n));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) out = {1, 8};
+  return out;
+}
+
+/// printf-style accumulator for a JSON record.
+class JsonRecord {
+ public:
+  void printf(const char* fmt, ...) __attribute__((format(printf, 2, 3))) {
+    char stack_buf[1024];
+    std::va_list args;
+    va_start(args, fmt);
+    const int n = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, args);
+    va_end(args);
+    if (n < 0) return;
+    if (static_cast<std::size_t>(n) < sizeof(stack_buf)) {
+      text_.append(stack_buf, static_cast<std::size_t>(n));
+      return;
+    }
+    std::string big(static_cast<std::size_t>(n) + 1, '\0');
+    va_start(args, fmt);
+    std::vsnprintf(big.data(), big.size(), fmt, args);
+    va_end(args);
+    big.resize(static_cast<std::size_t>(n));
+    text_ += big;
+  }
+
+  const std::string& text() const { return text_; }
+
+ private:
+  std::string text_;
+};
+
+/// The pretty record collapsed to one line (newlines and the indentation
+/// after them dropped; none of our records put newlines inside strings).
+inline std::string compact_json(const std::string& pretty) {
+  std::string out;
+  out.reserve(pretty.size());
+  bool skipping_indent = false;
+  for (char ch : pretty) {
+    if (ch == '\n') {
+      skipping_indent = true;
+      continue;
+    }
+    if (skipping_indent && ch == ' ') continue;
+    skipping_indent = false;
+    out.push_back(ch);
+  }
+  return out;
+}
+
+/// Nearest ancestor of the CWD that looks like the repo root (holds
+/// ROADMAP.md); empty when not inside a checkout.
+inline std::string find_repo_root() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path dir = fs::current_path(ec);
+  if (ec) return {};
+  for (int depth = 0; depth < 16 && !dir.empty(); ++depth) {
+    if (fs::exists(dir / "ROADMAP.md", ec)) return dir.string();
+    const fs::path parent = dir.parent_path();
+    if (parent == dir) break;
+    dir = parent;
+  }
+  return {};
+}
+
+/// Append the record to BENCH_<name>.json as one line, stamped with the
+/// wall-clock time.  Best effort: a missing repo root or unwritable file
+/// only prints a note (CI containers and bare build dirs still run the
+/// bench gates).
+inline void append_history(const std::string& name,
+                           const std::string& pretty_json) {
+  if (const char* v = std::getenv("LMMIR_BENCH_HISTORY"))
+    if (v[0] == '0' && v[1] == '\0') return;
+  std::string dir;
+  if (const char* v = std::getenv("LMMIR_BENCH_HISTORY_DIR")) dir = v;
+  if (dir.empty()) dir = find_repo_root();
+  if (dir.empty()) {
+    std::fprintf(stderr,
+                 "bench history: no repo root found from CWD; set "
+                 "LMMIR_BENCH_HISTORY_DIR to record %s\n", name.c_str());
+    return;
+  }
+  const std::string path = dir + "/BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (!f) {
+    std::fprintf(stderr, "bench history: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::string line = compact_json(pretty_json);
+  // Stamp the record so the history reads as a trajectory.
+  if (!line.empty() && line.front() == '{') {
+    char stamp[64];
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc;
+    gmtime_r(&now, &tm_utc);
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    line = std::string("{\"recorded_utc\": \"") + stamp + "\", " +
+           line.substr(1);
+  }
+  std::fprintf(f, "%s\n", line.c_str());
+  std::fclose(f);
+  std::fprintf(stderr, "bench history: appended to %s\n", path.c_str());
+}
+
+}  // namespace lmmir::benchio

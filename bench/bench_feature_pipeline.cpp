@@ -1,0 +1,264 @@
+// Feature-extraction pipeline: single-pass classification, per-channel
+// rasterization cost, and the FeatureContext reuse path.
+//
+// Generates a suite-style PDN, then drives three scenarios:
+//
+//   * cold per-channel timing — one classification pass, then each of the
+//     six channels rasterized and timed individually (the per-channel
+//     cost profile; effective_distance is the O(rows·cols·sources) hot
+//     loop);
+//   * a load sweep — the current sources are rescaled every round (the
+//     exact repeated-solve structure pdn::SolverContext warm-starts on).
+//     A shared FeatureContext must REUSE the four topology-invariant
+//     channels every warm round (≥ 4 of 6 skipped) and the whole warm
+//     extraction must be measurably faster than a cold one on the same
+//     netlist, while staying bitwise identical to it;
+//   * a thread-identity check — the full sweep replayed at the minimum
+//     and maximum pool sizes; every channel of every round must be
+//     bitwise identical across thread counts.
+//
+// Exit status is non-zero on any bitwise drift (cold-vs-warm or
+// across thread counts), when warm extraction stops skipping >= 4
+// channels, or when the warm path stops being faster — CI runs this as a
+// smoke test.  The JSON perf record is printed to stdout and appended to
+// the repo-root BENCH_feature_pipeline.json history.
+//
+// Knobs (environment):
+//   LMMIR_BENCH_SIDE     die side in µm                 (default 120)
+//   LMMIR_BENCH_ROUNDS   load-sweep rounds              (default 4)
+//   LMMIR_BENCH_THREADS  comma list of pool sizes       (default "1,8")
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "features/feature_context.hpp"
+#include "features/maps.hpp"
+#include "gen/began.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace lmmir;
+
+spice::Netlist make_bench_netlist(double side_um) {
+  gen::GeneratorConfig cfg;
+  cfg.name = "featbench";
+  cfg.width_um = cfg.height_um = side_um;
+  cfg.seed = 424242;
+  cfg.use_default_stack();
+  // Dense bump array: effective_distance cost scales with source count,
+  // which is what makes the reuse path worth measuring.
+  cfg.bump_pitch_um = std::max(6.0, side_um / 16.0);
+  cfg.total_current = 0.08 * (side_um * side_um) / (64.0 * 64.0);
+  return gen::generate_pdn(cfg);
+}
+
+/// Rescale every current source by `factor` (round r of the load sweep).
+void scale_current_sources(spice::Netlist& nl, double factor) {
+  const auto& els = nl.elements();
+  for (std::size_t i = 0; i < els.size(); ++i)
+    if (els[i].type == spice::ElementType::CurrentSource)
+      nl.set_element_value(i, els[i].value * factor);
+}
+
+bool maps_bitwise_equal(const feat::FeatureMaps& a, const feat::FeatureMaps& b) {
+  for (int c = 0; c < feat::kChannelCount; ++c) {
+    const auto& ga = a.channel(c);
+    const auto& gb = b.channel(c);
+    if (ga.rows() != gb.rows() || ga.cols() != gb.cols()) return false;
+    for (std::size_t i = 0; i < ga.data().size(); ++i)
+      if (ga.data()[i] != gb.data()[i]) return false;
+  }
+  return true;
+}
+
+struct SweepResult {
+  double fill_s = 0.0;             // the shared context's initial cold fill
+  double cold_s = 0.0;             // fresh-context extraction per round
+  double warm_s = 0.0;             // shared-context extraction per round
+  bool cold_equals_warm = true;    // bitwise, every round
+  std::size_t warm_channels_reused = 0;    // across all warm rounds
+  std::size_t warm_channels_computed = 0;  // across all warm rounds (minus cold)
+  std::size_t rounds = 0;
+  std::vector<feat::FeatureMaps> warm_maps;  // per round, for thread identity
+};
+
+/// Run the load sweep: cold (fresh context) vs warm (shared context)
+/// extraction of the same mutated netlist every round.
+SweepResult run_sweep(double side_um, int rounds) {
+  spice::Netlist nl = make_bench_netlist(side_um);
+  SweepResult res;
+  res.rounds = static_cast<std::size_t>(rounds);
+
+  feat::FeatureContext warm_ctx;
+  {
+    util::Stopwatch w;
+    warm_ctx.extract(nl);  // cold fill of the shared context
+    res.fill_s = w.seconds();
+  }
+  const std::size_t computed_after_cold = warm_ctx.stats().channels_computed;
+
+  for (int r = 0; r < rounds; ++r) {
+    scale_current_sources(nl, 1.07);
+
+    // Both timed sections cover extraction only (reference binding, no
+    // map copies), so the warm-faster gate compares like with like.
+    util::Stopwatch cold_watch;
+    feat::FeatureContext cold_ctx;
+    const feat::FeatureMaps& cold = cold_ctx.extract(nl);
+    res.cold_s += cold_watch.seconds();
+
+    util::Stopwatch warm_watch;
+    const feat::FeatureMaps& warm = warm_ctx.extract(nl);
+    res.warm_s += warm_watch.seconds();
+
+    if (!maps_bitwise_equal(cold, warm)) res.cold_equals_warm = false;
+    res.warm_maps.push_back(warm);
+  }
+  res.warm_channels_reused = warm_ctx.stats().channels_reused;
+  res.warm_channels_computed =
+      warm_ctx.stats().channels_computed - computed_after_cold;
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  const double side_um =
+      static_cast<double>(std::max(32L, benchio::env_long("LMMIR_BENCH_SIDE", 120)));
+  const int rounds =
+      static_cast<int>(std::max(1L, benchio::env_long("LMMIR_BENCH_ROUNDS", 4)));
+  const std::vector<std::size_t> thread_cfgs = benchio::env_thread_list();
+  std::size_t t_min = thread_cfgs.front(), t_max = thread_cfgs.front();
+  for (std::size_t t : thread_cfgs) {
+    t_min = std::min(t_min, t);
+    t_max = std::max(t_max, t);
+  }
+
+  // ---- cold per-channel profile (single-threaded: per-channel cost is
+  // the point; scaling is measured by the sweep below) -------------------
+  runtime::set_global_threads(1);
+  const spice::Netlist nl = make_bench_netlist(side_um);
+  util::Stopwatch classify_watch;
+  const feat::ClassifiedNetlist cls = feat::classify_netlist(nl);
+  const double classify_s = classify_watch.seconds();
+  double channel_s[feat::kChannelCount] = {};
+  for (int c = 0; c < feat::kChannelCount; ++c) {
+    util::Stopwatch w;
+    const grid::Grid2D g = feat::rasterize_channel(cls, c);
+    channel_s[c] = w.seconds();
+    (void)g;
+  }
+
+  // ---- revision fast path ---------------------------------------------
+  feat::FeatureContext rev_ctx;
+  rev_ctx.extract(nl);
+  rev_ctx.extract(nl);  // same object, same revision: no work at all
+  const std::size_t revision_hits = rev_ctx.stats().revision_hits;
+
+  // ---- load sweep at min threads, replayed at max threads -------------
+  runtime::set_global_threads(t_min);
+  const SweepResult lo = run_sweep(side_um, rounds);
+  runtime::set_global_threads(t_max);
+  const SweepResult hi = run_sweep(side_um, rounds);
+  runtime::set_global_threads(1);
+
+  bool threads_identical = lo.warm_maps.size() == hi.warm_maps.size();
+  if (threads_identical)
+    for (std::size_t r = 0; r < lo.warm_maps.size(); ++r)
+      if (!maps_bitwise_equal(lo.warm_maps[r], hi.warm_maps[r]))
+        threads_identical = false;
+
+  const bool cold_equals_warm = lo.cold_equals_warm && hi.cold_equals_warm;
+  // ">= 4 of 6 channels skipped" per warm round, on both replays.
+  const std::size_t need_reused = static_cast<std::size_t>(4 * rounds);
+  const bool warm_reuses =
+      lo.warm_channels_reused >= need_reused &&
+      hi.warm_channels_reused >= need_reused;
+  const bool warm_faster = lo.warm_s < lo.cold_s && hi.warm_s < hi.cold_s;
+  const bool revision_path = revision_hits >= 1;
+
+  benchio::JsonRecord rec;
+  rec.printf("{\n");
+  rec.printf("  \"bench\": \"feature_pipeline\",\n");
+  rec.printf("  \"hardware_concurrency\": %u,\n",
+             std::thread::hardware_concurrency());
+  rec.printf("  \"side_um\": %.0f,\n", side_um);
+  rec.printf("  \"pixels\": [%zu, %zu],\n", cls.rows, cls.cols);
+  rec.printf("  \"elements\": {\"current_sources\": %zu, "
+             "\"voltage_sources\": %zu, \"resistors\": %zu},\n",
+             cls.current_sources.size(), cls.voltage_sources.size(),
+             cls.resistors.size());
+  rec.printf("  \"classify_s\": %.5f,\n", classify_s);
+  rec.printf("  \"channels\": [\n");
+  for (int c = 0; c < feat::kChannelCount; ++c)
+    rec.printf("    {\"name\": \"%s\", \"cold_s\": %.5f}%s\n",
+               feat::channel_name(c), channel_s[c],
+               c + 1 < feat::kChannelCount ? "," : "");
+  rec.printf("  ],\n");
+  rec.printf("  \"load_sweep\": {\n");
+  rec.printf("    \"rounds\": %d,\n", rounds);
+  rec.printf("    \"min_threads\": {\"threads\": %zu, \"fill_s\": %.5f, "
+             "\"cold_s\": %.5f, \"warm_s\": %.5f, \"speedup\": %.2f, "
+             "\"channels_reused\": %zu, \"channels_computed\": %zu},\n",
+             t_min, lo.fill_s, lo.cold_s, lo.warm_s,
+             lo.warm_s > 0.0 ? lo.cold_s / lo.warm_s : 0.0,
+             lo.warm_channels_reused, lo.warm_channels_computed);
+  rec.printf("    \"max_threads\": {\"threads\": %zu, \"fill_s\": %.5f, "
+             "\"cold_s\": %.5f, \"warm_s\": %.5f, \"speedup\": %.2f, "
+             "\"channels_reused\": %zu, \"channels_computed\": %zu}\n",
+             t_max, hi.fill_s, hi.cold_s, hi.warm_s,
+             hi.warm_s > 0.0 ? hi.cold_s / hi.warm_s : 0.0,
+             hi.warm_channels_reused, hi.warm_channels_computed);
+  rec.printf("  },\n");
+  rec.printf("  \"revision_fast_path_hits\": %zu,\n", revision_hits);
+  rec.printf("  \"cold_equals_warm_bitwise\": %s,\n",
+             cold_equals_warm ? "true" : "false");
+  rec.printf("  \"identity_threads\": [%zu, %zu],\n", t_min, t_max);
+  rec.printf("  \"threads_bitwise_identical\": %s,\n",
+             threads_identical ? "true" : "false");
+  rec.printf("  \"warm_skips_at_least_4_of_6\": %s,\n",
+             warm_reuses ? "true" : "false");
+  rec.printf("  \"warm_faster_than_cold\": %s\n",
+             warm_faster ? "true" : "false");
+  rec.printf("}\n");
+  std::fputs(rec.text().c_str(), stdout);
+  benchio::append_history("feature_pipeline", rec.text());
+
+  bool ok = true;
+  if (!cold_equals_warm) {
+    std::fprintf(stderr, "FAIL: warm extraction drifted from cold "
+                         "extraction (bitwise)\n");
+    ok = false;
+  }
+  if (!threads_identical) {
+    std::fprintf(stderr, "FAIL: %zu-thread and %zu-thread extractions "
+                         "diverged bitwise\n", t_min, t_max);
+    ok = false;
+  }
+  if (!warm_reuses) {
+    std::fprintf(stderr,
+                 "FAIL: warm same-topology extraction reused %zu/%zu "
+                 "channel(s); needs >= 4 of 6 per round\n",
+                 lo.warm_channels_reused, need_reused);
+    ok = false;
+  }
+  if (!warm_faster) {
+    std::fprintf(stderr,
+                 "FAIL: warm extraction (%.4fs / %.4fs) not faster than "
+                 "cold (%.4fs / %.4fs)\n",
+                 lo.warm_s, hi.warm_s, lo.cold_s, hi.cold_s);
+    ok = false;
+  }
+  if (!revision_path) {
+    std::fprintf(stderr, "FAIL: re-extracting an unchanged netlist did not "
+                         "hit the revision fast path\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

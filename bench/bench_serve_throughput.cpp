@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "data/sample.hpp"
 #include "gen/suite.hpp"
 #include "models/registry.hpp"
@@ -84,28 +85,6 @@ namespace {
 
 using namespace lmmir;
 
-long env_long(const char* name, long fallback) {
-  const char* v = std::getenv(name);
-  return v ? std::atol(v) : fallback;
-}
-
-std::vector<std::size_t> env_thread_list() {
-  std::vector<std::size_t> out;
-  std::string spec = "1,8";
-  if (const char* v = std::getenv("LMMIR_BENCH_THREADS")) spec = v;
-  std::size_t pos = 0;
-  while (pos < spec.size()) {
-    const std::size_t comma = spec.find(',', pos);
-    const std::string tok = spec.substr(pos, comma - pos);
-    const long n = std::atol(tok.c_str());
-    if (n > 0) out.push_back(static_cast<std::size_t>(n));
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  if (out.empty()) out = {1, 8};
-  return out;
-}
-
 struct ConfigResult {
   std::size_t threads = 0;
   double seconds = 0.0;
@@ -133,7 +112,7 @@ ArenaPhase run_client_workload(
     bool arena, std::size_t clients, std::size_t requests_per_client) {
   // The off phase must be arena-free end to end, including the pool
   // workers' scratch arenas, or its allocation counts would be flattered.
-  runtime::set_global_threads(threads, arena);
+  runtime::set_global_threads(threads, tensor::worker_arena_init(arena));
   serve::ServeOptions opts;
   opts.max_batch = 8;
   opts.max_wait_us = 1000;
@@ -173,8 +152,9 @@ ArenaPhase run_client_workload(
   return p;
 }
 
-void print_arena_stats_json(const tensor::ArenaStats& s) {
-  std::printf(
+void print_arena_stats_json(benchio::JsonRecord& rec,
+                            const tensor::ArenaStats& s) {
+  rec.printf(
       "{\"node_allocs\": %zu, \"node_reuses\": %zu, \"buffer_allocs\": %zu, "
       "\"buffer_reuses\": %zu, \"scratch_allocs\": %zu, \"scratch_reuses\": "
       "%zu, \"allocations_saved\": %zu, \"bytes_reserved\": %zu, "
@@ -188,16 +168,16 @@ void print_arena_stats_json(const tensor::ArenaStats& s) {
 
 int main() {
   const std::size_t clients =
-      static_cast<std::size_t>(env_long("LMMIR_BENCH_CLIENTS", 8));
+      static_cast<std::size_t>(benchio::env_long("LMMIR_BENCH_CLIENTS", 8));
   const std::size_t requests_per_client =
-      static_cast<std::size_t>(env_long("LMMIR_BENCH_REQUESTS", 12));
+      static_cast<std::size_t>(benchio::env_long("LMMIR_BENCH_REQUESTS", 12));
   const std::size_t side =
-      static_cast<std::size_t>(env_long("LMMIR_BENCH_SIDE", 32));
+      static_cast<std::size_t>(benchio::env_long("LMMIR_BENCH_SIDE", 32));
   const std::size_t cases = static_cast<std::size_t>(
-      std::max(1L, env_long("LMMIR_BENCH_CASES", 3)));
+      std::max(1L, benchio::env_long("LMMIR_BENCH_CASES", 3)));
   std::string model_name = "LMM-IR";
   if (const char* v = std::getenv("LMMIR_BENCH_MODEL")) model_name = v;
-  const std::vector<std::size_t> thread_cfgs = env_thread_list();
+  const std::vector<std::size_t> thread_cfgs = benchio::env_thread_list();
 
   // Generated contest-style cases, featurized + golden-solved once.
   data::SampleOptions sopts;
@@ -333,20 +313,21 @@ int main() {
   runtime::set_global_threads(1);
   const bool zero_steady_state = steady_heap == warm_heap;
 
-  std::printf("{\n");
-  std::printf("  \"bench\": \"serve_throughput\",\n");
-  std::printf("  \"model\": \"%s\",\n", model_name.c_str());
-  std::printf("  \"hardware_concurrency\": %u,\n",
+  benchio::JsonRecord rec;
+  rec.printf("{\n");
+  rec.printf("  \"bench\": \"serve_throughput\",\n");
+  rec.printf("  \"model\": \"%s\",\n", model_name.c_str());
+  rec.printf("  \"hardware_concurrency\": %u,\n",
               std::thread::hardware_concurrency());
-  std::printf("  \"clients\": %zu,\n", clients);
-  std::printf("  \"requests_per_client\": %zu,\n", requests_per_client);
-  std::printf("  \"input_side\": %zu,\n", side);
-  std::printf("  \"batched_equals_sequential\": %s,\n",
+  rec.printf("  \"clients\": %zu,\n", clients);
+  rec.printf("  \"requests_per_client\": %zu,\n", requests_per_client);
+  rec.printf("  \"input_side\": %zu,\n", side);
+  rec.printf("  \"batched_equals_sequential\": %s,\n",
               identical.load() ? "true" : "false");
-  std::printf("  \"configs\": [\n");
+  rec.printf("  \"configs\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
-    std::printf("    {\"threads\": %zu, \"seconds\": %.4f, "
+    rec.printf("    {\"threads\": %zu, \"seconds\": %.4f, "
                 "\"throughput_rps\": %.2f, \"p50_us\": %.0f, "
                 "\"p95_us\": %.0f, \"p99_us\": %.0f, \"mean_batch\": %.2f, "
                 "\"max_batch\": %zu}%s\n",
@@ -355,14 +336,14 @@ int main() {
                 r.stats.max_batch_seen,
                 i + 1 < results.size() ? "," : "");
   }
-  std::printf("  ],\n");
-  std::printf("  \"arena_scenario\": {\n");
-  std::printf("    \"identical_on_vs_off\": %s,\n",
+  rec.printf("  ],\n");
+  rec.printf("  \"arena_scenario\": {\n");
+  rec.printf("    \"identical_on_vs_off\": %s,\n",
               arena_identical ? "true" : "false");
-  std::printf("    \"phases\": [\n");
+  rec.printf("    \"phases\": [\n");
   for (std::size_t i = 0; i < arena_phases.size(); ++i) {
     const auto& p = arena_phases[i];
-    std::printf("      {\"threads\": %zu, \"arena\": %s, \"seconds\": %.4f, "
+    rec.printf("      {\"threads\": %zu, \"arena\": %s, \"seconds\": %.4f, "
                 "\"throughput_rps\": %.2f, \"global_allocs\": %llu, "
                 "\"allocs_per_request\": %.1f, \"identical\": %s, "
                 "\"arena_stats\": ",
@@ -370,11 +351,11 @@ int main() {
                 p.throughput_rps,
                 static_cast<unsigned long long>(p.global_allocs),
                 p.allocs_per_request, p.identical ? "true" : "false");
-    print_arena_stats_json(p.arena_stats);
-    std::printf("}%s\n", i + 1 < arena_phases.size() ? "," : "");
+    print_arena_stats_json(rec, p.arena_stats);
+    rec.printf("}%s\n", i + 1 < arena_phases.size() ? "," : "");
   }
-  std::printf("    ],\n");
-  std::printf("    \"steady_state\": {\"warmup_tensor_heap_allocs\": %llu, "
+  rec.printf("    ],\n");
+  rec.printf("    \"steady_state\": {\"warmup_tensor_heap_allocs\": %llu, "
               "\"steady_tensor_heap_allocs\": %llu, "
               "\"steady_requests\": %zu, "
               "\"warmup_global_allocs\": %llu, "
@@ -390,10 +371,13 @@ int main() {
               steady_stats.allocations_saved(),
               zero_steady_state ? "true" : "false",
               steady_identical ? "true" : "false");
-  std::printf("  },\n");
-  std::printf("  \"speedup_max_vs_min_threads\": %.3f\n",
+  rec.printf("  },\n");
+  rec.printf("  \"speedup_max_vs_min_threads\": %.3f\n",
               base_rps > 0.0 ? peak_rps / base_rps : 0.0);
-  std::printf("}\n");
+  rec.printf("}\n");
+  std::fputs(rec.text().c_str(), stdout);
+  benchio::append_history("serve_throughput", rec.text());
+
 
   if (!identical.load()) {
     std::fprintf(stderr, "FAIL: batched predictions diverged from the "

@@ -32,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "gen/began.hpp"
 #include "pdn/circuit.hpp"
 #include "pdn/optimize.hpp"
@@ -44,32 +45,6 @@
 namespace {
 
 using namespace lmmir;
-
-long env_long(const char* name, long fallback) {
-  const char* v = std::getenv(name);
-  return v ? std::atol(v) : fallback;
-}
-
-double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  return v ? std::atof(v) : fallback;
-}
-
-std::vector<std::size_t> env_thread_list() {
-  std::vector<std::size_t> out;
-  std::string spec = "1,8";
-  if (const char* v = std::getenv("LMMIR_BENCH_THREADS")) spec = v;
-  std::size_t pos = 0;
-  while (pos < spec.size()) {
-    const std::size_t comma = spec.find(',', pos);
-    const long n = std::atol(spec.substr(pos, comma - pos).c_str());
-    if (n > 0) out.push_back(static_cast<std::size_t>(n));
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  if (out.empty()) out = {1, 8};
-  return out;
-}
 
 struct SolveRecord {
   sparse::PreconditionerKind kind;
@@ -89,9 +64,9 @@ constexpr sparse::PreconditionerKind kKinds[] = {
 
 int main() {
   const int cases = static_cast<int>(
-      std::max(1L, env_long("LMMIR_BENCH_CASES", 3)));
-  const double scale = env_double("LMMIR_BENCH_SCALE", 1.0);
-  const std::vector<std::size_t> thread_cfgs = env_thread_list();
+      std::max(1L, benchio::env_long("LMMIR_BENCH_CASES", 3)));
+  const double scale = benchio::env_double("LMMIR_BENCH_SCALE", 1.0);
+  const std::vector<std::size_t> thread_cfgs = benchio::env_thread_list();
 
   // Circuit ladder: suite-style dies of growing side, current budget
   // scaled with area like gen::suite so drops stay in a realistic band.
@@ -176,7 +151,7 @@ int main() {
   // workload).  Same stressed PDN, unreachable target so every round
   // executes; the context path must cut total PCG iterations.
   const int rounds =
-      static_cast<int>(std::max(1L, env_long("LMMIR_BENCH_ROUNDS", 6)));
+      static_cast<int>(std::max(1L, benchio::env_long("LMMIR_BENCH_ROUNDS", 6)));
   struct EcoRecord {
     sparse::PreconditionerKind kind;
     std::size_t cold_iters = 0, warm_iters = 0;
@@ -265,33 +240,34 @@ int main() {
     if (!(sweep.warm_iters < sweep.cold_iters)) warm_cuts_iterations = false;
   }
 
-  std::printf("{\n");
-  std::printf("  \"bench\": \"solver_convergence\",\n");
-  std::printf("  \"hardware_concurrency\": %u,\n",
+  benchio::JsonRecord rec;
+  rec.printf("{\n");
+  rec.printf("  \"bench\": \"solver_convergence\",\n");
+  rec.printf("  \"hardware_concurrency\": %u,\n",
               std::thread::hardware_concurrency());
-  std::printf("  \"tolerance\": %.1e,\n", sparse::CgOptions{}.tolerance);
-  std::printf("  \"cases\": [\n");
+  rec.printf("  \"tolerance\": %.1e,\n", sparse::CgOptions{}.tolerance);
+  rec.printf("  \"cases\": [\n");
   for (std::size_t s = 0; s < systems.size(); ++s) {
-    std::printf("    {\"name\": \"conv%zu\", \"side_um\": %.0f, "
+    rec.printf("    {\"name\": \"conv%zu\", \"side_um\": %.0f, "
                 "\"unknowns\": %zu, \"nnz\": %zu, \"solves\": [\n",
                 s, sides[s], systems[s].matrix.dim(), systems[s].matrix.nnz());
     for (std::size_t k = 0; k < records[s].size(); ++k) {
       const auto& r = records[s][k];
-      std::printf("      {\"precond\": \"%s\", \"iterations\": %zu, "
+      rec.printf("      {\"precond\": \"%s\", \"iterations\": %zu, "
                   "\"residual\": %.3e, \"converged\": %s, \"setup_s\": %.4f, "
                   "\"apply_s\": %.4f, \"total_s\": %.4f}%s\n",
                   sparse::to_string(r.kind), r.iterations, r.residual,
                   r.converged ? "true" : "false", r.setup_s, r.apply_s,
                   r.total_s, k + 1 < records[s].size() ? "," : "");
     }
-    std::printf("    ]}%s\n", s + 1 < systems.size() ? "," : "");
+    rec.printf("    ]}%s\n", s + 1 < systems.size() ? "," : "");
   }
-  std::printf("  ],\n");
-  std::printf("  \"eco_cold_vs_warm\": {\n");
-  std::printf("    \"rounds\": %d, \"solves\": [\n", rounds);
+  rec.printf("  ],\n");
+  rec.printf("  \"eco_cold_vs_warm\": {\n");
+  rec.printf("    \"rounds\": %d, \"solves\": [\n", rounds);
   for (std::size_t k = 0; k < eco_records.size(); ++k) {
     const auto& r = eco_records[k];
-    std::printf(
+    rec.printf(
         "      {\"precond\": \"%s\", \"golden_solves\": %d, "
         "\"cold_iterations\": %zu, "
         "\"warm_iterations\": %zu, \"cold_precond_builds\": %zu, "
@@ -301,25 +277,28 @@ int main() {
         r.warm_iters, r.cold_builds, r.warm_builds, r.warm_starts, r.cold_s,
         r.warm_s, k + 1 < eco_records.size() ? "," : "");
   }
-  std::printf("    ]\n");
-  std::printf("  },\n");
-  std::printf("  \"load_sweep_ic0\": {\"rounds\": %d, "
+  rec.printf("    ]\n");
+  rec.printf("  },\n");
+  rec.printf("  \"load_sweep_ic0\": {\"rounds\": %d, "
               "\"cold_iterations\": %zu, \"warm_iterations\": %zu, "
               "\"warm_precond_builds\": %zu, \"cold_s\": %.4f, "
               "\"warm_s\": %.4f},\n",
               rounds, sweep.cold_iters, sweep.warm_iters, sweep.warm_builds,
               sweep.cold_s, sweep.warm_s);
-  std::printf("  \"identity_threads\": [%zu, %zu],\n", t_min, t_max);
-  std::printf("  \"threads_bitwise_identical\": %s,\n",
+  rec.printf("  \"identity_threads\": [%zu, %zu],\n", t_min, t_max);
+  rec.printf("  \"threads_bitwise_identical\": %s,\n",
               bitwise_identical ? "true" : "false");
-  std::printf("  \"largest_jacobi_iterations\": %zu,\n", it_jacobi);
-  std::printf("  \"ssor_reduces_vs_jacobi\": %s,\n",
+  rec.printf("  \"largest_jacobi_iterations\": %zu,\n", it_jacobi);
+  rec.printf("  \"ssor_reduces_vs_jacobi\": %s,\n",
               ssor_reduces ? "true" : "false");
-  std::printf("  \"ic0_reduces_vs_jacobi\": %s,\n",
+  rec.printf("  \"ic0_reduces_vs_jacobi\": %s,\n",
               ic0_reduces ? "true" : "false");
-  std::printf("  \"context_reuse_cuts_iterations\": %s\n",
+  rec.printf("  \"context_reuse_cuts_iterations\": %s\n",
               warm_cuts_iterations ? "true" : "false");
-  std::printf("}\n");
+  rec.printf("}\n");
+  std::fputs(rec.text().c_str(), stdout);
+  benchio::append_history("solver_convergence", rec.text());
+
   return (bitwise_identical && ssor_reduces && ic0_reduces &&
           warm_cuts_iterations)
              ? 0

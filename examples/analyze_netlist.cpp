@@ -13,6 +13,7 @@
 #include <string>
 
 #include "features/contest_io.hpp"
+#include "features/feature_context.hpp"
 #include "features/maps.hpp"
 #include "gen/began.hpp"
 #include "pdn/circuit.hpp"
@@ -77,8 +78,14 @@ int main(int argc, char** argv) {
   std::printf("hotspot nodes (>90%% of worst drop): %zu\n", violations);
 
   // Export feature maps + IR map in the contest layout, plus a PPM image.
+  // The FeatureContext runs the single-pass extraction (and would reuse
+  // topology-invariant channels were this loop re-run on a load sweep).
   const grid::Grid2D ir = pdn::rasterize_ir_drop(netlist, sol);
-  const feat::FeatureMaps maps = feat::compute_feature_maps(netlist);
+  util::Stopwatch feat_watch;
+  feat::FeatureContext feature_context;
+  const feat::FeatureMaps& maps = feature_context.extract(netlist);
+  std::printf("features: %d channel(s) in %.3f s (single classify pass)\n",
+              feat::kChannelCount, feat_watch.seconds());
   feat::write_contest_case(out_dir, netlist, maps, ir);
   const util::RgbImage img =
       util::colorize(ir.data(), ir.cols(), ir.rows(), ir.min(), ir.max());

@@ -6,9 +6,12 @@
 // The golden solves fan out over the runtime thread pool, one
 // pdn::SolverContext per worker stripe (pdn::solve_ir_drop_batch), so a
 // multi-core host solves the corpus in parallel while repeated topologies
-// inside a stripe still hit the refresh + warm-start fast path.  The
-// stripe partition is thread-count independent, so the written golden
-// maps are bitwise identical for any LMMIR_THREADS.
+// inside a stripe still hit the refresh + warm-start fast path.  Feature
+// extraction is striped the same way (feat::compute_feature_maps_batch,
+// one feat::FeatureContext per stripe), so same-topology neighbors reuse
+// their topology-invariant channels too.  Both stripe partitions are
+// thread-count independent, so the written golden maps and feature CSVs
+// are bitwise identical for any LMMIR_THREADS.
 //
 // Usage: generate_benchmarks [count] [out_dir] [seed]
 // LMMIR_PRECOND selects the golden-solver preconditioner
@@ -21,6 +24,7 @@
 #include <vector>
 
 #include "features/contest_io.hpp"
+#include "features/feature_context.hpp"
 #include "features/maps.hpp"
 #include "gen/suite.hpp"
 #include "pdn/circuit.hpp"
@@ -44,6 +48,7 @@ int main(int argc, char** argv) {
   solve_opts.cg.preconditioner =
       sparse::preconditioner_kind_from_env(solve_opts.cg.preconditioner);
   pdn::SolverContextStats context_stats;
+  feat::FeatureContextStats feature_stats;
 
   // Work in groups of kGroup cases: generate the group's netlists
   // (deterministic per-config RNG, so grouping changes nothing), solve
@@ -72,15 +77,23 @@ int main(int argc, char** argv) {
     const std::vector<pdn::Solution> solutions = pdn::solve_ir_drop_batch(
         circuit_ptrs, solve_opts, kStripes, &context_stats);
 
-    // Featurize + write serially (disk-bound; keeps the printed order).
+    // Featurize over the pool with the matching stripe partition (one
+    // FeatureContext per stripe, paired with the per-stripe
+    // SolverContexts above), then write serially (disk-bound; keeps the
+    // printed order).
+    std::vector<const spice::Netlist*> netlist_ptrs;
+    netlist_ptrs.reserve(end - begin);
+    for (const auto& nl : netlists) netlist_ptrs.push_back(&nl);
+    const std::vector<feat::FeatureMaps> all_maps =
+        feat::compute_feature_maps_batch(netlist_ptrs, kStripes,
+                                         &feature_stats);
     for (std::size_t i = begin; i < end; ++i) {
       const auto& cfg = configs[i];
       const spice::Netlist& nl = netlists[i - begin];
       const pdn::Solution& sol = solutions[i - begin];
       grid::Grid2D ir = pdn::rasterize_ir_drop(nl, sol);
-      const feat::FeatureMaps maps = feat::compute_feature_maps(nl);
       const std::string dir = out_dir + "/" + cfg.name;
-      feat::write_contest_case(dir, nl, maps, ir);
+      feat::write_contest_case(dir, nl, all_maps[i - begin], ir);
 
       const pdn::TestcaseStats st = pdn::compute_stats(nl, cfg.name);
       std::printf("%-10s %6zu nodes  %-9s  worst drop %.2f%%  -> %s\n",
@@ -97,5 +110,9 @@ int main(int argc, char** argv) {
               runtime::global_threads(), context_stats.solves,
               context_stats.rebuilds, context_stats.refreshes,
               context_stats.precond_builds, context_stats.warm_starts);
+  std::printf("feature contexts: %zu extraction(s) = %zu channel(s) computed "
+              "+ %zu reused (%zu revision hit(s))\n",
+              feature_stats.extractions, feature_stats.channels_computed,
+              feature_stats.channels_reused, feature_stats.revision_hits);
   return 0;
 }

@@ -11,6 +11,7 @@
 
 #include "core/pipeline.hpp"
 #include "features/contest_io.hpp"
+#include "features/feature_context.hpp"
 #include "models/lmmir_model.hpp"
 #include "nn/serialize.hpp"
 #include "pdn/circuit.hpp"
@@ -51,8 +52,9 @@ int main(int argc, char** argv) {
     const auto nl = gen::generate_pdn(cfg);
     const auto sol = pdn::solve_ir_drop(pdn::Circuit(nl));
     const auto ir = pdn::rasterize_ir_drop(nl, sol);
+    feat::FeatureContext feature_context;
     feat::write_contest_case("predict_demo_case", nl,
-                             feat::compute_feature_maps(nl), ir);
+                             feature_context.extract(nl), ir);
     case_dir = "predict_demo_case";
     std::printf("no case dir given; generated %s/\n", case_dir.c_str());
   }

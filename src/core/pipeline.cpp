@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "features/feature_context.hpp"
 #include "pdn/solver_context.hpp"
 #include "sparse/preconditioner.hpp"
 #include "spice/parser.hpp"
@@ -51,6 +52,7 @@ PipelineOptions PipelineOptions::from_environment() {
   o.sample.solver_precond =
       sparse::preconditioner_kind_from_env(o.sample.solver_precond);
   o.solver_context_reuse = env_long("LMMIR_SOLVER_REUSE", 1) != 0;
+  o.feature_context_reuse = env_long("LMMIR_FEATURE_REUSE", 1) != 0;
   o.tensor_arena = env_long("LMMIR_TENSOR_ARENA", 1) != 0;
   return o;
 }
@@ -64,6 +66,15 @@ void log_context_stats(const char* what, const pdn::SolverContext& ctx) {
                  " warm start(s), ", st.total_cg_iterations,
                  " total PCG iteration(s)");
 }
+
+void log_feature_stats(const char* what, const feat::FeatureContext& ctx) {
+  const auto& st = ctx.stats();
+  util::log_info(what, ": feature context — ", st.extractions,
+                 " extraction(s), ", st.classify_passes, " classify pass(es), ",
+                 st.channels_computed, " channel(s) computed, ",
+                 st.channels_reused, " reused (", st.revision_hits,
+                 " whole-netlist revision hit(s))");
+}
 }  // namespace
 
 data::Dataset Pipeline::build_training_dataset() const {
@@ -75,22 +86,25 @@ data::Dataset Pipeline::build_training_dataset() const {
   d.real_oversample = opts_.real_oversample;
   d.suite_scale = opts_.suite_scale;
   d.seed = opts_.seed;
-  if (!opts_.solver_context_reuse) return data::build_training_dataset(d);
-  pdn::SolverContext ctx;
-  d.sample.solver_context = &ctx;
+  pdn::SolverContext solver_ctx;
+  feat::FeatureContext feature_ctx;
+  if (opts_.solver_context_reuse) d.sample.solver_context = &solver_ctx;
+  if (opts_.feature_context_reuse) d.sample.feature_context = &feature_ctx;
   data::Dataset ds = data::build_training_dataset(d);
-  log_context_stats("dataset", ctx);
+  if (opts_.solver_context_reuse) log_context_stats("dataset", solver_ctx);
+  if (opts_.feature_context_reuse) log_feature_stats("dataset", feature_ctx);
   return ds;
 }
 
 std::vector<data::Sample> Pipeline::build_hidden_testset() const {
-  if (!opts_.solver_context_reuse)
-    return data::build_table2_testset(opts_.sample, opts_.suite_scale);
   data::SampleOptions sample = opts_.sample;
-  pdn::SolverContext ctx;
-  sample.solver_context = &ctx;
+  pdn::SolverContext solver_ctx;
+  feat::FeatureContext feature_ctx;
+  if (opts_.solver_context_reuse) sample.solver_context = &solver_ctx;
+  if (opts_.feature_context_reuse) sample.feature_context = &feature_ctx;
   auto tests = data::build_table2_testset(sample, opts_.suite_scale);
-  log_context_stats("testset", ctx);
+  if (opts_.solver_context_reuse) log_context_stats("testset", solver_ctx);
+  if (opts_.feature_context_reuse) log_feature_stats("testset", feature_ctx);
   return tests;
 }
 

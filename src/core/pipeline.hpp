@@ -14,6 +14,8 @@
 //   LMMIR_PRECOND (golden-solver preconditioner: none|jacobi|ssor|ic0),
 //   LMMIR_SOLVER_REUSE (0 disables the shared SolverContext during
 //   dataset / testset golden solves),
+//   LMMIR_FEATURE_REUSE (0 disables the shared feat::FeatureContext during
+//   dataset / testset feature extraction; see docs/FEATURES.md),
 //   LMMIR_TENSOR_ARENA (0 disables arena-backed tensor recycling on the
 //   inference path; see docs/TENSOR.md).
 #include <memory>
@@ -41,6 +43,11 @@ struct PipelineOptions {
   /// consecutive same-topology cases; distinct topologies rebuild
   /// automatically).  Env: LMMIR_SOLVER_REUSE=0 to disable.
   bool solver_context_reuse = true;
+  /// Share one feat::FeatureContext across the feature extractions of a
+  /// dataset / testset build (topology-invariant channels reused for
+  /// consecutive same-topology cases; bitwise identical either way).
+  /// Env: LMMIR_FEATURE_REUSE=0 to disable.
+  bool feature_context_reuse = true;
   /// Recycle inference tensors through per-worker arenas in the servers
   /// this pipeline creates (zero steady-state allocations on the forward
   /// path; bitwise-identical results).  Env: LMMIR_TENSOR_ARENA=0 to

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "features/contest_io.hpp"
+#include "features/feature_context.hpp"
 #include "features/maps.hpp"
 #include "pdn/circuit.hpp"
 #include "pdn/raster.hpp"
@@ -41,9 +42,16 @@ Sample make_sample(const spice::Netlist& netlist, const std::string& name,
   truth.scale(static_cast<float>(100.0 / s.vdd));  // volts -> percent
   s.truth_full = truth;
 
-  // Circuit modality: six channels, adjusted to the model side and
-  // min-max normalized per channel (paper Sec. III-A).
-  const feat::FeatureMaps maps = feat::compute_feature_maps(netlist);
+  // Circuit modality: the canonical channel stack, adjusted to the model
+  // side and normalized per channel (paper Sec. III-A).  A caller-shared
+  // FeatureContext reuses topology-invariant channels across consecutive
+  // same-topology netlists; the local fallback still gets the single-pass
+  // + parallel extraction (and is bitwise identical — cold == warm).
+  feat::FeatureContext local_feature_context;
+  feat::FeatureContext& feature_context = opts.feature_context
+                                              ? *opts.feature_context
+                                              : local_feature_context;
+  const feat::FeatureMaps& maps = feature_context.extract(netlist);
   std::vector<float> circuit_data;
   circuit_data.reserve(feat::kChannelCount * opts.input_side * opts.input_side);
   for (int c = 0; c < feat::kChannelCount; ++c) {

@@ -17,6 +17,9 @@
 namespace lmmir::pdn {
 class SolverContext;  // pdn/solver_context.hpp
 }
+namespace lmmir::feat {
+class FeatureContext;  // features/feature_context.hpp
+}
 
 namespace lmmir::data {
 
@@ -33,6 +36,12 @@ struct SampleOptions {
   /// caller keeps it alive across make_sample calls and does not share one
   /// context between concurrent solves.
   pdn::SolverContext* solver_context = nullptr;
+  /// Optional shared feature-extraction cache, the raster-side analogue of
+  /// solver_context: consecutive same-topology netlists reuse the
+  /// topology-invariant channels and results stay bitwise identical to a
+  /// cold extraction.  Same ownership/threading contract as
+  /// solver_context (not owned; one context per serial sample loop).
+  feat::FeatureContext* feature_context = nullptr;
 };
 
 /// Stored regression targets are percent-of-vdd x kTargetScale, keeping
@@ -42,7 +51,7 @@ inline constexpr float kTargetScale = 0.1f;
 
 struct Sample {
   std::string name;
-  tensor::Tensor circuit;       // [6, S, S], channels normalized to [0,1]
+  tensor::Tensor circuit;       // [feat::kChannelCount, S, S], normalized
   tensor::Tensor tokens;        // [G*G, pc::kTokenFeatureDim]
   tensor::Tensor target;        // [1, S, S], percent-of-vdd drop, adjusted
   grid::Grid2D truth_full;      // percent-of-vdd at original resolution

@@ -1,0 +1,378 @@
+#include "features/feature_context.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/stopwatch.hpp"
+
+namespace lmmir::feat {
+
+using spice::ElementType;
+using spice::kDbuPerMicron;
+using spice::Netlist;
+using spice::NodeId;
+
+namespace {
+
+struct Pixel {
+  std::size_t r = 0, c = 0;
+  bool valid = false;
+};
+
+Pixel node_pixel(const spice::Node& node, std::size_t rows, std::size_t cols) {
+  Pixel p;
+  if (!node.parsed) return p;
+  p.r = static_cast<std::size_t>(node.parsed->y / kDbuPerMicron);
+  p.c = static_cast<std::size_t>(node.parsed->x / kDbuPerMicron);
+  p.valid = p.r < rows && p.c < cols;
+  return p;
+}
+
+/// March a straight wire segment over the pixels it overlaps; calls
+/// visit(r, c, fraction) where fractions over the segment sum to 1.
+template <typename Visit>
+void walk_segment(const ClassifiedNetlist::Segment& s, Visit&& visit) {
+  const long dr = static_cast<long>(s.r2) - static_cast<long>(s.r1);
+  const long dc = static_cast<long>(s.c2) - static_cast<long>(s.c1);
+  const long steps = std::max(std::abs(dr), std::abs(dc));
+  if (steps == 0) {
+    visit(s.r1, s.c1, 1.0f);
+    return;
+  }
+  const float frac = 1.0f / static_cast<float>(steps + 1);
+  for (long t = 0; t <= steps; ++t) {
+    const long r = static_cast<long>(s.r1) + dr * t / steps;
+    const long c = static_cast<long>(s.c1) + dc * t / steps;
+    visit(static_cast<std::size_t>(r), static_cast<std::size_t>(c), frac);
+  }
+}
+
+bool positions_equal(const std::vector<ClassifiedNetlist::PointSource>& a,
+                     const std::vector<ClassifiedNetlist::PointSource>& b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end(),
+                    [](const ClassifiedNetlist::PointSource& x,
+                       const ClassifiedNetlist::PointSource& y) {
+                      return x.r == y.r && x.c == y.c;
+                    });
+}
+
+bool positions_equal(const std::vector<ClassifiedNetlist::Segment>& a,
+                     const std::vector<ClassifiedNetlist::Segment>& b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end(),
+                    [](const ClassifiedNetlist::Segment& x,
+                       const ClassifiedNetlist::Segment& y) {
+                      return x.r1 == y.r1 && x.c1 == y.c1 && x.r2 == y.r2 &&
+                             x.c2 == y.c2;
+                    });
+}
+
+}  // namespace
+
+ClassifiedNetlist classify_netlist(const Netlist& nl) {
+  ClassifiedNetlist cls;
+  const auto shape = nl.pixel_shape();
+  if (shape.rows == 0 || shape.cols == 0)
+    throw std::runtime_error("feature maps: netlist has no located nodes");
+  cls.rows = shape.rows;
+  cls.cols = shape.cols;
+  cls.revision = nl.revision();
+
+  // Shared node→pixel cache: each node resolves exactly once, instead of
+  // once per channel per element reference.
+  const auto& nodes = nl.nodes();
+  std::vector<Pixel> pixels(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    pixels[i] = node_pixel(nodes[i], cls.rows, cls.cols);
+  const Pixel invalid;  // ground / unresolved
+  auto pixel_of = [&](NodeId id) -> const Pixel& {
+    return id == spice::kGroundNode ? invalid
+                                    : pixels[static_cast<std::size_t>(id)];
+  };
+
+  for (const auto& e : nl.elements()) {
+    switch (e.type) {
+      case ElementType::CurrentSource: {
+        // The PDN-side terminal is the non-ground one.
+        const NodeId tap = e.node1 != spice::kGroundNode ? e.node1 : e.node2;
+        const Pixel& p = pixel_of(tap);
+        if (p.valid)
+          cls.current_sources.push_back({static_cast<std::uint32_t>(p.r),
+                                         static_cast<std::uint32_t>(p.c),
+                                         static_cast<float>(e.value)});
+        break;
+      }
+      case ElementType::VoltageSource: {
+        const NodeId pin = e.node1 != spice::kGroundNode ? e.node1 : e.node2;
+        const Pixel& p = pixel_of(pin);
+        if (p.valid)
+          cls.voltage_sources.push_back({static_cast<std::uint32_t>(p.r),
+                                         static_cast<std::uint32_t>(p.c),
+                                         static_cast<float>(e.value)});
+        break;
+      }
+      case ElementType::Resistor: {
+        const Pixel& pa = pixel_of(e.node1);
+        const Pixel& pb = pixel_of(e.node2);
+        if (pa.valid && pb.valid)
+          cls.resistors.push_back({static_cast<std::uint32_t>(pa.r),
+                                   static_cast<std::uint32_t>(pa.c),
+                                   static_cast<std::uint32_t>(pb.r),
+                                   static_cast<std::uint32_t>(pb.c),
+                                   static_cast<float>(e.value)});
+        break;
+      }
+    }
+  }
+  return cls;
+}
+
+grid::Grid2D rasterize_channel(const ClassifiedNetlist& cls, int channel) {
+  grid::Grid2D map(cls.rows, cls.cols, 0.0f);
+  switch (channel) {
+    case kChannelCurrent:
+    case kChannelCurrentSource:
+      // Identical definitions (sum of source amps at the tap pixel); the
+      // list preserves element order, so accumulation order matches the
+      // seed per-channel traversals.
+      for (const auto& s : cls.current_sources) map.at(s.r, s.c) += s.value;
+      return map;
+
+    case kChannelEffectiveDistance: {
+      if (cls.voltage_sources.empty()) {
+        map.fill(0.0f);
+        return map;
+      }
+      std::vector<std::pair<float, float>> sources;  // (y, x)
+      sources.reserve(cls.voltage_sources.size());
+      for (const auto& s : cls.voltage_sources)
+        sources.emplace_back(static_cast<float>(s.r), static_cast<float>(s.c));
+      // d_eff(p) = ( Σᵢ 1/d(p, vᵢ) )⁻¹, with d floored at one pixel so the
+      // source pixel itself stays finite.  O(rows * cols * sources) — the
+      // hottest rasterization loop — fanned out over pixel rows.
+      runtime::parallel_for(
+          0, map.rows(),
+          runtime::grain_for_cost(map.cols() * sources.size() * 8),
+          [&](std::size_t r_lo, std::size_t r_hi) {
+            for (std::size_t r = r_lo; r < r_hi; ++r)
+              for (std::size_t c = 0; c < map.cols(); ++c) {
+                double acc = 0.0;
+                for (const auto& [sy, sx] : sources) {
+                  const double dy = static_cast<double>(r) - sy;
+                  const double dx = static_cast<double>(c) - sx;
+                  const double d = std::max(1.0, std::sqrt(dy * dy + dx * dx));
+                  acc += 1.0 / d;
+                }
+                map.at(r, c) = static_cast<float>(1.0 / acc);
+              }
+          });
+      return map;
+    }
+
+    case kChannelPdnDensity: {
+      // Rasterize wire segments (vias excluded: same pixel endpoints still
+      // count once via walk_segment's zero-length branch, matching "stripes
+      // passing through the region").
+      for (const auto& s : cls.resistors)
+        walk_segment(s, [&](std::size_t r, std::size_t c, float) {
+          map.at(r, c) += 1.0f;
+        });
+      // Local mean over a window approximates "mean PDN spacing per region".
+      const float sigma = std::max(
+          2.0f, static_cast<float>(std::min(map.rows(), map.cols())) / 32.0f);
+      return map.blurred(sigma);
+    }
+
+    case kChannelVoltageSource:
+      for (const auto& s : cls.voltage_sources)
+        map.at(s.r, s.c) = std::max(map.at(s.r, s.c), s.value);
+      return map;
+
+    case kChannelResistance:
+      for (const auto& s : cls.resistors)
+        walk_segment(s, [&](std::size_t r, std::size_t c, float frac) {
+          map.at(r, c) += s.value * frac;
+        });
+      return map;
+
+    default:
+      throw std::out_of_range("feat::rasterize_channel");
+  }
+}
+
+bool channel_inputs_equal(const ClassifiedNetlist& a, const ClassifiedNetlist& b,
+                          int channel) {
+  if (a.rows != b.rows || a.cols != b.cols) return false;
+  switch (channel) {
+    case kChannelCurrent:
+    case kChannelCurrentSource:
+      return a.current_sources == b.current_sources;
+    case kChannelEffectiveDistance:
+      // Value-insensitive: only the pin positions enter the harmonic sum.
+      return positions_equal(a.voltage_sources, b.voltage_sources);
+    case kChannelVoltageSource:
+      return a.voltage_sources == b.voltage_sources;
+    case kChannelPdnDensity:
+      // Value-insensitive: density counts stripes, not ohms.
+      return positions_equal(a.resistors, b.resistors);
+    case kChannelResistance:
+      return a.resistors == b.resistors;
+    default:
+      throw std::out_of_range("feat::channel_inputs_equal");
+  }
+}
+
+const FeatureMaps& FeatureContext::extract(const Netlist& nl) {
+  ++stats_.extractions;
+  // Same revision == same content (see Netlist::revision): nothing to do,
+  // not even a classification pass.
+  if (has_prev_ && nl.revision() == prev_.revision) {
+    ++stats_.revision_hits;
+    stats_.channels_reused += kChannelCount;
+    return maps_;
+  }
+
+  util::Stopwatch classify_watch;
+  ClassifiedNetlist cls = classify_netlist(nl);
+  ++stats_.classify_passes;
+  stats_.classify_seconds += classify_watch.seconds();
+
+  std::array<bool, kChannelCount> dirty;
+  for (int c = 0; c < kChannelCount; ++c)
+    dirty[static_cast<std::size_t>(c)] =
+        !valid_[static_cast<std::size_t>(c)] || !has_prev_ ||
+        !channel_inputs_equal(prev_, cls, c);
+
+  util::Stopwatch rasterize_watch;
+  try {
+    rasterize_dirty(cls, dirty);
+  } catch (...) {
+    // A half-updated cache (some channels rasterized, validity flags not
+    // yet advanced) must not be reusable: drop everything.
+    invalidate();
+    throw;
+  }
+  stats_.rasterize_seconds += rasterize_watch.seconds();
+
+  for (int c = 0; c < kChannelCount; ++c) {
+    if (dirty[static_cast<std::size_t>(c)]) {
+      valid_[static_cast<std::size_t>(c)] = true;
+      ++stats_.channels_computed;
+    } else {
+      ++stats_.channels_reused;
+    }
+  }
+  prev_ = std::move(cls);
+  has_prev_ = true;
+  return maps_;
+}
+
+void FeatureContext::rasterize_dirty(
+    const ClassifiedNetlist& cls, const std::array<bool, kChannelCount>& dirty) {
+  std::vector<int> todo;
+  for (int c = 0; c < kChannelCount; ++c)
+    if (dirty[static_cast<std::size_t>(c)]) todo.push_back(c);
+  if (todo.empty()) return;
+
+  runtime::ThreadPool* pool = runtime::global_pool();
+  if (!pool || pool->in_worker() || todo.size() == 1) {
+    for (int c : todo) maps_.channel(c) = rasterize_channel(cls, c);
+    return;
+  }
+
+  // Fan the dirty channels out as independent pool tasks.  Keep
+  // effective_distance on the calling thread: posted jobs run their inner
+  // loops inline (no nested parallelism), but the caller's intra-channel
+  // parallel_for can still split the O(rows·cols·sources) loop across
+  // whatever workers free up.  Each task writes only its own grid, so the
+  // schedule cannot change results.
+  int keep = todo.front();
+  for (int c : todo)
+    if (c == kChannelEffectiveDistance) keep = c;
+  std::vector<std::future<void>> futures;
+  futures.reserve(todo.size() - 1);
+  for (int c : todo) {
+    if (c == keep) continue;
+    futures.push_back(pool->submit(
+        [this, &cls, c] { maps_.channel(c) = rasterize_channel(cls, c); }));
+  }
+  std::exception_ptr first_error;
+  try {
+    maps_.channel(keep) = rasterize_channel(cls, keep);
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void FeatureContext::invalidate() {
+  valid_.fill(false);
+  has_prev_ = false;
+  prev_ = {};
+  maps_ = {};
+}
+
+std::vector<FeatureMaps> compute_feature_maps_batch(
+    const std::vector<const Netlist*>& netlists, std::size_t stripes,
+    FeatureContextStats* aggregate) {
+  const std::size_t n = netlists.size();
+  std::vector<FeatureMaps> out(n);
+  if (n == 0) return out;
+  if (stripes == 0) stripes = 1;
+  stripes = std::min(stripes, n);
+
+  std::mutex agg_mu;
+  // Contiguous blocks keep consecutive same-topology cases in one
+  // context's reuse chain; the partition depends only on (n, stripes),
+  // so any thread count replays the same chains bitwise.
+  auto run_stripe = [&](std::size_t s) {
+    const std::size_t begin = s * n / stripes;
+    const std::size_t end = (s + 1) * n / stripes;
+    FeatureContext ctx;
+    for (std::size_t i = begin; i < end; ++i)
+      out[i] = ctx.extract(*netlists[i]);
+    if (aggregate) {
+      std::lock_guard<std::mutex> lock(agg_mu);
+      *aggregate += ctx.stats();
+    }
+  };
+
+  runtime::ThreadPool* pool = runtime::global_pool();
+  if (!pool || pool->in_worker()) {
+    for (std::size_t s = 0; s < stripes; ++s) run_stripe(s);
+    return out;
+  }
+  // Every stripe runs as a posted job: on workers the per-channel fan-out
+  // and the intra-channel parallel_for both degrade to inline execution,
+  // so no stripe blocks on pool latches behind another stripe's work.
+  std::vector<std::future<void>> futures;
+  futures.reserve(stripes);
+  for (std::size_t s = 0; s < stripes; ++s)
+    futures.push_back(pool->submit([&run_stripe, s] { run_stripe(s); }));
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return out;
+}
+
+}  // namespace lmmir::feat

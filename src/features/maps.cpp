@@ -1,192 +1,80 @@
 #include "features/maps.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
-#include "runtime/parallel_for.hpp"
+#include "features/feature_context.hpp"
 
 namespace lmmir::feat {
 
-using spice::ElementType;
-using spice::kDbuPerMicron;
-using spice::Netlist;
-using spice::NodeId;
-
-namespace {
-
-struct Pixel {
-  std::size_t r, c;
-  bool valid = false;
-};
-
-Pixel node_pixel(const Netlist& nl, NodeId id, std::size_t rows,
-                 std::size_t cols) {
-  Pixel p;
-  if (id == spice::kGroundNode) return p;
-  const auto& node = nl.node(id);
-  if (!node.parsed) return p;
-  p.r = static_cast<std::size_t>(node.parsed->y / kDbuPerMicron);
-  p.c = static_cast<std::size_t>(node.parsed->x / kDbuPerMicron);
-  p.valid = p.r < rows && p.c < cols;
-  return p;
-}
-
-grid::Grid2D empty_map(const Netlist& nl) {
-  const auto shape = nl.pixel_shape();
-  if (shape.rows == 0 || shape.cols == 0)
-    throw std::runtime_error("feature maps: netlist has no located nodes");
-  return grid::Grid2D(shape.rows, shape.cols, 0.0f);
-}
-
-/// March a straight wire segment over the pixels it overlaps; calls
-/// visit(r, c, fraction) where fractions over the segment sum to 1.
-template <typename Visit>
-void walk_segment(const Netlist& nl, NodeId a, NodeId b, std::size_t rows,
-                  std::size_t cols, Visit&& visit) {
-  const Pixel pa = node_pixel(nl, a, rows, cols);
-  const Pixel pb = node_pixel(nl, b, rows, cols);
-  if (!pa.valid || !pb.valid) return;
-  const long dr = static_cast<long>(pb.r) - static_cast<long>(pa.r);
-  const long dc = static_cast<long>(pb.c) - static_cast<long>(pa.c);
-  const long steps = std::max(std::abs(dr), std::abs(dc));
-  if (steps == 0) {
-    visit(pa.r, pa.c, 1.0f);
-    return;
-  }
-  const float frac = 1.0f / static_cast<float>(steps + 1);
-  for (long s = 0; s <= steps; ++s) {
-    const long r = static_cast<long>(pa.r) + dr * s / steps;
-    const long c = static_cast<long>(pa.c) + dc * s / steps;
-    visit(static_cast<std::size_t>(r), static_cast<std::size_t>(c), frac);
+const char* channel_name(int channel) {
+  switch (channel) {
+    case kChannelCurrent: return "current";
+    case kChannelEffectiveDistance: return "effective_distance";
+    case kChannelPdnDensity: return "pdn_density";
+    case kChannelVoltageSource: return "voltage_source";
+    case kChannelCurrentSource: return "current_source";
+    case kChannelResistance: return "resistance";
+    default: throw std::out_of_range("feat::channel_name");
   }
 }
-
-}  // namespace
 
 const grid::Grid2D& FeatureMaps::channel(int i) const {
   switch (i) {
-    case 0: return current;
-    case 1: return effective_distance;
-    case 2: return pdn_density;
-    case 3: return voltage_source;
-    case 4: return current_source;
-    case 5: return resistance;
+    case kChannelCurrent: return current;
+    case kChannelEffectiveDistance: return effective_distance;
+    case kChannelPdnDensity: return pdn_density;
+    case kChannelVoltageSource: return voltage_source;
+    case kChannelCurrentSource: return current_source;
+    case kChannelResistance: return resistance;
     default: throw std::out_of_range("FeatureMaps::channel");
   }
 }
 
-grid::Grid2D current_map(const Netlist& nl) {
-  grid::Grid2D map = empty_map(nl);
-  for (const auto& e : nl.elements()) {
-    if (e.type != ElementType::CurrentSource) continue;
-    // The PDN-side terminal is the non-ground one.
-    const NodeId tap = e.node1 != spice::kGroundNode ? e.node1 : e.node2;
-    const Pixel p = node_pixel(nl, tap, map.rows(), map.cols());
-    if (p.valid) map.at(p.r, p.c) += static_cast<float>(e.value);
-  }
-  return map;
+grid::Grid2D& FeatureMaps::channel(int i) {
+  return const_cast<grid::Grid2D&>(
+      static_cast<const FeatureMaps&>(*this).channel(i));
 }
 
-grid::Grid2D effective_distance_map(const Netlist& nl) {
-  grid::Grid2D map = empty_map(nl);
-  // Collect voltage-source pixel positions (micron units).
-  std::vector<std::pair<float, float>> sources;  // (y, x)
-  for (const auto& e : nl.elements()) {
-    if (e.type != ElementType::VoltageSource) continue;
-    const NodeId pin = e.node1 != spice::kGroundNode ? e.node1 : e.node2;
-    const Pixel p = node_pixel(nl, pin, map.rows(), map.cols());
-    if (p.valid)
-      sources.emplace_back(static_cast<float>(p.r), static_cast<float>(p.c));
-  }
-  if (sources.empty()) {
-    map.fill(0.0f);
-    return map;
-  }
-  // d_eff(p) = ( Σᵢ 1/d(p, vᵢ) )⁻¹, with d floored at one pixel so the
-  // source pixel itself stays finite.  O(rows * cols * sources) — the
-  // hottest rasterization loop — fanned out over pixel rows.
-  runtime::parallel_for(
-      0, map.rows(), runtime::grain_for_cost(map.cols() * sources.size() * 8),
-      [&](std::size_t r_lo, std::size_t r_hi) {
-        for (std::size_t r = r_lo; r < r_hi; ++r)
-          for (std::size_t c = 0; c < map.cols(); ++c) {
-            double acc = 0.0;
-            for (const auto& [sy, sx] : sources) {
-              const double dy = static_cast<double>(r) - sy;
-              const double dx = static_cast<double>(c) - sx;
-              const double d = std::max(1.0, std::sqrt(dy * dy + dx * dx));
-              acc += 1.0 / d;
-            }
-            map.at(r, c) = static_cast<float>(1.0 / acc);
-          }
-      });
-  return map;
+namespace {
+// Classifies ALL element groups even though one channel reads only one of
+// them: a deliberate tradeoff keeping a single classification
+// implementation (the dirty-compare in FeatureContext depends on its
+// exact binning).  Callers extracting several channels should classify
+// once and call rasterize_channel, or use a FeatureContext.
+grid::Grid2D one_channel(const spice::Netlist& nl, int channel) {
+  return rasterize_channel(classify_netlist(nl), channel);
+}
+}  // namespace
+
+grid::Grid2D current_map(const spice::Netlist& nl) {
+  return one_channel(nl, kChannelCurrent);
 }
 
-grid::Grid2D pdn_density_map(const Netlist& nl) {
-  grid::Grid2D map = empty_map(nl);
-  // Rasterize wire segments (vias excluded: same pixel endpoints still
-  // count once via walk_segment's zero-length branch, matching "stripes
-  // passing through the region").
-  for (const auto& e : nl.elements()) {
-    if (e.type != ElementType::Resistor) continue;
-    walk_segment(nl, e.node1, e.node2, map.rows(), map.cols(),
-                 [&](std::size_t r, std::size_t c, float) {
-                   map.at(r, c) += 1.0f;
-                 });
-  }
-  // Local mean over a window approximates "mean PDN spacing per region".
-  const float sigma = std::max(2.0f, static_cast<float>(
-      std::min(map.rows(), map.cols())) / 32.0f);
-  return map.blurred(sigma);
+grid::Grid2D effective_distance_map(const spice::Netlist& nl) {
+  return one_channel(nl, kChannelEffectiveDistance);
 }
 
-grid::Grid2D voltage_source_map(const Netlist& nl) {
-  grid::Grid2D map = empty_map(nl);
-  for (const auto& e : nl.elements()) {
-    if (e.type != ElementType::VoltageSource) continue;
-    const NodeId pin = e.node1 != spice::kGroundNode ? e.node1 : e.node2;
-    const Pixel p = node_pixel(nl, pin, map.rows(), map.cols());
-    if (p.valid)
-      map.at(p.r, p.c) = std::max(map.at(p.r, p.c), static_cast<float>(e.value));
-  }
-  return map;
+grid::Grid2D pdn_density_map(const spice::Netlist& nl) {
+  return one_channel(nl, kChannelPdnDensity);
 }
 
-grid::Grid2D current_source_map(const Netlist& nl) {
-  grid::Grid2D map = empty_map(nl);
-  for (const auto& e : nl.elements()) {
-    if (e.type != ElementType::CurrentSource) continue;
-    const NodeId tap = e.node1 != spice::kGroundNode ? e.node1 : e.node2;
-    const Pixel p = node_pixel(nl, tap, map.rows(), map.cols());
-    if (p.valid) map.at(p.r, p.c) += static_cast<float>(e.value);
-  }
-  return map;
+grid::Grid2D voltage_source_map(const spice::Netlist& nl) {
+  return one_channel(nl, kChannelVoltageSource);
 }
 
-grid::Grid2D resistance_map(const Netlist& nl) {
-  grid::Grid2D map = empty_map(nl);
-  for (const auto& e : nl.elements()) {
-    if (e.type != ElementType::Resistor) continue;
-    const float ohms = static_cast<float>(e.value);
-    walk_segment(nl, e.node1, e.node2, map.rows(), map.cols(),
-                 [&](std::size_t r, std::size_t c, float frac) {
-                   map.at(r, c) += ohms * frac;
-                 });
-  }
-  return map;
+grid::Grid2D current_source_map(const spice::Netlist& nl) {
+  return one_channel(nl, kChannelCurrentSource);
 }
 
-FeatureMaps compute_feature_maps(const Netlist& nl) {
-  FeatureMaps f;
-  f.current = current_map(nl);
-  f.effective_distance = effective_distance_map(nl);
-  f.pdn_density = pdn_density_map(nl);
-  f.voltage_source = voltage_source_map(nl);
-  f.current_source = current_source_map(nl);
-  f.resistance = resistance_map(nl);
-  return f;
+grid::Grid2D resistance_map(const spice::Netlist& nl) {
+  return one_channel(nl, kChannelResistance);
+}
+
+FeatureMaps compute_feature_maps(const spice::Netlist& nl) {
+  // A throwaway context: identical code path to warm extraction (the
+  // cold == warm bitwise contract falls out of sharing it).
+  FeatureContext ctx;
+  return ctx.extract(nl);
 }
 
 }  // namespace lmmir::feat

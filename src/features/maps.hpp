@@ -10,6 +10,11 @@
 //   5. current-source map   — source amps at tap pixels (value plot);
 //   6. resistance map       — each resistor's ohms spread over the pixels
 //                             its segment overlaps.
+//
+// The extraction pipeline behind these (single classification pass,
+// parallel rasterization, incremental reuse) lives in
+// features/feature_context.hpp; the free functions here are the
+// per-channel entry points and the cold one-shot extractor.
 #include <array>
 
 #include "grid/grid2d.hpp"
@@ -18,6 +23,19 @@
 namespace lmmir::feat {
 
 inline constexpr int kChannelCount = 6;
+
+/// Canonical channel indices (the order of FeatureMaps::channel and of
+/// the [kChannelCount, S, S] model input stack).
+inline constexpr int kChannelCurrent = 0;
+inline constexpr int kChannelEffectiveDistance = 1;
+inline constexpr int kChannelPdnDensity = 2;
+inline constexpr int kChannelVoltageSource = 3;
+inline constexpr int kChannelCurrentSource = 4;
+inline constexpr int kChannelResistance = 5;
+
+/// Stable snake_case name of a canonical channel (bench output, logs).
+/// Throws std::out_of_range outside [0, kChannelCount).
+const char* channel_name(int channel);
 
 struct FeatureMaps {
   grid::Grid2D current;
@@ -29,6 +47,7 @@ struct FeatureMaps {
 
   /// Channel access in canonical order (see kChannelCount).
   const grid::Grid2D& channel(int i) const;
+  grid::Grid2D& channel(int i);
 };
 
 grid::Grid2D current_map(const spice::Netlist& nl);
@@ -38,7 +57,8 @@ grid::Grid2D voltage_source_map(const spice::Netlist& nl);
 grid::Grid2D current_source_map(const spice::Netlist& nl);
 grid::Grid2D resistance_map(const spice::Netlist& nl);
 
-/// All six channels at the netlist's pixel shape.
+/// All six channels at the netlist's pixel shape (cold extraction; runs
+/// through the same single-pass pipeline as feat::FeatureContext).
 FeatureMaps compute_feature_maps(const spice::Netlist& nl);
 
 }  // namespace lmmir::feat

@@ -40,8 +40,8 @@ class IrModel : public nn::Module {
   virtual std::string name() const = 0;
   virtual Capabilities capabilities() const = 0;
   /// How many circuit channels the model consumes (3 = contest features
-  /// only, 6 = with the paper's extra maps). The data pipeline slices the
-  /// canonical 6-channel stack down to this.
+  /// only, feat::kChannelCount = with the paper's extra maps). The data
+  /// pipeline slices the canonical channel stack down to this.
   virtual int in_channels() const = 0;
 };
 

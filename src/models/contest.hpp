@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "features/maps.hpp"
 #include "models/blocks.hpp"
 #include "models/common.hpp"
 
@@ -36,7 +37,7 @@ class ContestUNet : public IrModel {
   Tensor forward(const Tensor& circuit, const Tensor& tokens) override;
   std::string name() const override { return name_; }
   Capabilities capabilities() const override;
-  int in_channels() const override { return 6; }
+  int in_channels() const override { return feat::kChannelCount; }
 
  private:
   std::string name_;

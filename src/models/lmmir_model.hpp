@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "features/maps.hpp"
 #include "models/blocks.hpp"
 #include "models/common.hpp"
 #include "pointcloud/pool.hpp"
@@ -21,7 +22,7 @@
 namespace lmmir::models {
 
 struct LmmirConfig {
-  int in_channels = 6;     // the paper's six circuit maps
+  int in_channels = feat::kChannelCount;  // the paper's six circuit maps
   int base_channels = 12;  // encoder width at full resolution
   int levels = 3;          // encoder downsampling levels (paper: 4)
   int token_dim = 32;      // shared embedding width D

@@ -4,14 +4,37 @@
 #include <cstdlib>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
-#include "tensor/arena.hpp"
 #include "util/log.hpp"
 
 namespace lmmir::runtime {
 
 namespace {
 thread_local const ThreadPool* tl_worker_of = nullptr;
+
+// Meyers singletons: the default hook is registered from other
+// translation units' static initializers (tensor/arena.cpp), so its
+// storage must be initialization-order safe.
+std::mutex& default_init_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+WorkerInit& default_init_storage() {
+  static WorkerInit init;
+  return init;
+}
+}  // namespace
+
+void set_default_worker_init(WorkerInit init) {
+  std::lock_guard<std::mutex> lock(default_init_mu());
+  default_init_storage() = std::move(init);
+}
+
+WorkerInit default_worker_init() {
+  std::lock_guard<std::mutex> lock(default_init_mu());
+  return default_init_storage();
 }
 
 void Latch::count_down(std::ptrdiff_t n) {
@@ -31,19 +54,18 @@ bool Latch::try_wait() {
 }
 
 ThreadPool::ThreadPool(std::size_t threads)
-    : ThreadPool(threads, tensor::arena_enabled_from_env()) {}
+    : ThreadPool(threads, default_worker_init()) {}
 
-ThreadPool::ThreadPool(std::size_t threads, bool worker_arenas) {
+ThreadPool::ThreadPool(std::size_t threads, WorkerInit init)
+    : init_(std::move(init)) {
   if (threads == 0) threads = 1;
   workers_.reserve(threads);
-  if (worker_arenas) {
-    worker_arenas_.reserve(threads);
-    for (std::size_t i = 0; i < threads; ++i)
-      worker_arenas_.push_back(std::make_unique<tensor::TensorArena>());
-  }
+  // Shared (not a ctor local): workers touch the latch after the ctor
+  // may already have unwound on the mid-spawn failure path below.
+  auto started = std::make_shared<Latch>(static_cast<std::ptrdiff_t>(threads));
   try {
     for (std::size_t i = 0; i < threads; ++i)
-      workers_.emplace_back([this, i] { worker_loop(i); });
+      workers_.emplace_back([this, i, started] { worker_loop(i, started); });
   } catch (...) {
     // Thread creation failed mid-spawn (resource exhaustion).  Join the
     // workers that did start before rethrowing — destroying a joinable
@@ -56,6 +78,8 @@ ThreadPool::ThreadPool(std::size_t threads, bool worker_arenas) {
     for (auto& w : workers_) w.join();
     throw;
   }
+  // Every worker has run its init hook once this returns (see header).
+  started->wait();
 }
 
 ThreadPool::~ThreadPool() {
@@ -67,15 +91,25 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-tensor::TensorArena* ThreadPool::worker_arena(std::size_t i) const {
-  return i < worker_arenas_.size() ? worker_arenas_[i].get() : nullptr;
-}
-
-void ThreadPool::worker_loop(std::size_t index) {
+void ThreadPool::worker_loop(std::size_t index,
+                             std::shared_ptr<Latch> started) {
   tl_worker_of = this;
-  // Install this worker's arena for the thread's whole lifetime: any
-  // kernel chunk running here draws pooled scratch from it.
-  tensor::ArenaScope scope(worker_arena(index));
+  // Per-worker state (e.g. a tensor scratch arena) installs here, on the
+  // worker's own thread, and lives until the worker exits.
+  WorkerCleanup cleanup;
+  if (init_) {
+    try {
+      cleanup = init_(index);
+    } catch (const std::exception& e) {
+      util::log_warn("ThreadPool worker ", index, ": init hook failed (",
+                     e.what(), "); continuing without per-worker state");
+    } catch (...) {
+      util::log_warn("ThreadPool worker ", index,
+                     ": init hook failed; continuing without per-worker state");
+    }
+  }
+  started->count_down();
+  started.reset();
   for (;;) {
     std::function<void()> job;
     {
@@ -86,6 +120,13 @@ void ThreadPool::worker_loop(std::size_t index) {
       queue_.pop_front();
     }
     job();
+  }
+  if (cleanup) {
+    try {
+      cleanup();
+    } catch (...) {
+      util::log_warn("ThreadPool worker ", index, ": cleanup hook threw");
+    }
   }
   tl_worker_of = nullptr;
 }
@@ -133,16 +174,16 @@ std::mutex g_mu;
 std::size_t g_threads = 0;  // 0 = not yet initialized
 std::unique_ptr<ThreadPool> g_pool;
 
-void configure_locked(std::size_t threads, bool worker_arenas) {
+void configure_locked(std::size_t threads, WorkerInit init) {
   threads = std::clamp<std::size_t>(threads, 1, kMaxThreads);
   g_pool.reset();  // join old workers before replacing
   if (threads > 1)
-    g_pool = std::make_unique<ThreadPool>(threads - 1, worker_arenas);
+    g_pool = std::make_unique<ThreadPool>(threads - 1, std::move(init));
   g_threads = threads;
 }
 
 void configure_locked(std::size_t threads) {
-  configure_locked(threads, tensor::arena_enabled_from_env());
+  configure_locked(threads, default_worker_init());
 }
 
 }  // namespace
@@ -158,9 +199,9 @@ void set_global_threads(std::size_t threads) {
   configure_locked(threads);
 }
 
-void set_global_threads(std::size_t threads, bool worker_arenas) {
+void set_global_threads(std::size_t threads, WorkerInit init) {
   std::lock_guard<std::mutex> lock(g_mu);
-  configure_locked(threads, worker_arenas);
+  configure_locked(threads, std::move(init));
 }
 
 ThreadPool* global_pool() {

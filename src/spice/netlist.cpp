@@ -1,15 +1,28 @@
 #include "spice/netlist.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
 namespace lmmir::spice {
 
+namespace {
+// Process-wide revision source: each mutation event gets a unique value,
+// which is what makes Netlist::revision() a content key (equal revisions
+// can only come from copies of the same snapshot).
+std::atomic<std::uint64_t> g_netlist_revision{0};
+}  // namespace
+
+void Netlist::touch() {
+  revision_ = 1 + g_netlist_revision.fetch_add(1, std::memory_order_relaxed);
+}
+
 NodeId Netlist::intern_node(const std::string& raw_name) {
   if (is_ground(raw_name)) return kGroundNode;
   auto it = node_index_.find(raw_name);
   if (it != node_index_.end()) return it->second;
+  touch();
   Node n;
   n.raw_name = raw_name;
   NodeName parsed;
@@ -29,16 +42,19 @@ std::optional<NodeId> Netlist::find_node(const std::string& raw_name) const {
 
 void Netlist::add_resistor(const std::string& name, NodeId a, NodeId b,
                            double ohms) {
+  touch();
   elements_.push_back({ElementType::Resistor, name, a, b, ohms});
 }
 
 void Netlist::add_current_source(const std::string& name, NodeId from,
                                  NodeId to, double amps) {
+  touch();
   elements_.push_back({ElementType::CurrentSource, name, from, to, amps});
 }
 
 void Netlist::add_voltage_source(const std::string& name, NodeId plus,
                                  NodeId minus, double volts) {
+  touch();
   elements_.push_back({ElementType::VoltageSource, name, plus, minus, volts});
 }
 
@@ -46,6 +62,7 @@ void Netlist::set_element_value(std::size_t element_index, double value) {
   Element& e = elements_.at(element_index);
   if (e.type == ElementType::Resistor && value <= 0.0)
     throw std::invalid_argument("set_element_value: non-positive resistance");
+  touch();
   e.value = value;
 }
 

@@ -35,6 +35,16 @@ struct Node {
 
 class Netlist {
  public:
+  /// Content revision key.  Every mutation (interning a new node, adding
+  /// an element, rewriting an element value) stamps the netlist with a
+  /// fresh value from a process-wide counter, so a given revision value is
+  /// assigned to exactly one content snapshot: equal revisions imply equal
+  /// content, across distinct Netlist objects (copies carry the revision
+  /// of the snapshot they were taken from; mutating a copy re-stamps it).
+  /// Caches keyed on the revision (feat::FeatureContext) can therefore
+  /// skip re-validating a netlist they have already seen.
+  std::uint64_t revision() const { return revision_; }
+
   /// Intern a node by raw name; returns kGroundNode for "0".
   NodeId intern_node(const std::string& raw_name);
 
@@ -77,9 +87,12 @@ class Netlist {
   PixelShape pixel_shape() const;
 
  private:
+  void touch();  // stamp a fresh process-unique revision
+
   std::vector<Element> elements_;
   std::vector<Node> nodes_;
   std::unordered_map<std::string, NodeId> node_index_;
+  std::uint64_t revision_ = 0;  // 0 = pristine empty netlist
 };
 
 }  // namespace lmmir::spice

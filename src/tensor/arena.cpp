@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace lmmir::tensor {
 
@@ -196,6 +197,70 @@ bool arena_enabled_from_env() {
   }();
   return enabled;
 }
+
+runtime::WorkerInit worker_arena_init(bool enabled) {
+  if (!enabled) return {};
+  return [](std::size_t) -> runtime::WorkerCleanup {
+    // Arena + scope live on the worker's own thread for its lifetime; the
+    // cleanup (run on the same thread right before exit) unwinds them.
+    auto* arena = new TensorArena();
+    auto* scope = new ArenaScope(arena);
+    return [arena, scope] {
+      delete scope;
+      delete arena;
+    };
+  };
+}
+
+runtime::WorkerInit WorkerArenas::init() {
+  return [this](std::size_t worker) -> runtime::WorkerCleanup {
+    TensorArena* arena;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (worker >= arenas_.size()) arenas_.resize(worker + 1);
+      if (arenas_[worker])
+        // A second pool is reusing this registry: replacing the slot
+        // would free an arena the first pool's worker still has
+        // installed.  Refuse; the hook failure is logged and this worker
+        // runs arena-less (see ThreadPool::worker_loop).
+        throw std::logic_error(
+            "WorkerArenas: registry already bound to another pool's "
+            "worker; use one WorkerArenas per ThreadPool");
+      arenas_[worker] = std::make_unique<TensorArena>();
+      arena = arenas_[worker].get();
+    }
+    auto* scope = new ArenaScope(arena);
+    return [scope] { delete scope; };  // the registry keeps the arena
+  };
+}
+
+TensorArena* WorkerArenas::arena(std::size_t worker) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return worker < arenas_.size() ? arenas_[worker].get() : nullptr;
+}
+
+namespace {
+// The runtime pool is layer-agnostic (runtime/ must not depend on
+// tensor/), so the arena layer — the owner of per-worker arenas —
+// registers the env-gated install hook as the pool's process default.
+// Runs at static-init time, before any global pool can exist (pools are
+// created lazily on first use inside main).
+//
+// Static-archive linkage note: this initializer only runs if this TU is
+// linked into the binary.  That is guaranteed for every binary that can
+// benefit: all tensor op outputs route through arena_buffer/make_node in
+// this TU, so a program using tensors always pulls it in — and a program
+// that never touches tensors has nothing for a worker arena to pool.
+[[maybe_unused]] const bool g_default_worker_init_registered = [] {
+  runtime::set_default_worker_init(
+      [](std::size_t worker) -> runtime::WorkerCleanup {
+        const runtime::WorkerInit init = worker_arena_init(
+            arena_enabled_from_env());
+        return init ? init(worker) : runtime::WorkerCleanup{};
+      });
+  return true;
+}();
+}  // namespace
 
 std::vector<float> arena_buffer(std::size_t n) {
   if (TensorArena* a = active_arena(); a && !grad_enabled())

@@ -54,9 +54,11 @@
 // deciding whether to create arenas at all).
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "runtime/thread_pool.hpp"
 #include "tensor/tensor.hpp"
 
 namespace lmmir::tensor {
@@ -173,6 +175,38 @@ TensorArena* active_arena();
 /// Process-wide default for creating arenas at all: LMMIR_TENSOR_ARENA
 /// unset or non-zero enables, "0" disables.  Read once.
 bool arena_enabled_from_env();
+
+/// Worker-init hook for runtime::ThreadPool that gives each pool worker
+/// its own TensorArena, installed as the worker's active arena for the
+/// worker's lifetime — so op-internal scratch drawn inside fanned-out
+/// kernel chunks (e.g. conv2d's im2col buffer) is pooled per worker
+/// instead of heap-allocated per chunk.  The arena layer registers the
+/// env-gated form of this hook as the pool's process default at startup
+/// (the pool itself knows nothing about tensors); pass
+/// `worker_arena_init(false)` — an empty hook — to force arenas off, or
+/// `worker_arena_init(true)` to force them on regardless of
+/// LMMIR_TENSOR_ARENA (A/B measurement runs).
+runtime::WorkerInit worker_arena_init(bool enabled);
+
+/// Observable variant for tests and telemetry: a registry that records
+/// each worker's arena.  One registry serves ONE pool: keep it alive for
+/// the pool's whole lifetime, do not reuse it for a second pool (the
+/// hook refuses rather than free an arena a live worker still holds),
+/// and read arenas only while the pool is quiescent (counters are
+/// written by the owning worker).
+class WorkerArenas {
+ public:
+  /// The init hook; creates one arena per worker and records it here.
+  /// Captures `this` — the registry must outlive the pool using the hook.
+  runtime::WorkerInit init();
+
+  /// Worker `i`'s arena, or nullptr (never spawned / index out of range).
+  TensorArena* arena(std::size_t worker) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<TensorArena>> arenas_;  // indexed by worker
+};
 
 /// Zero-filled float buffer for data destined to become a tensor: drawn
 /// from the active arena when the adoption conditions hold (arena

@@ -5,6 +5,7 @@
 
 #include "data/dataset.hpp"
 #include "features/contest_io.hpp"
+#include "features/maps.hpp"
 #include "gen/began.hpp"
 #include "pdn/circuit.hpp"
 #include "pdn/raster.hpp"
@@ -34,7 +35,7 @@ gen::GeneratorConfig tiny_case(std::uint64_t seed = 31) {
 
 TEST(Sample, ShapesAndMetadata) {
   const auto s = data::make_sample(tiny_case(), tiny_opts());
-  EXPECT_EQ(s.circuit.shape(), (tensor::Shape{6, 24, 24}));
+  EXPECT_EQ(s.circuit.shape(), (tensor::Shape{feat::kChannelCount, 24, 24}));
   EXPECT_EQ(s.tokens.shape(), (tensor::Shape{16, pc::kTokenFeatureDim}));
   EXPECT_EQ(s.target.shape(), (tensor::Shape{1, 24, 24}));
   EXPECT_GT(s.vdd, 0.0);

@@ -1,0 +1,466 @@
+// FeatureContext: the single-pass, incrementally-refreshed extraction
+// pipeline.  Pins the refactor bitwise (golden per-channel checksums on a
+// fixed generated netlist), and covers the reuse contract: cold == warm,
+// dirty-channel invalidation on topology/value edits, the revision fast
+// path, thread-count independence, and the classification edge cases
+// (off-grid / free-form nodes, zero-length segments, source-free
+// netlists).
+//
+// To regenerate the golden checksums after an INTENDED feature change:
+//   LMMIR_PRINT_GOLDEN=1 ./lmmir_tests --gtest_filter='FeatureGolden*'
+// and paste the emitted table below (document why in the commit).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "data/sample.hpp"
+#include "features/feature_context.hpp"
+#include "features/maps.hpp"
+#include "gen/began.hpp"
+#include "runtime/thread_pool.hpp"
+#include "spice/parser.hpp"
+
+namespace {
+
+using namespace lmmir;
+
+spice::Netlist tiny_netlist() {
+  return spice::parse_netlist_string(
+      "V1 n1_m2_4000_4000 0 1.1\n"
+      "R1 n1_m2_4000_4000 n1_m1_0_0 1.0\n"
+      "R2 n1_m1_0_0 n1_m1_4000_0 2.0\n"
+      "I1 n1_m1_0_0 0 0.05\n"
+      "I2 n1_m1_4000_0 0 0.02\n");
+}
+
+spice::Netlist golden_netlist() {
+  gen::GeneratorConfig cfg;
+  cfg.name = "feature_golden";
+  cfg.width_um = 56;
+  cfg.height_um = 44;
+  cfg.seed = 90210;
+  cfg.use_default_stack();
+  return gen::generate_pdn(cfg);
+}
+
+/// FNV-1a over the float bit patterns: any single-bit drift in any pixel
+/// changes the checksum.
+std::uint64_t channel_checksum(const grid::Grid2D& g) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v, int bytes) {
+    for (int b = 0; b < bytes; ++b) {
+      h ^= (v >> (8 * b)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(g.rows(), 8);
+  mix(g.cols(), 8);
+  for (float f : g.data()) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    mix(bits, 4);
+  }
+  return h;
+}
+
+void scale_current_sources(spice::Netlist& nl, double factor) {
+  const auto& els = nl.elements();
+  for (std::size_t i = 0; i < els.size(); ++i)
+    if (els[i].type == spice::ElementType::CurrentSource)
+      nl.set_element_value(i, els[i].value * factor);
+}
+
+void expect_maps_bitwise(const feat::FeatureMaps& a, const feat::FeatureMaps& b,
+                         const char* what) {
+  for (int c = 0; c < feat::kChannelCount; ++c) {
+    const auto& ga = a.channel(c);
+    const auto& gb = b.channel(c);
+    ASSERT_EQ(ga.rows(), gb.rows()) << what << " " << feat::channel_name(c);
+    ASSERT_EQ(ga.cols(), gb.cols()) << what << " " << feat::channel_name(c);
+    for (std::size_t i = 0; i < ga.data().size(); ++i)
+      ASSERT_EQ(ga.data()[i], gb.data()[i])
+          << what << " " << feat::channel_name(c) << " pixel " << i;
+  }
+}
+
+// ---- golden checksums: the refactor pinned bitwise --------------------
+
+// Generated with LMMIR_PRINT_GOLDEN=1 (fixed netlist above; libstdc++
+// distributions; single-threaded reference equals any thread count).
+const std::uint64_t kGoldenChecksums[feat::kChannelCount] = {
+    0xca36d8ff38b6b6deull,  // current
+    0x404dffddd3c21400ull,  // effective_distance
+    0xc54b8c19f4665be2ull,  // pdn_density
+    0x32414217dc11a679ull,  // voltage_source
+    0xca36d8ff38b6b6deull,  // current_source (== current by construction)
+    0x4d7f4e72c9c8b52cull,  // resistance
+};
+
+TEST(FeatureGolden, ChannelChecksumsMatchCheckedInValues) {
+  runtime::set_global_threads(1);
+  const auto nl = golden_netlist();
+  const auto maps = feat::compute_feature_maps(nl);
+  const bool print = std::getenv("LMMIR_PRINT_GOLDEN") != nullptr;
+  for (int c = 0; c < feat::kChannelCount; ++c) {
+    const std::uint64_t sum = channel_checksum(maps.channel(c));
+    if (print)
+      std::printf("    0x%016llxull,  // %s\n",
+                  static_cast<unsigned long long>(sum), feat::channel_name(c));
+    else
+      EXPECT_EQ(sum, kGoldenChecksums[c]) << feat::channel_name(c);
+  }
+}
+
+TEST(FeatureGolden, FreeFunctionsAgreeWithBatchExtractor) {
+  runtime::set_global_threads(1);
+  const auto nl = golden_netlist();
+  const auto maps = feat::compute_feature_maps(nl);
+  expect_maps_bitwise(
+      {feat::current_map(nl), feat::effective_distance_map(nl),
+       feat::pdn_density_map(nl), feat::voltage_source_map(nl),
+       feat::current_source_map(nl), feat::resistance_map(nl)},
+      maps, "free-vs-batch");
+}
+
+// ---- classification ---------------------------------------------------
+
+TEST(ClassifyNetlist, BinsElementsWithSharedPixelCache) {
+  const auto nl = tiny_netlist();
+  const auto cls = feat::classify_netlist(nl);
+  EXPECT_EQ(cls.rows, 5u);
+  EXPECT_EQ(cls.cols, 5u);
+  EXPECT_EQ(cls.revision, nl.revision());
+  ASSERT_EQ(cls.current_sources.size(), 2u);
+  ASSERT_EQ(cls.voltage_sources.size(), 1u);
+  ASSERT_EQ(cls.resistors.size(), 2u);
+  EXPECT_EQ(cls.voltage_sources[0].r, 4u);
+  EXPECT_EQ(cls.voltage_sources[0].c, 4u);
+  EXPECT_FLOAT_EQ(cls.voltage_sources[0].value, 1.1f);
+  EXPECT_FLOAT_EQ(cls.current_sources[0].value, 0.05f);
+  EXPECT_FLOAT_EQ(cls.current_sources[1].value, 0.02f);
+}
+
+TEST(ClassifyNetlist, DropsFreeFormAndGroundEndpoints) {
+  // "widget" never parses to a coordinate: the resistor touching it and
+  // the current source tapping it cannot land on any pixel.
+  const auto nl = spice::parse_netlist_string(
+      "V1 n1_m1_1000_1000 0 1.0\n"
+      "R1 n1_m1_1000_1000 widget 1.0\n"
+      "R2 n1_m1_1000_1000 n1_m1_0_0 1.0\n"
+      "I1 widget 0 0.5\n");
+  const auto cls = feat::classify_netlist(nl);
+  EXPECT_EQ(cls.resistors.size(), 1u);         // R1 dropped
+  EXPECT_TRUE(cls.current_sources.empty());    // I1 dropped
+  const auto maps = feat::compute_feature_maps(nl);
+  EXPECT_FLOAT_EQ(maps.current.sum(), 0.0f);
+  EXPECT_GT(maps.resistance.sum(), 0.0f);
+}
+
+TEST(ClassifyNetlist, ThrowsWithoutLocatedNodes) {
+  const auto nl = spice::parse_netlist_string("R1 a b 1.0\n");
+  EXPECT_THROW(feat::classify_netlist(nl), std::runtime_error);
+  EXPECT_THROW(feat::compute_feature_maps(nl), std::runtime_error);
+  feat::FeatureContext ctx;
+  EXPECT_THROW(ctx.extract(nl), std::runtime_error);
+}
+
+TEST(ClassifyNetlist, ZeroLengthSegmentCountsOnce) {
+  // A via: both endpoints in the same pixel (different layers).
+  const auto nl = spice::parse_netlist_string(
+      "V1 n1_m2_2000_2000 0 1.0\n"
+      "R1 n1_m2_2000_2000 n1_m1_2000_2000 3.0\n");
+  const auto maps = feat::compute_feature_maps(nl);
+  EXPECT_FLOAT_EQ(maps.resistance.at(2, 2), 3.0f);  // full ohms, one pixel
+  EXPECT_FLOAT_EQ(maps.resistance.sum(), 3.0f);
+}
+
+TEST(ClassifyNetlist, SourceFreeNetlistHasZeroEffectiveDistance) {
+  const auto nl = spice::parse_netlist_string(
+      "R1 n1_m1_0_0 n1_m1_3000_0 1.0\n"
+      "I1 n1_m1_3000_0 0 0.01\n");
+  const auto maps = feat::compute_feature_maps(nl);
+  EXPECT_FLOAT_EQ(maps.effective_distance.sum(), 0.0f);
+  EXPECT_FLOAT_EQ(maps.voltage_source.sum(), 0.0f);
+  EXPECT_GT(maps.current.sum(), 0.0f);
+}
+
+TEST(ClassifyNetlist, RasterizeRejectsBadChannel) {
+  const auto cls = feat::classify_netlist(tiny_netlist());
+  EXPECT_THROW(feat::rasterize_channel(cls, feat::kChannelCount),
+               std::out_of_range);
+  EXPECT_THROW(feat::rasterize_channel(cls, -1), std::out_of_range);
+  EXPECT_THROW(feat::channel_inputs_equal(cls, cls, feat::kChannelCount),
+               std::out_of_range);
+}
+
+TEST(ChannelName, CanonicalNamesAndBounds) {
+  EXPECT_STREQ(feat::channel_name(feat::kChannelCurrent), "current");
+  EXPECT_STREQ(feat::channel_name(feat::kChannelEffectiveDistance),
+               "effective_distance");
+  EXPECT_STREQ(feat::channel_name(feat::kChannelPdnDensity), "pdn_density");
+  EXPECT_STREQ(feat::channel_name(feat::kChannelVoltageSource),
+               "voltage_source");
+  EXPECT_STREQ(feat::channel_name(feat::kChannelCurrentSource),
+               "current_source");
+  EXPECT_STREQ(feat::channel_name(feat::kChannelResistance), "resistance");
+  EXPECT_THROW(feat::channel_name(feat::kChannelCount), std::out_of_range);
+  EXPECT_THROW(feat::channel_name(-1), std::out_of_range);
+}
+
+// ---- the reuse contract -----------------------------------------------
+
+TEST(FeatureContext, RevisionFastPathOnUnchangedNetlist) {
+  const auto nl = golden_netlist();
+  feat::FeatureContext ctx;
+  const feat::FeatureMaps cold = ctx.extract(nl);  // copy
+  const feat::FeatureMaps& warm = ctx.extract(nl);
+  expect_maps_bitwise(cold, warm, "revision-hit");
+  EXPECT_EQ(ctx.stats().extractions, 2u);
+  EXPECT_EQ(ctx.stats().revision_hits, 1u);
+  EXPECT_EQ(ctx.stats().classify_passes, 1u);
+  EXPECT_EQ(ctx.stats().channels_computed,
+            static_cast<std::size_t>(feat::kChannelCount));
+
+  // A copy carries the revision of the snapshot it was taken from: the
+  // fast path holds across distinct objects with identical content.
+  const spice::Netlist copy = nl;
+  ctx.extract(copy);
+  EXPECT_EQ(ctx.stats().revision_hits, 2u);
+}
+
+TEST(FeatureContext, LoadSweepReusesTopologyInvariantChannels) {
+  spice::Netlist nl = golden_netlist();
+  feat::FeatureContext ctx;
+  ctx.extract(nl);
+  for (int round = 0; round < 3; ++round) {
+    scale_current_sources(nl, 1.1);
+    const feat::FeatureMaps cold = feat::compute_feature_maps(nl);
+    const feat::FeatureMaps& warm = ctx.extract(nl);
+    expect_maps_bitwise(cold, warm, "load-sweep");
+  }
+  // Per warm round: current + current_source recomputed, the four
+  // topology-invariant channels reused.
+  EXPECT_EQ(ctx.stats().channels_computed,
+            static_cast<std::size_t>(feat::kChannelCount) + 3u * 2u);
+  EXPECT_EQ(ctx.stats().channels_reused, 3u * 4u);
+  EXPECT_EQ(ctx.stats().revision_hits, 0u);
+}
+
+TEST(FeatureContext, VsourceValueEditKeepsEffectiveDistance) {
+  spice::Netlist nl = golden_netlist();
+  feat::FeatureContext ctx;
+  ctx.extract(nl);
+  const auto& els = nl.elements();
+  for (std::size_t i = 0; i < els.size(); ++i)
+    if (els[i].type == spice::ElementType::VoltageSource)
+      nl.set_element_value(i, els[i].value * 0.95);
+  const std::size_t computed_before = ctx.stats().channels_computed;
+  const feat::FeatureMaps cold = feat::compute_feature_maps(nl);
+  const feat::FeatureMaps& warm = ctx.extract(nl);
+  expect_maps_bitwise(cold, warm, "vdd-edit");
+  // Only voltage_source is value-sensitive to the edit; effective_distance
+  // depends on pin POSITIONS alone and must have been reused.
+  EXPECT_EQ(ctx.stats().channels_computed - computed_before, 1u);
+  EXPECT_EQ(ctx.stats().channels_reused,
+            static_cast<std::size_t>(feat::kChannelCount) - 1u);
+}
+
+TEST(FeatureContext, ResistorValueEditKeepsPdnDensity) {
+  spice::Netlist nl = golden_netlist();
+  feat::FeatureContext ctx;
+  ctx.extract(nl);
+  const auto& els = nl.elements();
+  for (std::size_t i = 0; i < els.size(); ++i)
+    if (els[i].type == spice::ElementType::Resistor) {
+      nl.set_element_value(i, els[i].value * 1.5);  // wire upsizing sweep
+      break;
+    }
+  const std::size_t computed_before = ctx.stats().channels_computed;
+  const feat::FeatureMaps cold = feat::compute_feature_maps(nl);
+  const feat::FeatureMaps& warm = ctx.extract(nl);
+  expect_maps_bitwise(cold, warm, "eco-edit");
+  // resistance recomputes; pdn_density (position-only) is reused.
+  EXPECT_EQ(ctx.stats().channels_computed - computed_before, 1u);
+}
+
+TEST(FeatureContext, TopologyEditInvalidatesDependentChannels) {
+  spice::Netlist nl = golden_netlist();
+  feat::FeatureContext ctx;
+  ctx.extract(nl);
+  // New resistor: pdn_density + resistance dirty, everything else clean.
+  const auto a = nl.intern_node("n1_m1_1000_1000");
+  const auto b = nl.intern_node("n1_m1_5000_1000");
+  nl.add_resistor("999", a, b, 0.7);
+  const std::size_t computed_before = ctx.stats().channels_computed;
+  const feat::FeatureMaps cold = feat::compute_feature_maps(nl);
+  const feat::FeatureMaps& warm = ctx.extract(nl);
+  expect_maps_bitwise(cold, warm, "topology-edit");
+  EXPECT_EQ(ctx.stats().channels_computed - computed_before, 2u);
+
+  // New current source on an existing node: both current channels dirty.
+  const std::size_t computed_mid = ctx.stats().channels_computed;
+  nl.add_current_source("998", a, spice::kGroundNode, 0.004);
+  const feat::FeatureMaps cold2 = feat::compute_feature_maps(nl);
+  const feat::FeatureMaps& warm2 = ctx.extract(nl);
+  expect_maps_bitwise(cold2, warm2, "isource-add");
+  EXPECT_EQ(ctx.stats().channels_computed - computed_mid, 2u);
+}
+
+TEST(FeatureContext, InvalidateForcesFullRecompute) {
+  const auto nl = golden_netlist();
+  feat::FeatureContext ctx;
+  const feat::FeatureMaps cold = ctx.extract(nl);
+  ctx.invalidate();
+  const feat::FeatureMaps& again = ctx.extract(nl);
+  expect_maps_bitwise(cold, again, "post-invalidate");
+  EXPECT_EQ(ctx.stats().channels_computed,
+            2u * static_cast<std::size_t>(feat::kChannelCount));
+  EXPECT_EQ(ctx.stats().revision_hits, 0u);
+}
+
+TEST(FeatureContext, DistinctTopologiesAlternatingNeverReuseStaleMaps) {
+  const auto a = tiny_netlist();
+  gen::GeneratorConfig cfg;
+  cfg.name = "alt";
+  cfg.width_um = 24;
+  cfg.height_um = 24;
+  cfg.seed = 7;
+  cfg.use_default_stack();
+  const auto b = gen::generate_pdn(cfg);
+  feat::FeatureContext ctx;
+  for (int i = 0; i < 2; ++i) {
+    expect_maps_bitwise(feat::compute_feature_maps(a), ctx.extract(a), "alt-a");
+    expect_maps_bitwise(feat::compute_feature_maps(b), ctx.extract(b), "alt-b");
+  }
+}
+
+// ---- determinism across thread counts ---------------------------------
+
+TEST(FeatureContext, ThreadCountIndependentBitwise) {
+  spice::Netlist nl = golden_netlist();
+  runtime::set_global_threads(1);
+  feat::FeatureContext serial_ctx;
+  const feat::FeatureMaps serial_cold = serial_ctx.extract(nl);
+  spice::Netlist nl_warm = nl;
+  scale_current_sources(nl_warm, 1.2);
+  const feat::FeatureMaps serial_warm = serial_ctx.extract(nl_warm);
+
+  runtime::set_global_threads(4);
+  feat::FeatureContext pool_ctx;
+  const feat::FeatureMaps pool_cold = pool_ctx.extract(nl);
+  const feat::FeatureMaps& pool_warm = pool_ctx.extract(nl_warm);
+  expect_maps_bitwise(serial_cold, pool_cold, "1-vs-4-threads cold");
+  expect_maps_bitwise(serial_warm, pool_warm, "1-vs-4-threads warm");
+  runtime::set_global_threads(1);
+}
+
+TEST(FeatureContext, ExtractionWorksFromInsidePoolWorkers) {
+  runtime::set_global_threads(4);
+  const auto nl = golden_netlist();
+  const feat::FeatureMaps outside = feat::compute_feature_maps(nl);
+  runtime::ThreadPool* pool = runtime::global_pool();
+  ASSERT_NE(pool, nullptr);
+  auto fut = pool->submit([&] {
+    // Inside a worker the per-channel fan-out degrades to inline serial
+    // execution — same bits.
+    expect_maps_bitwise(outside, feat::compute_feature_maps(nl), "in-worker");
+  });
+  fut.get();
+  runtime::set_global_threads(1);
+}
+
+// ---- batch extraction -------------------------------------------------
+
+TEST(FeatureBatch, MatchesPerNetlistExtractionAnyThreadCountAndStripes) {
+  std::vector<spice::Netlist> nls;
+  for (int i = 0; i < 5; ++i) {
+    gen::GeneratorConfig cfg;
+    cfg.name = "batch" + std::to_string(i);
+    cfg.width_um = 24 + 4 * i;
+    cfg.height_um = 24;
+    cfg.seed = 100 + static_cast<std::uint64_t>(i);
+    cfg.use_default_stack();
+    nls.push_back(gen::generate_pdn(cfg));
+  }
+  std::vector<const spice::Netlist*> ptrs;
+  for (const auto& nl : nls) ptrs.push_back(&nl);
+
+  runtime::set_global_threads(1);
+  feat::FeatureContextStats serial_stats;
+  const auto serial = feat::compute_feature_maps_batch(ptrs, 3, &serial_stats);
+  ASSERT_EQ(serial.size(), nls.size());
+  for (std::size_t i = 0; i < nls.size(); ++i)
+    expect_maps_bitwise(feat::compute_feature_maps(nls[i]), serial[i],
+                        "batch-vs-single");
+
+  runtime::set_global_threads(4);
+  feat::FeatureContextStats pool_stats;
+  const auto pooled = feat::compute_feature_maps_batch(ptrs, 3, &pool_stats);
+  for (std::size_t i = 0; i < nls.size(); ++i)
+    expect_maps_bitwise(serial[i], pooled[i], "batch-1-vs-4-threads");
+  EXPECT_EQ(serial_stats.extractions, pool_stats.extractions);
+  EXPECT_EQ(serial_stats.channels_computed, pool_stats.channels_computed);
+  EXPECT_EQ(serial_stats.channels_reused, pool_stats.channels_reused);
+  runtime::set_global_threads(1);
+}
+
+TEST(FeatureBatch, EmptyAndDegenerateStripes) {
+  EXPECT_TRUE(feat::compute_feature_maps_batch({}, 8).empty());
+  const auto nl = tiny_netlist();
+  const auto one = feat::compute_feature_maps_batch({&nl}, 0);
+  ASSERT_EQ(one.size(), 1u);
+  expect_maps_bitwise(feat::compute_feature_maps(nl), one[0], "one-case");
+}
+
+TEST(FeatureBatch, SameTopologyNeighborsHitReusePath) {
+  // One stripe, a sweep of copies differing only in load: the stripe's
+  // context must reuse the four topology-invariant channels per neighbor.
+  std::vector<spice::Netlist> sweep;
+  sweep.push_back(golden_netlist());
+  for (int i = 0; i < 3; ++i) {
+    sweep.push_back(sweep.back());
+    scale_current_sources(sweep.back(), 1.05);
+  }
+  std::vector<const spice::Netlist*> ptrs;
+  for (const auto& nl : sweep) ptrs.push_back(&nl);
+  feat::FeatureContextStats stats;
+  const auto maps = feat::compute_feature_maps_batch(ptrs, 1, &stats);
+  ASSERT_EQ(maps.size(), 4u);
+  EXPECT_EQ(stats.channels_reused, 3u * 4u);
+  for (std::size_t i = 0; i < sweep.size(); ++i)
+    expect_maps_bitwise(feat::compute_feature_maps(sweep[i]), maps[i],
+                        "sweep-batch");
+}
+
+// ---- integration: samples through a shared context --------------------
+
+TEST(FeatureContext, SharedContextSamplesMatchColdSamples) {
+  gen::GeneratorConfig cfg;
+  cfg.name = "sample_ctx";
+  cfg.width_um = 28;
+  cfg.height_um = 28;
+  cfg.seed = 5150;
+  cfg.use_default_stack();
+  const auto nl = gen::generate_pdn(cfg);
+  spice::Netlist swept = nl;
+  scale_current_sources(swept, 1.25);
+
+  data::SampleOptions opts;
+  opts.input_side = 24;
+  opts.pc_grid = 4;
+  const data::Sample cold_a = data::make_sample(nl, "a", opts);
+  const data::Sample cold_b = data::make_sample(swept, "b", opts);
+
+  feat::FeatureContext ctx;
+  opts.feature_context = &ctx;
+  const data::Sample warm_a = data::make_sample(nl, "a", opts);
+  const data::Sample warm_b = data::make_sample(swept, "b", opts);
+  EXPECT_EQ(cold_a.circuit.data(), warm_a.circuit.data());
+  EXPECT_EQ(cold_b.circuit.data(), warm_b.circuit.data());
+  EXPECT_EQ(ctx.stats().channels_reused, 4u);  // the b extraction reused
+}
+
+}  // namespace

@@ -86,7 +86,7 @@ TEST(Maps, AllSixChannelsShareShape) {
     EXPECT_EQ(maps.channel(c).rows(), 5u) << c;
     EXPECT_EQ(maps.channel(c).cols(), 5u) << c;
   }
-  EXPECT_THROW(maps.channel(6), std::out_of_range);
+  EXPECT_THROW(maps.channel(feat::kChannelCount), std::out_of_range);
 }
 
 TEST(Spatial, PadsWhenSmaller) {

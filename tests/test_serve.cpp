@@ -9,6 +9,7 @@
 
 #include "core/pipeline.hpp"
 #include "data/dataset.hpp"
+#include "features/maps.hpp"
 #include "models/registry.hpp"
 #include "pointcloud/pool.hpp"
 #include "runtime/thread_pool.hpp"
@@ -27,7 +28,7 @@ constexpr int kTokens = 9;
 serve::PredictRequest make_request(util::Rng& rng, const std::string& id) {
   serve::PredictRequest r;
   r.id = id;
-  r.circuit = Tensor::randn({6, kSide, kSide}, rng, 0.5f);
+  r.circuit = Tensor::randn({feat::kChannelCount, kSide, kSide}, rng, 0.5f);
   r.tokens = Tensor::randn({kTokens, pc::kTokenFeatureDim}, rng, 0.5f);
   return r;
 }
@@ -121,7 +122,8 @@ TEST(Serve, MixedShapesAreServedInSeparateBatches) {
   serve::PredictRequest small = make_request(rng, "small");
   serve::PredictRequest big;
   big.id = "big";
-  big.circuit = Tensor::randn({6, 2 * kSide, 2 * kSide}, rng, 0.5f);
+  big.circuit =
+      Tensor::randn({feat::kChannelCount, 2 * kSide, 2 * kSide}, rng, 0.5f);
   big.tokens = Tensor::randn({kTokens, pc::kTokenFeatureDim}, rng, 0.5f);
 
   auto f1 = server.submit(small);

@@ -43,7 +43,7 @@ TEST(NoGradGuard, NestingRestoresCorrectly) {
 }
 
 TEST(NoGradGuard, ThreadLocalAcrossPoolWorkers) {
-  runtime::ThreadPool pool(2, /*worker_arenas=*/false);
+  runtime::ThreadPool pool(2, runtime::WorkerInit{});
   tensor::NoGradGuard no_grad;  // disables grad on THIS thread only
   ASSERT_FALSE(tensor::grad_enabled());
 
@@ -71,13 +71,19 @@ TEST(NoGradGuard, OpsRecordNoTapeUnderGuard) {
 }
 
 // ---- per-worker arenas on the runtime pool ----------------------------
+// Arena installation rides the generic worker-init hook (the pool itself
+// knows nothing about tensors); tensor::WorkerArenas is the observable
+// registry form of the hook.
 
 TEST(WorkerArena, InstalledPerWorkerAndDistinct) {
-  runtime::ThreadPool pool(2, /*worker_arenas=*/true);
-  ASSERT_NE(pool.worker_arena(0), nullptr);
-  ASSERT_NE(pool.worker_arena(1), nullptr);
-  EXPECT_NE(pool.worker_arena(0), pool.worker_arena(1));
-  EXPECT_EQ(pool.worker_arena(2), nullptr);  // out of range
+  tensor::WorkerArenas arenas;
+  runtime::ThreadPool pool(2, arenas.init());
+  // The pool constructor waits for every worker's init: the registry is
+  // fully populated here.
+  ASSERT_NE(arenas.arena(0), nullptr);
+  ASSERT_NE(arenas.arena(1), nullptr);
+  EXPECT_NE(arenas.arena(0), arenas.arena(1));
+  EXPECT_EQ(arenas.arena(2), nullptr);  // out of range
 
   // Jobs observe their executing worker's arena as the active one, and
   // the caller's thread is unaffected.
@@ -92,15 +98,44 @@ TEST(WorkerArena, InstalledPerWorkerAndDistinct) {
     fut.get();
   }
   for (tensor::TensorArena* a : seen)
-    EXPECT_TRUE(a == pool.worker_arena(0) || a == pool.worker_arena(1));
+    EXPECT_TRUE(a == arenas.arena(0) || a == arenas.arena(1));
   EXPECT_EQ(tensor::active_arena(), nullptr);
 }
 
 TEST(WorkerArena, DisabledPoolInstallsNone) {
-  runtime::ThreadPool pool(1, /*worker_arenas=*/false);
-  EXPECT_EQ(pool.worker_arena(0), nullptr);
+  runtime::ThreadPool pool(1, runtime::WorkerInit{});
   auto fut = pool.submit([] { EXPECT_EQ(tensor::active_arena(), nullptr); });
   fut.get();
+}
+
+TEST(WorkerArena, RegistryRefusesSecondPool) {
+  // Reusing one registry for a second pool must not free arenas a live
+  // worker still holds: the hook refuses, the second pool's workers run
+  // arena-less, and the first pool's arenas stay valid.
+  tensor::WorkerArenas arenas;
+  runtime::ThreadPool first(2, arenas.init());
+  tensor::TensorArena* a0 = arenas.arena(0);
+  ASSERT_NE(a0, nullptr);
+
+  runtime::ThreadPool second(2, arenas.init());  // init throws, logged
+  auto fut = second.submit([] { EXPECT_EQ(tensor::active_arena(), nullptr); });
+  fut.get();
+  EXPECT_EQ(arenas.arena(0), a0);  // untouched
+  auto fut2 = first.submit([] { EXPECT_NE(tensor::active_arena(), nullptr); });
+  fut2.get();
+}
+
+TEST(WorkerArena, SelfOwnedInitInstallsAndUninstalls) {
+  // The env-independent forced form used by A/B benches: arenas exist
+  // only on the workers, owned by the hook's closures.
+  runtime::ThreadPool pool(2, tensor::worker_arena_init(true));
+  auto fut = pool.submit([] { EXPECT_NE(tensor::active_arena(), nullptr); });
+  fut.get();
+  EXPECT_EQ(tensor::active_arena(), nullptr);  // caller unaffected
+
+  runtime::ThreadPool off(2, tensor::worker_arena_init(false));
+  auto fut2 = off.submit([] { EXPECT_EQ(tensor::active_arena(), nullptr); });
+  fut2.get();
 }
 
 // ---- adoption rules ---------------------------------------------------
