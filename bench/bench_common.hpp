@@ -20,7 +20,16 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace lmmir::benchio {
+
+/// One-line JSON snapshot of the process metrics registry, for embedding
+/// as a "metrics" field in a bench record (benches call
+/// obs::set_metrics_enabled(true) up front so the snapshot is populated).
+inline std::string metrics_snapshot() {
+  return obs::MetricsRegistry::instance().render_json();
+}
 
 /// Integer knob from the environment (malformed values fall back).
 inline long env_long(const char* name, long fallback) {

@@ -134,6 +134,9 @@ int main() {
   const int rounds =
       static_cast<int>(std::max(1L, benchio::env_long("LMMIR_BENCH_ROUNDS", 4)));
   const std::vector<std::size_t> thread_cfgs = benchio::env_thread_list();
+  // Populate the registry snapshot embedded in the record (recording never
+  // feeds back into extraction; bitwise gates below are unaffected).
+  obs::set_metrics_enabled(true);
   std::size_t t_min = thread_cfgs.front(), t_max = thread_cfgs.front();
   for (std::size_t t : thread_cfgs) {
     t_min = std::min(t_min, t);
@@ -224,8 +227,9 @@ int main() {
              threads_identical ? "true" : "false");
   rec.printf("  \"warm_skips_at_least_4_of_6\": %s,\n",
              warm_reuses ? "true" : "false");
-  rec.printf("  \"warm_faster_than_cold\": %s\n",
+  rec.printf("  \"warm_faster_than_cold\": %s,\n",
              warm_faster ? "true" : "false");
+  rec.printf("  \"metrics\": %s\n", benchio::metrics_snapshot().c_str());
   rec.printf("}\n");
   std::fputs(rec.text().c_str(), stdout);
   benchio::append_history("feature_pipeline", rec.text());

@@ -1,0 +1,261 @@
+// Observability overhead + non-interference gates.
+//
+// The obs layer's contract (docs/OBSERVABILITY.md) is that instrumentation
+// never changes results and costs ~nothing when disabled.  This bench
+// drives the full stack — sample featurization + golden solve + dynamic-
+// batching serve — through identical workloads with metrics/tracing off
+// and on and exits non-zero unless:
+//   * the metrics-OFF run is bitwise identical across the min and max
+//     runtime thread counts (the baseline determinism contract);
+//   * metrics ON reproduces the OFF checksum bitwise at both thread
+//     counts, and tracing ON does too;
+//   * the trace file written by the traced run is well-formed (Chrome
+//     trace JSON with the expected span names);
+//   * a disabled instrument write costs below a lenient per-op threshold
+//     (one relaxed load + branch), and the metrics-on wall clock stays
+//     within a lenient ratio of metrics-off.
+//
+// Knobs (environment):
+//   LMMIR_BENCH_THREADS              pool sizes          (default "1,8")
+//   LMMIR_BENCH_CASES                generated cases     (default 2)
+//   LMMIR_BENCH_ROUNDS               workload rounds     (default 2)
+//   LMMIR_BENCH_SIDE                 model input side    (default 24)
+//   LMMIR_BENCH_OBS_MAX_DISABLED_NS  disabled add() gate (default 15.0)
+//   LMMIR_BENCH_OBS_MAX_RATIO        on/off seconds gate (default 1.5)
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "data/sample.hpp"
+#include "gen/suite.hpp"
+#include "models/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/server.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace lmmir;
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_floats(std::uint64_t& h, const std::vector<float>& v) {
+  if (!v.empty()) fnv_bytes(h, v.data(), v.size() * sizeof(float));
+}
+
+struct PhaseResult {
+  double seconds = 0.0;
+  std::uint64_t checksum = kFnvOffset;
+};
+
+/// One full-stack workload: featurize + golden-solve every case from
+/// scratch (features/ + sparse/ + pdn/), then serve the samples through a
+/// dynamic-batching InferenceServer (serve/ + tensor/ + runtime/).  The
+/// checksum folds the featurized inputs and every prediction bitwise.
+PhaseResult run_phase(const std::vector<gen::GeneratorConfig>& configs,
+                      const data::SampleOptions& sopts,
+                      const std::shared_ptr<models::IrModel>& model,
+                      std::size_t threads, int rounds) {
+  runtime::set_global_threads(threads);
+  PhaseResult res;
+  util::Stopwatch watch;
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<data::Sample> samples;
+    samples.reserve(configs.size());
+    for (const auto& cfg : configs)
+      samples.push_back(data::make_sample(cfg, sopts));
+
+    serve::ServeOptions opts;
+    opts.max_batch = 4;
+    opts.max_wait_us = 500;
+    serve::InferenceServer server(model, opts);
+    std::vector<std::future<serve::PredictResult>> futs;
+    futs.reserve(samples.size());
+    for (const auto& s : samples) {
+      auto req = serve::request_from_sample(s);
+      fnv_floats(res.checksum, req.circuit.data());
+      futs.push_back(server.submit(std::move(req)));
+    }
+    for (auto& f : futs) fnv_floats(res.checksum, f.get().map.data());
+  }
+  res.seconds = watch.seconds();
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  const int cases = static_cast<int>(
+      std::max(1L, benchio::env_long("LMMIR_BENCH_CASES", 2)));
+  const int rounds = static_cast<int>(
+      std::max(1L, benchio::env_long("LMMIR_BENCH_ROUNDS", 2)));
+  const std::size_t side =
+      static_cast<std::size_t>(benchio::env_long("LMMIR_BENCH_SIDE", 24));
+  const double max_disabled_ns =
+      benchio::env_double("LMMIR_BENCH_OBS_MAX_DISABLED_NS", 15.0);
+  const double max_ratio =
+      benchio::env_double("LMMIR_BENCH_OBS_MAX_RATIO", 1.5);
+  const std::vector<std::size_t> thread_cfgs = benchio::env_thread_list();
+  std::size_t t_min = thread_cfgs.front(), t_max = thread_cfgs.front();
+  for (std::size_t t : thread_cfgs) {
+    t_min = std::min(t_min, t);
+    t_max = std::max(t_max, t);
+  }
+
+  data::SampleOptions sopts;
+  sopts.input_side = side;
+  sopts.pc_grid = 4;
+  gen::SuiteOptions suite_opts;
+  suite_opts.scale = 0.05;
+  const auto configs = gen::fake_training_suite(cases, 2727, suite_opts);
+  const auto model =
+      std::shared_ptr<models::IrModel>(models::make_model("LMM-IR", 99));
+
+  // ---- metrics OFF baselines (overrides any LMMIR_METRICS in the env) --
+  obs::set_metrics_enabled(false);
+  obs::set_trace_enabled(false);
+  const PhaseResult off_min = run_phase(configs, sopts, model, t_min, rounds);
+  const PhaseResult off_max = run_phase(configs, sopts, model, t_max, rounds);
+  const bool off_threads_identical = off_min.checksum == off_max.checksum;
+
+  // ---- metrics ON: must reproduce the OFF checksums bitwise -----------
+  obs::set_metrics_enabled(true);
+  const PhaseResult on_min = run_phase(configs, sopts, model, t_min, rounds);
+  const PhaseResult on_max = run_phase(configs, sopts, model, t_max, rounds);
+  const bool on_equals_off = on_min.checksum == off_min.checksum &&
+                             on_max.checksum == off_max.checksum;
+
+  // ---- tracing ON on top of metrics: checksum still unchanged ---------
+  obs::clear_trace();
+  obs::set_trace_enabled(true);
+  const PhaseResult traced =
+      run_phase(configs, sopts, model, t_min, rounds);
+  obs::set_trace_enabled(false);
+  const bool trace_equals_off = traced.checksum == off_min.checksum;
+
+  const std::string trace_path = "bench_obs_trace.json";
+  obs::write_trace(trace_path);
+  std::string trace_text;
+  {
+    std::ifstream in(trace_path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    trace_text = ss.str();
+  }
+  const bool trace_well_formed =
+      !trace_text.empty() && trace_text.front() == '{' &&
+      trace_text.find("\"traceEvents\"") != std::string::npos &&
+      trace_text.find("serve.batch") != std::string::npos &&
+      trace_text.find("serve.request") != std::string::npos &&
+      trace_text.find("cg.solve") != std::string::npos &&
+      trace_text.rfind('}') != std::string::npos;
+  obs::clear_trace();
+
+  // ---- disabled-mode microbench ---------------------------------------
+  // A disabled write is one relaxed atomic load + branch; gate on a
+  // lenient per-op budget so a pessimization (e.g. a lock sneaking into
+  // the fast path) fails loudly without CI-noise flakes.
+  obs::set_metrics_enabled(false);
+  obs::Counter& probe = obs::counter("lmmir_bench_disabled_probe_total");
+  const std::size_t probe_iters = 1u << 24;
+  util::Stopwatch probe_watch;
+  for (std::size_t i = 0; i < probe_iters; ++i) probe.add();
+  const double disabled_ns =
+      probe_watch.nanoseconds() / static_cast<double>(probe_iters);
+  const bool disabled_cheap = disabled_ns <= max_disabled_ns;
+
+  const double ratio_min =
+      off_min.seconds > 0.0 ? on_min.seconds / off_min.seconds : 0.0;
+  const bool overhead_ok = ratio_min <= max_ratio;
+
+  runtime::set_global_threads(1);
+
+  benchio::JsonRecord rec;
+  rec.printf("{\n");
+  rec.printf("  \"bench\": \"obs_overhead\",\n");
+  rec.printf("  \"cases\": %d,\n", cases);
+  rec.printf("  \"rounds\": %d,\n", rounds);
+  rec.printf("  \"input_side\": %zu,\n", side);
+  rec.printf("  \"identity_threads\": [%zu, %zu],\n", t_min, t_max);
+  rec.printf("  \"off_seconds\": {\"min_threads\": %.4f, \"max_threads\": "
+             "%.4f},\n",
+             off_min.seconds, off_max.seconds);
+  rec.printf("  \"on_seconds\": {\"min_threads\": %.4f, \"max_threads\": "
+             "%.4f},\n",
+             on_min.seconds, on_max.seconds);
+  rec.printf("  \"traced_seconds\": %.4f,\n", traced.seconds);
+  rec.printf("  \"on_over_off_ratio\": %.3f,\n", ratio_min);
+  rec.printf("  \"disabled_add_ns\": %.3f,\n", disabled_ns);
+  rec.printf("  \"off_threads_bitwise_identical\": %s,\n",
+             off_threads_identical ? "true" : "false");
+  rec.printf("  \"on_equals_off_bitwise\": %s,\n",
+             on_equals_off ? "true" : "false");
+  rec.printf("  \"trace_equals_off_bitwise\": %s,\n",
+             trace_equals_off ? "true" : "false");
+  rec.printf("  \"trace_well_formed\": %s,\n",
+             trace_well_formed ? "true" : "false");
+  rec.printf("  \"metrics\": %s\n", benchio::metrics_snapshot().c_str());
+  rec.printf("}\n");
+  std::fputs(rec.text().c_str(), stdout);
+  benchio::append_history("obs_overhead", rec.text());
+
+  bool ok = true;
+  if (!off_threads_identical) {
+    std::fprintf(stderr,
+                 "FAIL: metrics-off runs diverged bitwise between %zu and "
+                 "%zu threads\n",
+                 t_min, t_max);
+    ok = false;
+  }
+  if (!on_equals_off) {
+    std::fprintf(stderr,
+                 "FAIL: metrics-on run diverged bitwise from metrics-off\n");
+    ok = false;
+  }
+  if (!trace_equals_off) {
+    std::fprintf(stderr,
+                 "FAIL: traced run diverged bitwise from metrics-off\n");
+    ok = false;
+  }
+  if (!trace_well_formed) {
+    std::fprintf(stderr, "FAIL: %s missing expected Chrome-trace structure "
+                         "(traceEvents / serve.request / serve.batch / "
+                         "cg.solve)\n",
+                 trace_path.c_str());
+    ok = false;
+  }
+  if (!disabled_cheap) {
+    std::fprintf(stderr,
+                 "FAIL: disabled counter add costs %.2f ns/op "
+                 "(budget %.2f)\n",
+                 disabled_ns, max_disabled_ns);
+    ok = false;
+  }
+  if (!overhead_ok) {
+    std::fprintf(stderr,
+                 "FAIL: metrics-on workload %.3fx slower than metrics-off "
+                 "(budget %.2fx)\n",
+                 ratio_min, max_ratio);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

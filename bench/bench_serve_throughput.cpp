@@ -179,6 +179,11 @@ int main() {
   if (const char* v = std::getenv("LMMIR_BENCH_MODEL")) model_name = v;
   const std::vector<std::size_t> thread_cfgs = benchio::env_thread_list();
 
+  // Record registry telemetry alongside the timings (instrument creation
+  // happens on first touch, before the counted phases; recording itself
+  // never heap-allocates, so the alloc gates below are unaffected).
+  obs::set_metrics_enabled(true);
+
   // Generated contest-style cases, featurized + golden-solved once.
   data::SampleOptions sopts;
   sopts.input_side = side;
@@ -372,8 +377,9 @@ int main() {
               zero_steady_state ? "true" : "false",
               steady_identical ? "true" : "false");
   rec.printf("  },\n");
-  rec.printf("  \"speedup_max_vs_min_threads\": %.3f\n",
+  rec.printf("  \"speedup_max_vs_min_threads\": %.3f,\n",
               base_rps > 0.0 ? peak_rps / base_rps : 0.0);
+  rec.printf("  \"metrics\": %s\n", benchio::metrics_snapshot().c_str());
   rec.printf("}\n");
   std::fputs(rec.text().c_str(), stdout);
   benchio::append_history("serve_throughput", rec.text());

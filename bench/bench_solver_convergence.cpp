@@ -67,6 +67,9 @@ int main() {
       std::max(1L, benchio::env_long("LMMIR_BENCH_CASES", 3)));
   const double scale = benchio::env_double("LMMIR_BENCH_SCALE", 1.0);
   const std::vector<std::size_t> thread_cfgs = benchio::env_thread_list();
+  // Populate the registry snapshot embedded in the record (recording never
+  // feeds back into the solves; bitwise gates below are unaffected).
+  obs::set_metrics_enabled(true);
 
   // Circuit ladder: suite-style dies of growing side, current budget
   // scaled with area like gen::suite so drops stay in a realistic band.
@@ -293,8 +296,9 @@ int main() {
               ssor_reduces ? "true" : "false");
   rec.printf("  \"ic0_reduces_vs_jacobi\": %s,\n",
               ic0_reduces ? "true" : "false");
-  rec.printf("  \"context_reuse_cuts_iterations\": %s\n",
+  rec.printf("  \"context_reuse_cuts_iterations\": %s,\n",
               warm_cuts_iterations ? "true" : "false");
+  rec.printf("  \"metrics\": %s\n", benchio::metrics_snapshot().c_str());
   rec.printf("}\n");
   std::fputs(rec.text().c_str(), stdout);
   benchio::append_history("solver_convergence", rec.text());

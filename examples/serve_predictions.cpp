@@ -7,21 +7,61 @@
 //   2. train LMM-IR briefly (optional, LMMIR_SERVE_TRAIN=0 skips);
 //   3. serve: concurrent clients submit every case, futures collect
 //      per-request latency; print the batching / latency report.
+//
+// Observability flags (see docs/OBSERVABILITY.md):
+//   --metrics-dump        force metrics on; print the Prometheus-style
+//                         text exposition after the run
+//   --metrics-json        same, as one JSON line (machine scraping)
+//   --stats-period-ms N   emit a periodic structured server-stats log
+//                         line every N ms while serving
+// LMMIR_METRICS=1 / LMMIR_TRACE_FILE=path work as everywhere else.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/pipeline.hpp"
 #include "models/registry.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serve/server.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lmmir;
+
+  bool metrics_dump = false;
+  bool metrics_json = false;
+  long stats_period_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-dump") == 0) {
+      metrics_dump = true;
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      metrics_json = true;
+    } else if (std::strcmp(argv[i], "--stats-period-ms") == 0 &&
+               i + 1 < argc) {
+      stats_period_ms = std::strtol(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--metrics-dump] [--metrics-json] "
+                   "[--stats-period-ms N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (metrics_dump || metrics_json) obs::set_metrics_enabled(true);
+  // The periodic stat line logs at Info; the default threshold is Warn.
+  if (stats_period_ms > 0 && !util::log_enabled(util::LogLevel::Info))
+    util::set_log_level(util::LogLevel::Info);
 
   core::PipelineOptions opts;
   opts.sample.input_side = 32;
@@ -54,6 +94,31 @@ int main() {
   sopts.max_wait_us = 2000;
   auto server = pipe.make_server(model, sopts);
 
+  // Optional periodic stats emitter: one structured log line per period
+  // while the serve section runs (stopped before the report prints).
+  std::mutex period_mu;
+  std::condition_variable period_cv;
+  bool period_stop = false;
+  std::thread period_thread;
+  if (stats_period_ms > 0) {
+    period_thread = std::thread([&] {
+      std::unique_lock<std::mutex> lock(period_mu);
+      for (;;) {
+        if (period_cv.wait_for(lock,
+                               std::chrono::milliseconds(stats_period_ms),
+                               [&] { return period_stop; }))
+          return;
+        const serve::ServerStats st = server->stats();
+        util::log_stats(
+            "serve_progress",
+            {{"completed", std::to_string(st.completed)},
+             {"batches", std::to_string(st.batches)},
+             {"rejected_queue_full", std::to_string(st.rejected_queue_full)},
+             {"failed", std::to_string(st.failed)}});
+      }
+    });
+  }
+
   // Two client threads submit all cases; futures keep request order.
   std::vector<std::future<serve::PredictResult>> futs(tests.size());
   std::thread even([&] {
@@ -79,6 +144,16 @@ int main() {
     std::snprintf(t, sizeof t, "%.2f", r.total_us / 1e3);
     table.add_row({r.id, q, c, t, std::to_string(r.batch_size)});
   }
+
+  if (period_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(period_mu);
+      period_stop = true;
+    }
+    period_cv.notify_all();
+    period_thread.join();
+  }
+
   std::printf("%s", table.render().c_str());
 
   const serve::ServerStats st = server->stats();
@@ -92,5 +167,13 @@ int main() {
                 "allocation(s) (warm-up), %.1f MiB reserved\n",
                 arena.allocations_saved(), arena.heap_allocations(),
                 static_cast<double>(arena.bytes_reserved) / (1024.0 * 1024.0));
+
+  // Shut the server down before scraping so the dispatcher arenas have
+  // hit their final reset() (arena gauges are pushed from there).
+  server->shutdown();
+  if (metrics_dump)
+    std::printf("\n%s", obs::MetricsRegistry::instance().render_text().c_str());
+  if (metrics_json)
+    std::printf("%s\n", obs::MetricsRegistry::instance().render_json().c_str());
   return 0;
 }

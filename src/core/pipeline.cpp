@@ -60,20 +60,26 @@ PipelineOptions PipelineOptions::from_environment() {
 namespace {
 void log_context_stats(const char* what, const pdn::SolverContext& ctx) {
   const auto& st = ctx.stats();
-  util::log_info(what, ": solver context — ", st.solves, " solve(s), ",
-                 st.rebuilds, " rebuild(s), ", st.refreshes, " refresh(es), ",
-                 st.precond_builds, " precond build(s), ", st.warm_starts,
-                 " warm start(s), ", st.total_cg_iterations,
-                 " total PCG iteration(s)");
+  util::log_stats("solver_context",
+                  {{"phase", what},
+                   {"solves", std::to_string(st.solves)},
+                   {"rebuilds", std::to_string(st.rebuilds)},
+                   {"refreshes", std::to_string(st.refreshes)},
+                   {"precond_builds", std::to_string(st.precond_builds)},
+                   {"warm_starts", std::to_string(st.warm_starts)},
+                   {"cg_iterations", std::to_string(st.total_cg_iterations)}});
 }
 
 void log_feature_stats(const char* what, const feat::FeatureContext& ctx) {
   const auto& st = ctx.stats();
-  util::log_info(what, ": feature context — ", st.extractions,
-                 " extraction(s), ", st.classify_passes, " classify pass(es), ",
-                 st.channels_computed, " channel(s) computed, ",
-                 st.channels_reused, " reused (", st.revision_hits,
-                 " whole-netlist revision hit(s))");
+  util::log_stats(
+      "feature_context",
+      {{"phase", what},
+       {"extractions", std::to_string(st.extractions)},
+       {"classify_passes", std::to_string(st.classify_passes)},
+       {"channels_computed", std::to_string(st.channels_computed)},
+       {"channels_reused", std::to_string(st.channels_reused)},
+       {"revision_hits", std::to_string(st.revision_hits)}});
 }
 }  // namespace
 

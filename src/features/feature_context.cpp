@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/stopwatch.hpp"
@@ -21,6 +23,26 @@ using spice::Netlist;
 using spice::NodeId;
 
 namespace {
+
+/// Registry view of the extraction cache, aggregated across every
+/// FeatureContext in the process (per-context FeatureContextStats stay
+/// the per-instance view).
+struct FeatureMetrics {
+  obs::Counter& extractions = obs::counter("lmmir_feature_extractions_total");
+  obs::Counter& revision_hits =
+      obs::counter("lmmir_feature_revision_hits_total");
+  obs::Counter& classify_passes =
+      obs::counter("lmmir_feature_classify_passes_total");
+  obs::Counter& channels_computed =
+      obs::counter("lmmir_feature_channels_computed_total");
+  obs::Counter& channels_reused =
+      obs::counter("lmmir_feature_channels_reused_total");
+
+  static FeatureMetrics& get() {
+    static FeatureMetrics m;
+    return m;
+  }
+};
 
 struct Pixel {
   std::size_t r = 0, c = 0;
@@ -230,18 +252,27 @@ bool channel_inputs_equal(const ClassifiedNetlist& a, const ClassifiedNetlist& b
 }
 
 const FeatureMaps& FeatureContext::extract(const Netlist& nl) {
+  obs::Span span("feature.extract");
   ++stats_.extractions;
+  FeatureMetrics::get().extractions.add();
   // Same revision == same content (see Netlist::revision): nothing to do,
   // not even a classification pass.
   if (has_prev_ && nl.revision() == prev_.revision) {
     ++stats_.revision_hits;
     stats_.channels_reused += kChannelCount;
+    FeatureMetrics::get().revision_hits.add();
+    FeatureMetrics::get().channels_reused.add(kChannelCount);
     return maps_;
   }
 
   util::Stopwatch classify_watch;
-  ClassifiedNetlist cls = classify_netlist(nl);
+  ClassifiedNetlist cls;
+  {
+    obs::Span classify_span("feature.classify");
+    cls = classify_netlist(nl);
+  }
   ++stats_.classify_passes;
+  FeatureMetrics::get().classify_passes.add();
   stats_.classify_seconds += classify_watch.seconds();
 
   std::array<bool, kChannelCount> dirty;
@@ -252,6 +283,7 @@ const FeatureMaps& FeatureContext::extract(const Netlist& nl) {
 
   util::Stopwatch rasterize_watch;
   try {
+    obs::Span rasterize_span("feature.rasterize");
     rasterize_dirty(cls, dirty);
   } catch (...) {
     // A half-updated cache (some channels rasterized, validity flags not
@@ -265,8 +297,10 @@ const FeatureMaps& FeatureContext::extract(const Netlist& nl) {
     if (dirty[static_cast<std::size_t>(c)]) {
       valid_[static_cast<std::size_t>(c)] = true;
       ++stats_.channels_computed;
+      FeatureMetrics::get().channels_computed.add();
     } else {
       ++stats_.channels_reused;
+      FeatureMetrics::get().channels_reused.add();
     }
   }
   prev_ = std::move(cls);

@@ -1,0 +1,28 @@
+#pragma once
+// The single monotonic time source for the observability layer: spans,
+// stopwatches, and benches all read the same steady clock through
+// now_ns(), so durations recorded in different subsystems are directly
+// comparable (no mixed wall/steady clock sources).
+#include <chrono>
+#include <cstdint>
+
+namespace lmmir::obs {
+
+/// Monotonic nanoseconds since the steady-clock epoch.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// A steady-clock time_point expressed on the now_ns() scale (for code
+/// that already holds time_points, e.g. request arrival stamps).
+inline std::uint64_t to_ns(std::chrono::steady_clock::time_point tp) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
+}
+
+}  // namespace lmmir::obs

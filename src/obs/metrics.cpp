@@ -1,0 +1,252 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace lmmir::obs {
+
+namespace detail {
+
+namespace {
+bool metrics_enabled_from_env() {
+  const char* v = std::getenv("LMMIR_METRICS");
+  return v && !(v[0] == '0' && v[1] == '\0');
+}
+}  // namespace
+
+std::atomic<bool> g_metrics_enabled{metrics_enabled_from_env()};
+
+std::size_t shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+
+}  // namespace detail
+
+void set_metrics_enabled(bool enabled) {
+  detail::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Gauge::value() const {
+  double total = 0.0;
+  for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  for (auto& s : shards_)
+    s.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) {
+  if (!metrics_enabled()) return;
+  // First bucket whose inclusive upper edge admits v; +Inf catches the rest.
+  const std::size_t b = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  Shard& s = shards_[detail::shard_index()];
+  s.buckets[b].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(s.sum, v);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (const auto& s : shards_) {
+    for (std::size_t b = 0; b < snap.counts.size(); ++b)
+      snap.counts[b] += s.buckets[b].load(std::memory_order_relaxed);
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+std::vector<double> latency_buckets_us() {
+  return {50,     100,    250,    500,    1e3,   2.5e3, 5e3,
+          1e4,    2.5e4,  5e4,    1e5,    2.5e5, 5e5,   1e6,
+          2.5e6,  5e6,    1e7};
+}
+
+std::vector<double> batch_size_buckets() {
+  return {1, 2, 4, 8, 16, 32, 64};
+}
+
+std::vector<double> iteration_buckets() {
+  return {8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192};
+}
+
+// ------------------------------------------------------------------ registry
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  // std::map: exporters walk instruments in sorted-name order for free.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Leaked on purpose: instruments referenced from function-local statics
+  // in other translation units must outlive every static destructor.
+  static MetricsRegistry* reg = new MetricsRegistry();
+  return *reg;
+}
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.counters[name];
+  if (!slot) slot.reset(new Counter(name));
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.gauges[name];
+  if (!slot) slot.reset(new Gauge(name));
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.histograms[name];
+  if (!slot) slot.reset(new Histogram(name, std::move(bounds)));
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (auto& [name, c] : im.counters)
+    for (auto& cell : c->cells_) cell.v.store(0, std::memory_order_relaxed);
+  for (auto& [name, g] : im.gauges)
+    for (auto& cell : g->cells_) cell.v.store(0.0, std::memory_order_relaxed);
+  for (auto& [name, h] : im.histograms)
+    for (auto& shard : h->shards_) {
+      for (auto& b : shard.buckets) b.store(0, std::memory_order_relaxed);
+      shard.count.store(0, std::memory_order_relaxed);
+      shard.sum.store(0.0, std::memory_order_relaxed);
+    }
+}
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  // %.17g round-trips doubles; trim the common integral case for
+  // readability.
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+std::string format_bound(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::render_text() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::string out;
+  for (const auto& [name, c] : im.counters) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : im.gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + format_double(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : im.histograms) {
+    const Histogram::Snapshot s = h->snapshot();
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < s.bounds.size(); ++b) {
+      cumulative += s.counts[b];
+      out += name + "_bucket{le=\"" + format_bound(s.bounds[b]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    cumulative += s.counts.back();
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+    out += name + "_sum " + format_double(s.sum) + "\n";
+    out += name + "_count " + std::to_string(s.count) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::render_json() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : im.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : im.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + format_double(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : im.histograms) {
+    if (!first) out += ",";
+    first = false;
+    const Histogram::Snapshot s = h->snapshot();
+    out += "\"" + name + "\":{\"buckets\":[";
+    for (std::size_t b = 0; b < s.bounds.size(); ++b) {
+      if (b) out += ",";
+      out += "[" + format_bound(s.bounds[b]) + "," +
+             std::to_string(s.counts[b]) + "]";
+    }
+    if (!s.bounds.empty()) out += ",";
+    out += "[\"+Inf\"," + std::to_string(s.counts.back()) + "]";
+    out += "],\"sum\":" + format_double(s.sum) +
+           ",\"count\":" + std::to_string(s.count) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace lmmir::obs

@@ -1,0 +1,202 @@
+#pragma once
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms, with Prometheus-style text and JSON exporters.
+//
+// Hot-path discipline: every instrument write is ONE relaxed check of the
+// process-wide enable flag, and — when enabled — one relaxed atomic add
+// on a sharded cell picked by a cached thread-local index (cache-line
+// padded, so concurrent writers from different pool workers do not
+// false-share).  Aggregation across shards happens only on scrape.
+// Metrics never feed back into computation: outputs are bitwise identical
+// with metrics on or off, at any thread count (gated by
+// bench_obs_overhead).
+//
+// Instruments are created lazily and never destroyed: a call site looks
+// its instrument up once (function-local static reference) and then
+// writes lock-free forever after.
+//
+//   static obs::Counter& c =
+//       obs::MetricsRegistry::instance().counter("lmmir_pcg_solves_total");
+//   c.add();
+//
+// Naming scheme (see docs/OBSERVABILITY.md): lmmir_<subsystem>_<what>
+// with Prometheus unit suffixes (_total for counters, _us / _ns /
+// _seconds / _bytes where applicable).
+//
+// Env: LMMIR_METRICS unset or "0" disables (the default — serving jobs
+// opt in); any other value enables.  set_metrics_enabled() overrides at
+// run time (benches A/B phases, tests).
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lmmir::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+
+/// Number of independent cells per instrument.  Threads are assigned
+/// cells round-robin at first metric touch, so any number of threads
+/// spreads over the shards.
+inline constexpr std::size_t kShards = 16;
+
+/// The calling thread's shard (assigned once, cached thread-local).
+std::size_t shard_index();
+
+struct alignas(64) CounterCell {
+  std::atomic<std::uint64_t> v{0};
+};
+struct alignas(64) DoubleCell {
+  std::atomic<double> v{0.0};
+};
+
+/// Relaxed add for atomic<double> via CAS (portable across libstdc++
+/// versions that lack atomic<double>::fetch_add).
+inline void atomic_add(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta,
+                                  std::memory_order_relaxed,
+                                  std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// True when instruments record (LMMIR_METRICS, or set_metrics_enabled).
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void set_metrics_enabled(bool enabled);
+
+/// Monotonically increasing count (events, iterations, rejects).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!metrics_enabled()) return;
+    cells_[detail::shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Aggregate across shards (scrape path).
+  std::uint64_t value() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::array<detail::CounterCell, detail::kShards> cells_;
+};
+
+/// Point-in-time level (queue depth, bytes reserved).  add() deltas from
+/// several writers aggregate; set() overwrites the whole gauge (single
+/// authoritative writer).
+class Gauge {
+ public:
+  void set(double v) {
+    if (!metrics_enabled()) return;
+    // set() collapses onto cell 0 so a later scrape reads exactly v.
+    for (std::size_t i = 1; i < detail::kShards; ++i)
+      cells_[i].v.store(0.0, std::memory_order_relaxed);
+    cells_[0].v.store(v, std::memory_order_relaxed);
+  }
+  void add(double delta) {
+    if (!metrics_enabled()) return;
+    detail::atomic_add(cells_[detail::shard_index()].v, delta);
+  }
+  /// Unconditional add, for the decrement half of a paired inc/dec site
+  /// (resource released after metrics were toggled off): the increment
+  /// was recorded, so the decrement must be too or the level goes stale.
+  void add_unchecked(double delta) {
+    detail::atomic_add(cells_[detail::shard_index()].v, delta);
+  }
+  double value() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::array<detail::DoubleCell, detail::kShards> cells_;
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper edges (le), with
+/// an implicit +Inf bucket; observe() bumps the first bucket whose bound
+/// is >= v.  Bucket layout is fixed at registration, so recording is a
+/// branchless-ish scan plus one relaxed add.
+class Histogram {
+ public:
+  void observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;          // upper edges, +Inf implicit
+    std::vector<std::uint64_t> counts;   // bounds.size() + 1 entries
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot snapshot() const;
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds);
+  struct alignas(64) Shard {
+    std::vector<std::atomic<std::uint64_t>> buckets;  // bounds+1
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+  std::string name_;
+  std::vector<double> bounds_;
+  std::array<Shard, detail::kShards> shards_;
+};
+
+/// Default bucket edges for microsecond latencies (50 us .. 10 s).
+std::vector<double> latency_buckets_us();
+/// Default bucket edges for batch sizes (1 .. 64).
+std::vector<double> batch_size_buckets();
+/// Default bucket edges for PCG iteration counts (8 .. 8192).
+std::vector<double> iteration_buckets();
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry.
+  static MetricsRegistry& instance();
+
+  /// Find-or-create; the returned reference is valid for the process
+  /// lifetime.  Re-registering a histogram with different bounds keeps
+  /// the original bounds.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Prometheus-style text exposition (sorted by name, with # TYPE lines).
+  std::string render_text() const;
+  /// One-line JSON: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string render_json() const;
+
+  /// Zero every cell of every instrument (benches' A/B phases, tests).
+  /// References returned earlier stay valid.
+  void reset();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Shorthands for call-site static initialization.
+inline Counter& counter(const std::string& name) {
+  return MetricsRegistry::instance().counter(name);
+}
+inline Gauge& gauge(const std::string& name) {
+  return MetricsRegistry::instance().gauge(name);
+}
+inline Histogram& histogram(const std::string& name,
+                            std::vector<double> bounds) {
+  return MetricsRegistry::instance().histogram(name, std::move(bounds));
+}
+
+}  // namespace lmmir::obs

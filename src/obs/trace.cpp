@@ -1,0 +1,219 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace lmmir::obs {
+
+namespace {
+
+struct Event {
+  const char* name = nullptr;  // static-storage string (span call sites)
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t track = 0;  // 0 = the recording thread's row
+};
+
+/// Per-thread ring: written by exactly one thread, read by the exporter
+/// under the registry mutex.  `head` counts every event ever recorded;
+/// slot `head % capacity` is written before head is published (release),
+/// so a reader sees fully-written events for every index below head.  A
+/// ring that wraps while being scraped can yield a torn oldest event —
+/// tracing is diagnostic, so this is tolerated rather than locked away.
+struct ThreadBuffer {
+  static constexpr std::size_t kCapacity = 1 << 16;
+  explicit ThreadBuffer(std::uint64_t tid_) : tid(tid_) {
+    ring.resize(kCapacity);
+  }
+  std::vector<Event> ring;
+  std::atomic<std::uint64_t> head{0};
+  std::uint64_t tid;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;  // outlive threads
+  std::uint64_t next_tid = 1;
+  std::string exit_path;  // LMMIR_TRACE_FILE target, written at exit
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // outlives static destructors
+  return *r;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> tl_buf;
+  if (!tl_buf) {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    tl_buf = std::make_shared<ThreadBuffer>(reg.next_tid++);
+    reg.buffers.push_back(tl_buf);
+  }
+  return *tl_buf;
+}
+
+thread_local std::uint64_t tl_current_span = 0;
+
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+void write_trace_at_exit() {
+  std::string path;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    path = reg.exit_path;
+  }
+  if (!path.empty()) write_trace(path);
+}
+
+bool trace_enabled_from_env() {
+  const char* v = std::getenv("LMMIR_TRACE_FILE");
+  if (!v || !*v) return false;
+  Registry& reg = registry();
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.exit_path = v;
+  }
+  std::atexit(write_trace_at_exit);
+  return true;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_trace_enabled{trace_enabled_from_env()};
+
+void record_event(const char* name, std::uint64_t start_ns,
+                  std::uint64_t end_ns, std::uint64_t id, std::uint64_t parent,
+                  std::uint64_t track) {
+  ThreadBuffer& buf = thread_buffer();
+  const std::uint64_t head = buf.head.load(std::memory_order_relaxed);
+  Event& e = buf.ring[head % ThreadBuffer::kCapacity];
+  e.name = name;
+  e.start_ns = start_ns;
+  e.end_ns = end_ns;
+  e.id = id;
+  e.parent = parent;
+  e.track = track;
+  buf.head.store(head + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+void set_trace_enabled(bool enabled) {
+  detail::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t new_span_id() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t current_span_id() { return tl_current_span; }
+
+Span::Span(const char* name, std::uint64_t parent) : name_(name) {
+  if (!trace_enabled()) return;
+  active_ = true;
+  id_ = new_span_id();
+  parent_ = parent;
+  saved_current_ = tl_current_span;
+  tl_current_span = id_;
+  start_ns_ = now_ns();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  detail::record_event(name_, start_ns_, now_ns(), id_, parent_, 0);
+  tl_current_span = saved_current_;
+}
+
+std::uint64_t emit_span(const char* name, std::uint64_t start_ns,
+                        std::uint64_t end_ns, std::uint64_t parent,
+                        std::uint64_t track) {
+  if (!trace_enabled()) return 0;
+  const std::uint64_t id = new_span_id();
+  detail::record_event(name, start_ns, end_ns, id, parent, track);
+  return id;
+}
+
+bool write_trace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "obs: cannot write trace file %s\n", path.c_str());
+    return false;
+  }
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
+  bool first = true;
+  bool request_track_named = false;
+  for (const auto& buf : reg.buffers) {
+    const std::uint64_t head = buf->head.load(std::memory_order_acquire);
+    const std::uint64_t n =
+        head < ThreadBuffer::kCapacity ? head : ThreadBuffer::kCapacity;
+    if (n == 0) continue;
+    if (!first) std::fputs(",\n", f);
+    first = false;
+    std::fprintf(f,
+                 "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                 "\"tid\":%llu,\"args\":{\"name\":\"lmmir thread %llu\"}}",
+                 static_cast<unsigned long long>(buf->tid),
+                 static_cast<unsigned long long>(buf->tid));
+    for (std::uint64_t i = head - n; i < head; ++i) {
+      const Event& e = buf->ring[i % ThreadBuffer::kCapacity];
+      const std::uint64_t tid = e.track ? e.track : buf->tid;
+      if (e.track == kRequestTrack && !request_track_named) {
+        request_track_named = true;
+        std::fprintf(f,
+                     ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                     "\"tid\":%llu,\"args\":{\"name\":\"requests\"}}",
+                     static_cast<unsigned long long>(kRequestTrack));
+      }
+      const double ts_us = static_cast<double>(e.start_ns) / 1e3;
+      const double dur_us =
+          static_cast<double>(e.end_ns - e.start_ns) / 1e3;
+      std::fprintf(f,
+                   ",\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%llu,"
+                   "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"id\":%llu,"
+                   "\"parent\":%llu}}",
+                   e.name ? e.name : "?",
+                   static_cast<unsigned long long>(tid), ts_us, dur_us,
+                   static_cast<unsigned long long>(e.id),
+                   static_cast<unsigned long long>(e.parent));
+    }
+  }
+  std::fputs("\n]}\n", f);
+  std::fclose(f);
+  return true;
+}
+
+void clear_trace() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  // Rewind, do not deallocate: recording threads still hold their buffers.
+  for (const auto& buf : reg.buffers)
+    buf->head.store(0, std::memory_order_release);
+}
+
+std::size_t buffered_events() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::size_t total = 0;
+  for (const auto& buf : reg.buffers) {
+    const std::uint64_t head = buf->head.load(std::memory_order_acquire);
+    total += head < ThreadBuffer::kCapacity
+                 ? static_cast<std::size_t>(head)
+                 : ThreadBuffer::kCapacity;
+  }
+  return total;
+}
+
+}  // namespace lmmir::obs

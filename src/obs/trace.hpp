@@ -1,0 +1,105 @@
+#pragma once
+// Scoped tracing: RAII spans recorded into lock-free per-thread ring
+// buffers, exported as Chrome trace / Perfetto JSON.
+//
+//   {
+//     obs::Span batch("serve.batch");          // parent = thread-current
+//     {
+//       obs::Span fwd("serve.forward");        // nested under `batch`
+//       ...
+//     }
+//   }
+//   obs::emit_span("serve.request", t_arrival_ns, t_done_ns, batch_id);
+//
+// Recording discipline: a Span costs one relaxed flag check when tracing
+// is off.  When on, construction stamps obs::now_ns() and destruction
+// appends one fixed-size event to the calling thread's ring buffer — no
+// locks, no allocation after the buffer exists.  Each thread owns its
+// buffer exclusively; the exporter walks all buffers (they outlive their
+// threads) and writes one JSON file loadable in chrome://tracing or
+// https://ui.perfetto.dev.
+//
+// Parentage: spans nest implicitly per thread (the thread-current span),
+// and explicitly across threads via parent handles — a span id can be
+// captured on one thread and passed as the parent of work executing on
+// another (serve request lifecycles).  Ring capacity is fixed; when a
+// thread records more events than fit, the oldest are overwritten (the
+// tail of a long run is what you usually want).
+//
+// Env: LMMIR_TRACE_FILE=<path> enables tracing at startup and writes the
+// trace there at process exit.  set_trace_enabled() / write_trace() give
+// programmatic control (tests, benches).
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace lmmir::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+void record_event(const char* name, std::uint64_t start_ns,
+                  std::uint64_t end_ns, std::uint64_t id, std::uint64_t parent,
+                  std::uint64_t track);
+}  // namespace detail
+
+/// True when spans record (LMMIR_TRACE_FILE, or set_trace_enabled).
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+void set_trace_enabled(bool enabled);
+
+/// Fresh process-unique span id (non-zero).
+std::uint64_t new_span_id();
+
+/// The calling thread's innermost open Span id (0 when none / disabled).
+std::uint64_t current_span_id();
+
+/// Pseudo-track for cross-thread request lifecycle spans (rendered as its
+/// own named row, separate from the per-thread rows).
+inline constexpr std::uint64_t kRequestTrack = 9999;
+
+class Span {
+ public:
+  /// Opens a span whose parent is the thread-current span.
+  explicit Span(const char* name) : Span(name, current_span_id()) {}
+  /// Opens a span with an explicit parent handle (0 = root); use this to
+  /// link work executing on a different thread than its logical parent.
+  Span(const char* name, std::uint64_t parent);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// This span's handle, capturable as another span's parent (0 when
+  /// tracing is disabled).
+  std::uint64_t id() const { return id_; }
+
+ private:
+  const char* name_;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t saved_current_ = 0;
+  bool active_ = false;
+};
+
+/// Record a completed span with explicit timestamps — for lifecycles that
+/// start on one thread and finish on another (e.g. a serve request from
+/// submit to fulfil).  `track` 0 = the calling thread's row; non-zero
+/// renders on a dedicated pseudo-track (see kRequestTrack).  Returns the
+/// event's span id (0 when tracing is disabled).
+std::uint64_t emit_span(const char* name, std::uint64_t start_ns,
+                        std::uint64_t end_ns, std::uint64_t parent = 0,
+                        std::uint64_t track = 0);
+
+/// Write every buffered event as Chrome trace JSON ({"traceEvents": [...]})
+/// to `path`.  Call while recording threads are quiescent for a complete
+/// snapshot.  Returns false when the file cannot be written.
+bool write_trace(const std::string& path);
+
+/// Drop all buffered events (benches / tests isolating phases).
+void clear_trace();
+
+/// Number of events currently buffered across all threads.
+std::size_t buffered_events();
+
+}  // namespace lmmir::obs

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/stopwatch.hpp"
 
@@ -13,9 +15,35 @@ using spice::ElementType;
 using spice::kGroundNode;
 using spice::NodeId;
 
+namespace {
+
+/// Registry view of the SolverContext reuse machinery, aggregated across
+/// every context in the process (the per-context SolverContextStats stay
+/// the per-instance view).
+struct SolverMetrics {
+  obs::Counter& solves = obs::counter("lmmir_solver_ctx_solves_total");
+  obs::Counter& rebuilds = obs::counter("lmmir_solver_ctx_rebuilds_total");
+  obs::Counter& refreshes = obs::counter("lmmir_solver_ctx_refreshes_total");
+  obs::Counter& matrix_refreshes =
+      obs::counter("lmmir_solver_ctx_matrix_refreshes_total");
+  obs::Counter& precond_reuses =
+      obs::counter("lmmir_solver_ctx_precond_reuses_total");
+  obs::Counter& precond_builds =
+      obs::counter("lmmir_solver_ctx_precond_builds_total");
+
+  static SolverMetrics& get() {
+    static SolverMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
 Solution SolverContext::solve(const Circuit& circuit,
                               const SolveOptions& opts) {
+  obs::Span span("solver.solve");
   ++stats_.solves;
+  SolverMetrics::get().solves.add();
   const bool reuse = cached_ && topology_matches(circuit);
   if (reuse)
     refresh(circuit);
@@ -39,6 +67,9 @@ Solution SolverContext::solve(const Circuit& circuit,
     precond_version_ = matrix_version_;
     stats_.precond_setup_seconds += setup_seconds;
     ++stats_.precond_builds;
+    SolverMetrics::get().precond_builds.add();
+  } else {
+    SolverMetrics::get().precond_reuses.add();
   }
 
   const std::vector<double>* x0 = nullptr;
@@ -74,6 +105,8 @@ bool SolverContext::topology_matches(const Circuit& circuit) const {
 }
 
 void SolverContext::rebuild(const Circuit& circuit) {
+  obs::Span span("solver.rebuild");
+  SolverMetrics::get().rebuilds.add();
   util::Stopwatch watch;
   sys_ = assemble_ir_system(circuit);  // throws when unsolvable
 
@@ -162,6 +195,8 @@ void SolverContext::build_stamp_plan(const Circuit& circuit) {
 }
 
 void SolverContext::refresh(const Circuit& circuit) {
+  obs::Span span("solver.refresh");
+  SolverMetrics::get().refreshes.add();
   util::Stopwatch watch;
   const auto& elements = circuit.netlist().elements();
   // The matrix depends on resistor values only; a refresh that moved just
@@ -188,6 +223,7 @@ void SolverContext::refresh(const Circuit& circuit) {
       vals[s.slot] += s.sign / elements[s.element].value;
     ++matrix_version_;
     ++stats_.matrix_refreshes;
+    SolverMetrics::get().matrix_refreshes.add();
   }
   std::fill(sys_.rhs.begin(), sys_.rhs.end(), 0.0);
   for (const auto& s : pin_stamps_)

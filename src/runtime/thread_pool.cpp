@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace lmmir::runtime {
@@ -80,6 +83,9 @@ ThreadPool::ThreadPool(std::size_t threads, WorkerInit init)
   }
   // Every worker has run its init hook once this returns (see header).
   started->wait();
+  workers_gauged_ = obs::metrics_enabled();
+  if (workers_gauged_)
+    obs::gauge("lmmir_pool_workers").add(static_cast<double>(threads));
 }
 
 ThreadPool::~ThreadPool() {
@@ -89,6 +95,11 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  if (workers_gauged_)
+    // The ctor counted these workers in, so they count out even if
+    // metrics were toggled off in between.
+    obs::gauge("lmmir_pool_workers")
+        .add_unchecked(-static_cast<double>(workers_.size()));
 }
 
 void ThreadPool::worker_loop(std::size_t index,
@@ -119,7 +130,20 @@ void ThreadPool::worker_loop(std::size_t index,
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    job();
+    {
+      obs::Span task_span("pool.task");
+      const bool record = obs::metrics_enabled();
+      const std::uint64_t t0 = record ? obs::now_ns() : 0;
+      job();
+      if (record) {
+        // Utilization numerator: lmmir_pool_busy_ns_total against
+        // wall-clock * lmmir_pool_workers gives pool occupancy.
+        static obs::Counter& tasks = obs::counter("lmmir_pool_tasks_total");
+        static obs::Counter& busy = obs::counter("lmmir_pool_busy_ns_total");
+        tasks.add();
+        busy.add(obs::now_ns() - t0);
+      }
+    }
   }
   if (cleanup) {
     try {

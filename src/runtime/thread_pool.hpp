@@ -105,6 +105,10 @@ class ThreadPool {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+  // Whether this pool's workers were counted into the lmmir_pool_workers
+  // gauge at construction — the destructor must only subtract what the
+  // constructor added (metrics may toggle between the two).
+  bool workers_gauged_ = false;
 };
 
 /// Total concurrency parallel_for may use (calling thread + pool workers).

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <optional>
 #include <stdexcept>
 
 #include "data/dataset.hpp"
 #include "features/spatial.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace lmmir::serve {
@@ -18,6 +23,34 @@ double elapsed_us(std::chrono::steady_clock::time_point from,
                   std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<double, std::micro>(to - from).count();
 }
+
+/// Registry instruments for the serve subsystem, resolved once (see
+/// docs/OBSERVABILITY.md for the naming scheme).  Writes are no-ops while
+/// LMMIR_METRICS is off.
+struct ServeMetrics {
+  obs::Counter& requests = obs::counter("lmmir_serve_requests_total");
+  obs::Counter& completed = obs::counter("lmmir_serve_completed_total");
+  obs::Counter& batches = obs::counter("lmmir_serve_batches_total");
+  obs::Counter& rejected_full =
+      obs::counter("lmmir_serve_rejected_queue_full_total");
+  obs::Counter& rejected_shutdown =
+      obs::counter("lmmir_serve_rejected_shutdown_total");
+  obs::Counter& failed = obs::counter("lmmir_serve_failed_total");
+  obs::Gauge& queue_depth = obs::gauge("lmmir_serve_queue_depth");
+  obs::Histogram& latency = obs::histogram("lmmir_serve_request_latency_us",
+                                           obs::latency_buckets_us());
+  obs::Histogram& queue_wait = obs::histogram("lmmir_serve_queue_wait_us",
+                                              obs::latency_buckets_us());
+  obs::Histogram& compute = obs::histogram("lmmir_serve_compute_us",
+                                           obs::latency_buckets_us());
+  obs::Histogram& batch_size = obs::histogram("lmmir_serve_batch_size",
+                                              obs::batch_size_buckets());
+
+  static ServeMetrics& get() {
+    static ServeMetrics m;
+    return m;
+  }
+};
 
 double percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
@@ -81,14 +114,24 @@ std::future<PredictResult> InferenceServer::submit(PredictRequest request) {
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_)
+    if (stopping_) {
+      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      ServeMetrics::get().rejected_shutdown.add();
       throw std::runtime_error("submit: server is shut down");
-    if (opts_.max_queue > 0 && queue_.size() >= opts_.max_queue)
+    }
+    if (opts_.max_queue > 0 && queue_.size() >= opts_.max_queue) {
+      rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      ServeMetrics::get().rejected_full.add();
       throw std::runtime_error("submit: queue full (" +
                                std::to_string(opts_.max_queue) +
                                " pending); retry later");
+    }
     queue_.push_back(std::move(p));
+    // Under the lock, like the dispatcher's drain-side write: depth sets
+    // from the two sides never interleave stale-over-fresh.
+    ServeMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
   }
+  ServeMetrics::get().requests.add();
   cv_.notify_all();
   return fut;
 }
@@ -138,6 +181,9 @@ void InferenceServer::dispatcher_loop(std::size_t worker_index) {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      // Authoritative write under the queue lock: the gauge tracks drains
+      // as well as submits (otherwise it freezes at the last submit depth).
+      ServeMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
     }
     run_batch(batch, arena);  // resets the arena before fulfilling promises
   }
@@ -148,7 +194,15 @@ void InferenceServer::run_batch(std::vector<Pending>& batch,
   const auto t_start = Clock::now();
   const std::size_t n = batch.size();
   std::size_t fulfilled = 0;  // promises already satisfied (never re-set)
+  std::uint64_t batch_span_id = 0;
   try {
+    // The batch span closes before the per-request lifecycle events are
+    // emitted below, so in the trace each request [arrival → fulfil]
+    // strictly contains its batch [dequeue → fulfil], which contains the
+    // forward span: the nested request → batch → forward view.
+    std::optional<obs::Span> batch_span;
+    batch_span.emplace("serve.batch");
+    batch_span_id = batch_span->id();
     Tensor pred;
     {
       tensor::NoGradGuard no_grad;     // inference builds no tape...
@@ -156,38 +210,45 @@ void InferenceServer::run_batch(std::vector<Pending>& batch,
 
       // Stack [C,S,S] -> [N,C,S,S] (and tokens [T,F] -> [N,T,F]), exactly
       // the concatenation data::make_batch performs for training batches.
-      const auto& cs = batch.front().request.circuit.shape();
-      const std::size_t per = batch.front().request.circuit.numel();
-      // Every element is overwritten by the per-request copies below.
-      std::vector<float> circ = tensor::arena_buffer_overwrite(n * per);
-      std::size_t off = 0;
-      for (const auto& p : batch) {
-        std::copy(p.request.circuit.data().begin(),
-                  p.request.circuit.data().end(),
-                  circ.begin() + static_cast<std::ptrdiff_t>(off));
-        off += per;
-      }
-      Tensor circuit = Tensor::from_data(
-          {static_cast<int>(n), cs[0], cs[1], cs[2]}, std::move(circ));
-      circuit = data::slice_channels(circuit, model_->in_channels());
-
-      Tensor tokens;
-      if (batch.front().request.tokens.defined()) {
-        const auto& ts = batch.front().request.tokens.shape();
-        const std::size_t per_tok = batch.front().request.tokens.numel();
-        std::vector<float> toks = tensor::arena_buffer_overwrite(n * per_tok);
-        std::size_t tok_off = 0;
+      Tensor circuit, tokens;
+      {
+        obs::Span stack_span("serve.stack");
+        const auto& cs = batch.front().request.circuit.shape();
+        const std::size_t per = batch.front().request.circuit.numel();
+        // Every element is overwritten by the per-request copies below.
+        std::vector<float> circ = tensor::arena_buffer_overwrite(n * per);
+        std::size_t off = 0;
         for (const auto& p : batch) {
-          std::copy(p.request.tokens.data().begin(),
-                    p.request.tokens.data().end(),
-                    toks.begin() + static_cast<std::ptrdiff_t>(tok_off));
-          tok_off += per_tok;
+          std::copy(p.request.circuit.data().begin(),
+                    p.request.circuit.data().end(),
+                    circ.begin() + static_cast<std::ptrdiff_t>(off));
+          off += per;
         }
-        tokens = Tensor::from_data({static_cast<int>(n), ts[0], ts[1]},
-                                   std::move(toks));
+        circuit = Tensor::from_data(
+            {static_cast<int>(n), cs[0], cs[1], cs[2]}, std::move(circ));
+        circuit = data::slice_channels(circuit, model_->in_channels());
+
+        if (batch.front().request.tokens.defined()) {
+          const auto& ts = batch.front().request.tokens.shape();
+          const std::size_t per_tok = batch.front().request.tokens.numel();
+          std::vector<float> toks =
+              tensor::arena_buffer_overwrite(n * per_tok);
+          std::size_t tok_off = 0;
+          for (const auto& p : batch) {
+            std::copy(p.request.tokens.data().begin(),
+                      p.request.tokens.data().end(),
+                      toks.begin() + static_cast<std::ptrdiff_t>(tok_off));
+            tok_off += per_tok;
+          }
+          tokens = Tensor::from_data({static_cast<int>(n), ts[0], ts[1]},
+                                     std::move(toks));
+        }
       }
 
-      pred = model_->forward(circuit, tokens);
+      {
+        obs::Span forward_span("serve.forward");
+        pred = model_->forward(circuit, tokens);
+      }
       // The scope ends here: the batch inputs and every intermediate
       // return to the arena as their handles drop.  `pred` stays alive
       // (arena-backed) while the owning result slices are copied out
@@ -216,6 +277,17 @@ void InferenceServer::run_batch(std::vector<Pending>& batch,
       // max(): with several dispatchers, batches may record out of order.
       last_done_ = std::max(last_done_, t_done);
     }
+    if (obs::metrics_enabled()) {
+      ServeMetrics& m = ServeMetrics::get();
+      for (const auto& p : batch) {
+        m.latency.observe(elapsed_us(p.arrival, t_done));
+        m.queue_wait.observe(elapsed_us(p.arrival, t_start));
+      }
+      m.compute.observe(compute_us);
+      m.batch_size.observe(static_cast<double>(n));
+      m.completed.add(n);
+      m.batches.add();
+    }
 
     const std::size_t per = pred.numel() / n;
     const tensor::Shape map_shape{pred.dim(1), pred.dim(2), pred.dim(3)};
@@ -240,11 +312,24 @@ void InferenceServer::run_batch(std::vector<Pending>& batch,
     // BEFORE fulfilling the promises: a caller returning from predict()
     // then observes a quiescent arena (live_nodes 0, pools swept) in
     // arena_stats().
-    pred = Tensor();
-    if (arena) arena->reset();
-    for (std::size_t i = 0; i < n; ++i) {
-      batch[i].promise.set_value(std::move(results[i]));
-      ++fulfilled;
+    {
+      obs::Span fulfil_span("serve.fulfil");
+      pred = Tensor();
+      if (arena) arena->reset();
+      for (std::size_t i = 0; i < n; ++i) {
+        batch[i].promise.set_value(std::move(results[i]));
+        ++fulfilled;
+      }
+    }
+    // Close the batch span, then stamp one lifecycle event per request
+    // (submit → fulfil, started on the client thread) so the trace shows
+    // queue wait and batch ride-along per request.
+    batch_span.reset();
+    if (obs::trace_enabled()) {
+      const std::uint64_t t_end = obs::now_ns();
+      for (const auto& p : batch)
+        obs::emit_span("serve.request", obs::to_ns(p.arrival), t_end,
+                       batch_span_id);
     }
   } catch (const std::exception& e) {
     util::log_error("InferenceServer: batch of ", n, " failed: ", e.what());
@@ -252,12 +337,16 @@ void InferenceServer::run_batch(std::vector<Pending>& batch,
     // the dead buffers stay out of the pools (and the quiescence
     // contract breaks) for every batch after a failure.
     if (arena) arena->reset();
+    failed_.fetch_add(batch.size() - fulfilled, std::memory_order_relaxed);
+    ServeMetrics::get().failed.add(batch.size() - fulfilled);
     for (std::size_t i = fulfilled; i < batch.size(); ++i)
       batch[i].promise.set_exception(std::current_exception());
   } catch (...) {
     util::log_error("InferenceServer: batch of ", n,
                     " failed with a non-std exception");
     if (arena) arena->reset();
+    failed_.fetch_add(batch.size() - fulfilled, std::memory_order_relaxed);
+    ServeMetrics::get().failed.add(batch.size() - fulfilled);
     for (std::size_t i = fulfilled; i < batch.size(); ++i)
       batch[i].promise.set_exception(std::current_exception());
   }
@@ -285,6 +374,9 @@ tensor::ArenaStats InferenceServer::arena_stats() const {
 
 ServerStats InferenceServer::stats() const {
   ServerStats s;
+  s.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
+  s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
   std::vector<double> lat;
   Clock::time_point first, last;
   bool any;

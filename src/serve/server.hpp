@@ -22,6 +22,7 @@
 // runtime::global_pool for intra-op parallelism.  The model is switched to
 // eval mode at construction and never mutated afterwards, so concurrent
 // batch runners are safe.
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -77,9 +78,21 @@ struct PredictResult {
 /// shape cover the server's whole lifetime; the latency distribution
 /// (p50/p95/p99/mean/max) covers the most recent kStatsWindow completions
 /// so a long-lived server's memory and stats() cost stay bounded.
+///
+/// This struct is the always-on per-server view; the same quantities also
+/// stream into the process-wide obs::MetricsRegistry (lmmir_serve_*) when
+/// LMMIR_METRICS is enabled — see docs/OBSERVABILITY.md.
 struct ServerStats {
   std::size_t completed = 0;
   std::size_t batches = 0;
+  /// Admission-control telemetry (groundwork for retry-after policies):
+  /// submissions refused at the queue-full backpressure limit, refused
+  /// after shutdown, and requests whose future was fulfilled with an
+  /// exception because their batch failed.  Before these counters, every
+  /// rejected future vanished without a trace.
+  std::size_t rejected_queue_full = 0;
+  std::size_t rejected_shutdown = 0;
+  std::size_t failed = 0;
   double p50_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;
@@ -148,6 +161,12 @@ class InferenceServer {
   bool stopping_ = false;
   std::vector<std::thread> dispatchers_;
   std::mutex shutdown_mu_;  // serializes concurrent shutdown() calls
+
+  // Reject/failure counters live outside stats_mu_: they increment on
+  // throw paths where taking the stats lock would be wasted work.
+  std::atomic<std::size_t> rejected_queue_full_{0};
+  std::atomic<std::size_t> rejected_shutdown_{0};
+  std::atomic<std::size_t> failed_{0};
 
   mutable std::mutex stats_mu_;
   std::vector<double> latencies_us_;   // ring of the last kStatsWindow

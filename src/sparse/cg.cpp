@@ -6,6 +6,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel_for.hpp"
 #include "util/stopwatch.hpp"
 
@@ -74,10 +76,11 @@ constexpr double kAlphaLimit = 1e100;
 
 }  // namespace
 
-CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
-                            const CgOptions& opts,
-                            const Preconditioner* precond,
-                            const std::vector<double>* x0) {
+namespace {
+
+CgResult run_pcg(const CsrMatrix& a, const std::vector<double>& b,
+                 const CgOptions& opts, const Preconditioner* precond,
+                 const std::vector<double>* x0) {
   const std::size_t n = a.dim();
   if (b.size() != n)
     throw std::invalid_argument("conjugate_gradient: rhs size mismatch");
@@ -193,6 +196,42 @@ CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
   // Breakdown and iteration-exhaustion paths both report a finite residual.
   if (!std::isfinite(res.residual))
     res.residual = std::numeric_limits<double>::max();
+  return res;
+}
+
+}  // namespace
+
+CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
+                            const CgOptions& opts,
+                            const Preconditioner* precond,
+                            const std::vector<double>* x0) {
+  obs::Span span("cg.solve");
+  CgResult res = run_pcg(a, b, opts, precond, x0);
+  // Per-solve telemetry: one-shot registry writes after the iteration, so
+  // the hot loop itself carries no instrumentation.
+  if (obs::metrics_enabled()) {
+    static obs::Counter& solves = obs::counter("lmmir_pcg_solves_total");
+    static obs::Counter& iterations =
+        obs::counter("lmmir_pcg_iterations_total");
+    static obs::Counter& converged = obs::counter("lmmir_pcg_converged_total");
+    static obs::Counter& breakdowns =
+        obs::counter("lmmir_pcg_breakdowns_total");
+    static obs::Counter& warm = obs::counter("lmmir_pcg_warm_starts_total");
+    static obs::Histogram& iter_hist =
+        obs::histogram("lmmir_pcg_iterations", obs::iteration_buckets());
+    static obs::Gauge& setup_s =
+        obs::gauge("lmmir_pcg_precond_setup_seconds_total");
+    static obs::Gauge& apply_s =
+        obs::gauge("lmmir_pcg_precond_apply_seconds_total");
+    solves.add();
+    iterations.add(res.iterations);
+    if (res.converged) converged.add();
+    if (res.breakdown) breakdowns.add();
+    if (res.warm_started) warm.add();
+    iter_hist.observe(static_cast<double>(res.iterations));
+    setup_s.add(res.precond_setup_seconds);
+    apply_s.add(res.precond_apply_seconds);
+  }
   return res;
 }
 

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel_for.hpp"
 #include "sparse/trisolve.hpp"
 #include "util/log.hpp"
@@ -296,6 +298,9 @@ class Ic0Preconditioner final : public Preconditioner {
 
 std::unique_ptr<Preconditioner> make_preconditioner(PreconditionerKind kind,
                                                     const CsrMatrix& a) {
+  obs::Span span("precond.build");
+  if (obs::metrics_enabled())
+    obs::counter("lmmir_precond_builds_total").add();
   switch (kind) {
     case PreconditionerKind::None:
       return std::make_unique<IdentityPreconditioner>();

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace lmmir::tensor {
 
 namespace {
@@ -155,6 +157,36 @@ void TensorArena::reset() {
     }
   cursor_ = 0;
   ++stats_.resets;
+  if (obs::metrics_enabled()) publish_metrics();
+}
+
+void TensorArena::publish_metrics() {
+  // Aggregated pooled-vs-heap view across every arena in the process;
+  // counters carry deltas since this arena's previous push, gauges carry
+  // level deltas (the sum over arenas is the process level).
+  struct ArenaMetrics {
+    obs::Counter& heap_allocs =
+        obs::counter("lmmir_arena_heap_allocations_total");
+    obs::Counter& saved = obs::counter("lmmir_arena_allocations_saved_total");
+    obs::Counter& resets = obs::counter("lmmir_arena_resets_total");
+    obs::Gauge& bytes = obs::gauge("lmmir_arena_bytes_reserved");
+    obs::Gauge& live = obs::gauge("lmmir_arena_live_nodes");
+
+    static ArenaMetrics& get() {
+      static ArenaMetrics m;
+      return m;
+    }
+  };
+  const ArenaStats cur = stats();
+  auto& m = ArenaMetrics::get();
+  m.heap_allocs.add(cur.heap_allocations() - pushed_.heap_allocations());
+  m.saved.add(cur.allocations_saved() - pushed_.allocations_saved());
+  m.resets.add(cur.resets - pushed_.resets);
+  m.bytes.add(static_cast<double>(cur.bytes_reserved) -
+              static_cast<double>(pushed_.bytes_reserved));
+  m.live.add(static_cast<double>(cur.live_nodes) -
+             static_cast<double>(pushed_.live_nodes));
+  pushed_ = cur;
 }
 
 std::size_t TensorArena::live_nodes() const {

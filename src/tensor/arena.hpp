@@ -145,6 +145,12 @@ class TensorArena {
   ArenaStats stats() const;
 
  private:
+  /// Push counter/gauge deltas since the last push into the process-wide
+  /// obs registry (lmmir_arena_*).  Called from reset() — the per-request
+  /// barrier — only when metrics are enabled, so the per-op hot path
+  /// carries no instrumentation at all.
+  void publish_metrics();
+
   std::vector<std::shared_ptr<TensorImpl>> slots_;
   std::size_t cursor_ = 0;  // round-robin free-slot scan position
   // Data-buffer free-lists keyed by element count (steady-state traffic
@@ -153,6 +159,7 @@ class TensorArena {
   std::vector<std::vector<float>> scratch_;
   std::vector<std::vector<std::size_t>> index_scratch_;
   ArenaStats stats_;
+  ArenaStats pushed_;  // snapshot at the last publish_metrics()
 };
 
 /// RAII: installs `arena` as the calling thread's active arena for the

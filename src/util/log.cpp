@@ -26,13 +26,34 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+bool log_enabled(LogLevel level) {
+  // Relaxed: the threshold is advisory; a racing set_log_level may let one
+  // in-flight line through, which is fine for a log filter.
+  return level >= g_level.load(std::memory_order_relaxed);
+}
 
 void log_message(LogLevel level, const std::string& msg) {
-  if (level < g_level.load()) return;
+  if (!log_enabled(level)) return;
   std::lock_guard<std::mutex> lock(g_sink_mu);
   std::fprintf(stderr, "[lmmir %-5s] %s\n", level_name(level), msg.c_str());
+}
+
+void log_stats(const std::string& event, std::initializer_list<LogKv> kvs,
+               LogLevel level) {
+  if (!log_enabled(level)) return;  // no formatting when filtered
+  std::string line = event;
+  for (const auto& [key, value] : kvs) {
+    line += ' ';
+    line += key;
+    line += '=';
+    line += value;
+  }
+  log_message(level, line);
 }
 
 }  // namespace lmmir::util

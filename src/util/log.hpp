@@ -2,8 +2,14 @@
 // Minimal leveled logger.  Free functions write to stderr; the level is a
 // process-wide setting so libraries can log without threading a logger
 // object through every API.
+//
+// Hot-path discipline: every log_* template checks log_enabled() — one
+// relaxed atomic load — BEFORE building the message, so a filtered call
+// costs no string construction, no ostringstream, and no sink lock.
+#include <initializer_list>
 #include <sstream>
 #include <string>
+#include <utility>
 
 namespace lmmir::util {
 
@@ -13,8 +19,20 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// True when a message at `level` would be emitted (check before paying
+/// for formatting).
+bool log_enabled(LogLevel level);
+
 /// Emit one log line (a newline is appended).
 void log_message(LogLevel level, const std::string& msg);
+
+/// One structured stat line: "event key=value key2=value2 ..." — the
+/// single helper every subsystem's stat reporting routes through, so stat
+/// lines stay grep-able and machine-parseable.  Values are emitted
+/// verbatim (callers stringify).  Formats nothing when filtered.
+using LogKv = std::pair<const char*, std::string>;
+void log_stats(const std::string& event, std::initializer_list<LogKv> kvs,
+               LogLevel level = LogLevel::Info);
 
 namespace detail {
 template <typename... Args>
@@ -27,22 +45,22 @@ std::string concat(Args&&... args) {
 
 template <typename... Args>
 void log_debug(Args&&... args) {
-  if (log_level() <= LogLevel::Debug)
+  if (log_enabled(LogLevel::Debug))
     log_message(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
 }
 template <typename... Args>
 void log_info(Args&&... args) {
-  if (log_level() <= LogLevel::Info)
+  if (log_enabled(LogLevel::Info))
     log_message(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
 }
 template <typename... Args>
 void log_warn(Args&&... args) {
-  if (log_level() <= LogLevel::Warn)
+  if (log_enabled(LogLevel::Warn))
     log_message(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
 }
 template <typename... Args>
 void log_error(Args&&... args) {
-  if (log_level() <= LogLevel::Error)
+  if (log_enabled(LogLevel::Error))
     log_message(LogLevel::Error, detail::concat(std::forward<Args>(args)...));
 }
 

@@ -1,24 +1,37 @@
 #pragma once
-// Wall-clock stopwatch used for the paper's TAT (turn-around time) metric.
-#include <chrono>
+// Monotonic stopwatch used for the paper's TAT (turn-around time) metric
+// and all bench timing.  Built on obs::now_ns() — the process's single
+// steady-clock source — so stopwatch readings, span timestamps, and bench
+// records all live on one time scale (never the wall clock, which jumps
+// under NTP adjustment).
+#include <cstdint>
+
+#include "obs/clock.hpp"
 
 namespace lmmir::util {
 
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_ns_(obs::now_ns()) {}
 
-  void reset() { start_ = Clock::now(); }
+  void reset() { start_ns_ = obs::now_ns(); }
+
+  /// Elapsed nanoseconds since construction or the last reset().
+  std::uint64_t nanoseconds() const { return obs::now_ns() - start_ns_; }
 
   /// Elapsed seconds since construction or the last reset().
   double seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(nanoseconds()) * 1e-9;
   }
-  double milliseconds() const { return seconds() * 1e3; }
+  double milliseconds() const {
+    return static_cast<double>(nanoseconds()) * 1e-6;
+  }
+
+  /// Start stamp on the obs::now_ns() scale (span-comparable).
+  std::uint64_t start_ns() const { return start_ns_; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  std::uint64_t start_ns_;
 };
 
 }  // namespace lmmir::util

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Summarize a Chrome/Perfetto trace written via LMMIR_TRACE_FILE.
+
+Prints the top-N slowest individual spans and a per-name aggregate table
+(count / total / mean / max), so a trace can be triaged without loading
+it into the Perfetto UI.
+
+Usage:
+    tools/trace_summary.py trace.json [-n 10]
+"""
+import argparse
+import json
+import sys
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents", doc if isinstance(doc, list) else [])
+    # Complete ("X") events carry ts + dur in microseconds; metadata ("M")
+    # and other phases are not spans.
+    return [e for e in events if e.get("ph") == "X" and "dur" in e]
+
+
+def fmt_us(us):
+    if us >= 1e6:
+        return f"{us / 1e6:.3f} s"
+    if us >= 1e3:
+        return f"{us / 1e3:.3f} ms"
+    return f"{us:.1f} us"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="Chrome trace JSON (LMMIR_TRACE_FILE output)")
+    ap.add_argument("-n", "--top", type=int, default=10,
+                    help="number of slowest spans to list (default 10)")
+    args = ap.parse_args()
+
+    try:
+        spans = load_events(args.trace)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {args.trace}: {e}", file=sys.stderr)
+        return 1
+    if not spans:
+        print("no complete spans in trace")
+        return 0
+
+    print(f"{len(spans)} spans\n")
+    print(f"top {min(args.top, len(spans))} slowest spans:")
+    print(f"  {'dur':>12}  {'tid':>6}  name")
+    for e in sorted(spans, key=lambda e: e["dur"], reverse=True)[:args.top]:
+        print(f"  {fmt_us(e['dur']):>12}  {e.get('tid', '?'):>6}  {e['name']}")
+
+    agg = {}
+    for e in spans:
+        a = agg.setdefault(e["name"], [0, 0.0, 0.0])  # count, total, max
+        a[0] += 1
+        a[1] += e["dur"]
+        a[2] = max(a[2], e["dur"])
+    print("\nper-name aggregates (by total time):")
+    print(f"  {'count':>7}  {'total':>12}  {'mean':>12}  {'max':>12}  name")
+    for name, (count, total, mx) in sorted(agg.items(),
+                                           key=lambda kv: kv[1][1],
+                                           reverse=True):
+        print(f"  {count:>7}  {fmt_us(total):>12}  {fmt_us(total / count):>12}"
+              f"  {fmt_us(mx):>12}  {name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
