@@ -1,0 +1,362 @@
+// End-to-end raw-netlist serving: N tenant sessions × M revisions through
+// serve::SessionServer (parse → featurize with per-session warm reuse →
+// dynamic-batched inference), versus the cold uncached path.
+//
+// Scenario per thread count (LMMIR_BENCH_THREADS):
+//
+//   * each of N concurrent clients opens its own session with a full
+//     SPICE netlist, then streams M-1 load-sweep deltas (ValueEdit on
+//     every current source) and one replay of the final revision;
+//   * a cold reference is computed for every (session, revision) pair up
+//     front: parse the same text, apply the same edits, featurize with a
+//     fresh FeatureContext, single-request forward.
+//
+// Gates (exit non-zero on any failure — CI runs this as a smoke test):
+//
+//   * every warm (delta) revision reuses >= 4 of the 6 feature channels
+//     (the load-sweep topology-invariant set);
+//   * session-cache hit rate >= 0.8 over the N×M sweep;
+//   * every served map is bitwise identical to the cold uncached path, at
+//     every thread count in the list (default 1 and 8);
+//   * a memory-budgeted phase (budget ~2.5 sessions) actually evicts and
+//     its post-enforcement peak stays within the budget.
+//
+// The JSON perf record (throughput, hit rate, reuse counters, eviction
+// phase, obs metrics snapshot) goes to stdout and is appended to the
+// repo-root BENCH_serve_sessions.json history.
+//
+// Knobs (environment):
+//   LMMIR_BENCH_SESSIONS   concurrent tenant sessions N   (default 4)
+//   LMMIR_BENCH_REVISIONS  revisions per session M        (default 6)
+//   LMMIR_BENCH_SIDE       die side in µm                 (default 48)
+//   LMMIR_BENCH_THREADS    comma list of pool sizes       (default "1,8")
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "data/dataset.hpp"
+#include "features/feature_context.hpp"
+#include "gen/began.hpp"
+#include "models/registry.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/session.hpp"
+#include "spice/parser.hpp"
+#include "spice/writer.hpp"
+#include "tensor/tensor.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace lmmir;
+
+constexpr std::size_t kInputSide = 32;  // divisible by 2^levels of LMM-IR
+constexpr int kPcGrid = 4;
+constexpr double kSweepFactor = 1.07;
+
+std::string make_session_netlist_text(std::size_t session, double side_um) {
+  gen::GeneratorConfig cfg;
+  cfg.name = "sessbench" + std::to_string(session);
+  cfg.width_um = cfg.height_um = side_um;
+  cfg.seed = 515000 + session;
+  cfg.use_default_stack();
+  cfg.bump_pitch_um = std::max(6.0, side_um / 12.0);
+  cfg.total_current = 0.06 * (side_um * side_um) / (64.0 * 64.0);
+  return spice::write_netlist_string(gen::generate_pdn(cfg));
+}
+
+/// The load-sweep delta for revision r (1-based): every current source
+/// rescaled to base * factor^r.  Same edit list the server applies.
+std::vector<serve::ValueEdit> sweep_edits(const spice::Netlist& base,
+                                          int revision) {
+  std::vector<serve::ValueEdit> edits;
+  const auto& els = base.elements();
+  double factor = 1.0;
+  for (int r = 0; r < revision; ++r) factor *= kSweepFactor;
+  for (std::size_t i = 0; i < els.size(); ++i)
+    if (els[i].type == spice::ElementType::CurrentSource)
+      edits.push_back({i, els[i].value * factor});
+  return edits;
+}
+
+/// Cold uncached reference: fresh featurization + single-request forward
+/// (exactly what the offline evaluate path does).
+std::vector<float> cold_prediction(models::IrModel& model,
+                                   const spice::Netlist& nl,
+                                   const data::SampleOptions& sopts) {
+  data::SampleOptions cold_opts = sopts;
+  cold_opts.feature_context = nullptr;  // fresh context every time
+  const data::FeaturizedNetlist f = data::featurize_netlist(nl, cold_opts);
+  tensor::NoGradGuard no_grad;
+  const auto& cs = f.circuit.shape();
+  tensor::Tensor circuit = tensor::Tensor::from_data(
+      {1, cs[0], cs[1], cs[2]}, f.circuit.data());
+  circuit = data::slice_channels(circuit, model.in_channels());
+  const auto& ts = f.tokens.shape();
+  tensor::Tensor tokens =
+      tensor::Tensor::from_data({1, ts[0], ts[1]}, f.tokens.data());
+  return model.forward(circuit, tokens).data();
+}
+
+struct PhaseResult {
+  std::size_t threads = 0;
+  double wall_s = 0.0;
+  double rps = 0.0;
+  double hit_rate = 0.0;
+  std::size_t requests = 0;
+  std::size_t channels_reused = 0;
+  std::size_t channels_computed = 0;
+  std::size_t revision_reuses = 0;
+  std::size_t warm_reuse_failures = 0;  // delta revisions reusing < 4
+  std::size_t bitwise_failures = 0;
+};
+
+}  // namespace
+
+int main() {
+  obs::set_metrics_enabled(true);
+
+  const long sessions = benchio::env_long("LMMIR_BENCH_SESSIONS", 4);
+  const long revisions = benchio::env_long("LMMIR_BENCH_REVISIONS", 6);
+  const double side_um = benchio::env_double("LMMIR_BENCH_SIDE", 48.0);
+  const std::vector<std::size_t> thread_list = benchio::env_thread_list();
+  const std::size_t n_sessions = static_cast<std::size_t>(std::max(1l, sessions));
+  const std::size_t n_revisions =
+      static_cast<std::size_t>(std::max(2l, revisions));
+
+  auto model = std::shared_ptr<models::IrModel>(models::make_model("LMM-IR"));
+  model->set_training(false);
+
+  data::SampleOptions sample_opts;
+  sample_opts.input_side = kInputSide;
+  sample_opts.pc_grid = kPcGrid;
+
+  // --- Per-session inputs and cold references (revision 0 = full text,
+  // revisions 1..M-1 = cumulative load-sweep deltas, then one replay). ---
+  std::printf("preparing %zu sessions x %zu revisions (side %.0f um)...\n",
+              n_sessions, n_revisions, side_um);
+  std::vector<std::string> texts(n_sessions);
+  std::vector<std::vector<std::vector<serve::ValueEdit>>> edits(n_sessions);
+  std::vector<std::vector<std::vector<float>>> reference(n_sessions);
+  for (std::size_t s = 0; s < n_sessions; ++s) {
+    texts[s] = make_session_netlist_text(s, side_um);
+    spice::Netlist ref = spice::parse_netlist_string(texts[s]);
+    const spice::Netlist base = ref;  // pristine values for the sweep
+    edits[s].resize(n_revisions);
+    for (std::size_t r = 0; r < n_revisions; ++r) {
+      if (r > 0) {
+        edits[s][r] = sweep_edits(base, static_cast<int>(r));
+        for (const serve::ValueEdit& e : edits[s][r])
+          ref.set_element_value(e.element_index, e.value);
+      }
+      reference[s].push_back(cold_prediction(*model, ref, sample_opts));
+    }
+  }
+
+  // --- Serve phases: one fresh SessionServer per thread count. ---
+  std::vector<PhaseResult> phases;
+  for (const std::size_t threads : thread_list) {
+    runtime::set_global_threads(threads);
+    serve::SessionServeOptions sopts;
+    sopts.sample = sample_opts;
+    sopts.serve.max_batch = 4;
+    sopts.serve.max_wait_us = 2000;
+    serve::SessionServer server(model, sopts);
+
+    PhaseResult phase;
+    phase.threads = threads;
+    std::vector<std::size_t> reuse_failures(n_sessions, 0);
+    std::vector<std::size_t> bitwise_failures(n_sessions, 0);
+
+    util::Stopwatch wall;
+    std::vector<std::thread> clients;
+    for (std::size_t s = 0; s < n_sessions; ++s) {
+      clients.emplace_back([&, s] {
+        const std::string sid = "tenant" + std::to_string(s);
+        auto check = [&](const serve::SessionResult& res, std::size_t rev,
+                         bool warm_delta) {
+          if (warm_delta && res.channels_reused < 4) ++reuse_failures[s];
+          const std::vector<float>& want = reference[s][rev];
+          const auto& got = res.map.data();
+          if (got.size() != want.size()) {
+            ++bitwise_failures[s];
+            return;
+          }
+          for (std::size_t j = 0; j < want.size(); ++j)
+            if (got[j] != want[j]) {
+              ++bitwise_failures[s];
+              return;
+            }
+        };
+        for (std::size_t r = 0; r < n_revisions; ++r) {
+          serve::SessionRequest req;
+          req.session_id = sid;
+          req.id = sid + "/rev" + std::to_string(r);
+          if (r == 0)
+            req.netlist_text = texts[s];
+          else
+            req.edits = edits[s][r];
+          check(server.predict(std::move(req)), r, r > 0);
+        }
+        serve::SessionRequest replay;  // same revision: featurize skipped
+        replay.session_id = sid;
+        replay.id = sid + "/replay";
+        check(server.predict(std::move(replay)), n_revisions - 1, false);
+      });
+    }
+    for (auto& c : clients) c.join();
+    phase.wall_s = wall.seconds();
+
+    const serve::SessionCacheStats cache = server.cache_stats();
+    phase.requests = cache.requests;
+    phase.rps = phase.wall_s > 0.0
+                    ? static_cast<double>(cache.requests) / phase.wall_s
+                    : 0.0;
+    phase.hit_rate =
+        cache.requests > 0
+            ? static_cast<double>(cache.hits) / static_cast<double>(cache.requests)
+            : 0.0;
+    phase.channels_reused = cache.channels_reused;
+    phase.channels_computed = cache.channels_computed;
+    phase.revision_reuses = cache.revision_reuses;
+    for (std::size_t s = 0; s < n_sessions; ++s) {
+      phase.warm_reuse_failures += reuse_failures[s];
+      phase.bitwise_failures += bitwise_failures[s];
+    }
+    phases.push_back(phase);
+    std::printf(
+        "threads %zu: %zu requests in %.2fs (%.1f req/s) | hit rate %.3f | "
+        "channels reused/computed %zu/%zu | revision reuses %zu\n",
+        threads, phase.requests, phase.wall_s, phase.rps, phase.hit_rate,
+        phase.channels_reused, phase.channels_computed, phase.revision_reuses);
+  }
+  runtime::set_global_threads(1);
+
+  // --- Eviction phase: pilot-measure one session's footprint, budget
+  // ~2.5 sessions, then stream 6 single-revision tenants through. ---
+  std::size_t pilot_bytes = 0;
+  {
+    serve::SessionServeOptions sopts;
+    sopts.sample = sample_opts;
+    serve::SessionServer pilot(model, sopts);
+    serve::SessionRequest req;
+    req.session_id = "pilot";
+    req.id = "pilot/rev0";
+    req.netlist_text = texts[0];
+    pilot.predict(std::move(req));
+    pilot_bytes = pilot.cache_stats().resident_bytes;
+  }
+  const std::size_t budget = pilot_bytes * 5 / 2;
+  std::size_t evict_peak = 0, evictions_memory = 0, evict_resident = 0,
+              evict_sessions = 0;
+  {
+    serve::SessionServeOptions sopts;
+    sopts.sample = sample_opts;
+    sopts.max_resident_bytes = budget;
+    serve::SessionServer server(model, sopts);
+    for (std::size_t s = 0; s < 6; ++s) {
+      serve::SessionRequest req;
+      req.session_id = "evict" + std::to_string(s);
+      req.id = req.session_id + "/rev0";
+      req.netlist_text = texts[s % n_sessions];
+      server.predict(std::move(req));
+    }
+    const serve::SessionCacheStats cache = server.cache_stats();
+    evict_peak = cache.peak_resident_bytes;
+    evictions_memory = cache.evictions_memory;
+    evict_resident = cache.resident_bytes;
+    evict_sessions = cache.sessions;
+  }
+  std::printf(
+      "eviction: pilot %zu B, budget %zu B -> peak %zu B, resident %zu B, "
+      "%zu sessions cached, %zu memory evictions\n",
+      pilot_bytes, budget, evict_peak, evict_resident, evict_sessions,
+      evictions_memory);
+
+  // --- Gates. ---
+  bool ok = true;
+  for (const PhaseResult& p : phases) {
+    if (p.warm_reuse_failures > 0) {
+      std::fprintf(stderr,
+                   "FAIL: threads %zu: %zu warm revision(s) reused < 4 of %d "
+                   "feature channels\n",
+                   p.threads, p.warm_reuse_failures, feat::kChannelCount);
+      ok = false;
+    }
+    if (p.hit_rate < 0.8) {
+      std::fprintf(stderr,
+                   "FAIL: threads %zu: session-cache hit rate %.3f < 0.8\n",
+                   p.threads, p.hit_rate);
+      ok = false;
+    }
+    if (p.bitwise_failures > 0) {
+      std::fprintf(stderr,
+                   "FAIL: threads %zu: %zu served map(s) diverge from the "
+                   "cold uncached path\n",
+                   p.threads, p.bitwise_failures);
+      ok = false;
+    }
+    if (p.revision_reuses < n_sessions) {
+      std::fprintf(stderr,
+                   "FAIL: threads %zu: replay requests hit the featurizer "
+                   "(%zu revision reuses < %zu sessions)\n",
+                   p.threads, p.revision_reuses, n_sessions);
+      ok = false;
+    }
+  }
+  if (evictions_memory == 0) {
+    std::fprintf(stderr, "FAIL: memory-budget phase evicted nothing\n");
+    ok = false;
+  }
+  if (budget > 0 && evict_peak > budget) {
+    std::fprintf(stderr,
+                 "FAIL: post-enforcement peak %zu B exceeds budget %zu B\n",
+                 evict_peak, budget);
+    ok = false;
+  }
+
+  // --- Record. ---
+  benchio::JsonRecord rec;
+  rec.printf("{\n");
+  rec.printf("  \"bench\": \"serve_sessions\",\n");
+  rec.printf("  \"sessions\": %zu,\n", n_sessions);
+  rec.printf("  \"revisions\": %zu,\n", n_revisions);
+  rec.printf("  \"side_um\": %.1f,\n", side_um);
+  rec.printf("  \"input_side\": %zu,\n", kInputSide);
+  rec.printf("  \"phases\": [\n");
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseResult& p = phases[i];
+    rec.printf(
+        "    {\"threads\": %zu, \"wall_s\": %.4f, \"rps\": %.2f, "
+        "\"hit_rate\": %.4f, \"requests\": %zu, \"channels_reused\": %zu, "
+        "\"channels_computed\": %zu, \"revision_reuses\": %zu, "
+        "\"bitwise_failures\": %zu}%s\n",
+        p.threads, p.wall_s, p.rps, p.hit_rate, p.requests, p.channels_reused,
+        p.channels_computed, p.revision_reuses, p.bitwise_failures,
+        i + 1 < phases.size() ? "," : "");
+  }
+  rec.printf("  ],\n");
+  rec.printf(
+      "  \"eviction\": {\"pilot_bytes\": %zu, \"budget_bytes\": %zu, "
+      "\"peak_bytes\": %zu, \"resident_bytes\": %zu, \"sessions\": %zu, "
+      "\"memory_evictions\": %zu},\n",
+      pilot_bytes, budget, evict_peak, evict_resident, evict_sessions,
+      evictions_memory);
+  rec.printf("  \"ok\": %s,\n", ok ? "true" : "false");
+  rec.printf("  \"metrics\": %s\n", benchio::metrics_snapshot().c_str());
+  rec.printf("}\n");
+  std::printf("%s", rec.text().c_str());
+  benchio::append_history("serve_sessions", rec.text());
+
+  if (!ok) {
+    std::fprintf(stderr, "bench_serve_sessions: GATES FAILED\n");
+    return 1;
+  }
+  std::printf("bench_serve_sessions: all gates passed\n");
+  return 0;
+}

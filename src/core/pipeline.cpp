@@ -54,6 +54,14 @@ PipelineOptions PipelineOptions::from_environment() {
   o.solver_context_reuse = env_long("LMMIR_SOLVER_REUSE", 1) != 0;
   o.feature_context_reuse = env_long("LMMIR_FEATURE_REUSE", 1) != 0;
   o.tensor_arena = env_long("LMMIR_TENSOR_ARENA", 1) != 0;
+  o.session_cache_sessions = static_cast<std::size_t>(
+      env_long("LMMIR_SESSION_CACHE",
+               static_cast<long>(o.session_cache_sessions)));
+  o.session_cache_bytes =
+      static_cast<std::size_t>(env_long(
+          "LMMIR_SESSION_CACHE_MB",
+          static_cast<long>(o.session_cache_bytes >> 20)))
+      << 20;
   return o;
 }
 
@@ -123,6 +131,21 @@ std::unique_ptr<serve::InferenceServer> Pipeline::make_server(
     std::shared_ptr<models::IrModel> model, serve::ServeOptions options) const {
   options.use_tensor_arena = options.use_tensor_arena && opts_.tensor_arena;
   return std::make_unique<serve::InferenceServer>(std::move(model), options);
+}
+
+std::unique_ptr<serve::SessionServer> Pipeline::make_session_server(
+    std::shared_ptr<models::IrModel> model,
+    serve::SessionServeOptions options) const {
+  options.serve.use_tensor_arena =
+      options.serve.use_tensor_arena && opts_.tensor_arena;
+  options.sample = opts_.sample;
+  // Per-session FeatureContexts are owned by the cache; no shared solver
+  // either (serving never golden-solves).
+  options.sample.solver_context = nullptr;
+  options.sample.feature_context = nullptr;
+  options.max_sessions = opts_.session_cache_sessions;
+  options.max_resident_bytes = opts_.session_cache_bytes;
+  return std::make_unique<serve::SessionServer>(std::move(model), options);
 }
 
 std::vector<train::EvalCase> Pipeline::train_and_evaluate(

@@ -17,7 +17,10 @@
 //   LMMIR_FEATURE_REUSE (0 disables the shared feat::FeatureContext during
 //   dataset / testset feature extraction; see docs/FEATURES.md),
 //   LMMIR_TENSOR_ARENA (0 disables arena-backed tensor recycling on the
-//   inference path; see docs/TENSOR.md).
+//   inference path; see docs/TENSOR.md),
+//   LMMIR_SESSION_CACHE (max cached sessions in make_session_server),
+//   LMMIR_SESSION_CACHE_MB (session-cache memory budget, MiB; see
+//   docs/SERVING.md).
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,6 +28,7 @@
 #include "data/dataset.hpp"
 #include "models/common.hpp"
 #include "serve/server.hpp"
+#include "serve/session.hpp"
 #include "train/trainer.hpp"
 
 namespace lmmir::core {
@@ -54,6 +58,12 @@ struct PipelineOptions {
   /// disable.  make_server() ANDs this with ServeOptions::
   /// use_tensor_arena, so either knob can switch arenas off.
   bool tensor_arena = true;
+  /// Session-cache bounds for make_session_server (raw-netlist serving):
+  /// max concurrently cached tenant sessions and the memory budget over
+  /// their estimated resident bytes.  Env: LMMIR_SESSION_CACHE,
+  /// LMMIR_SESSION_CACHE_MB (0 = unbounded; see docs/SERVING.md).
+  std::size_t session_cache_sessions = 64;
+  std::size_t session_cache_bytes = 256ull << 20;
 
   /// Defaults overridden from LMMIR_* environment variables.
   static PipelineOptions from_environment();
@@ -89,6 +99,16 @@ class Pipeline {
   std::unique_ptr<serve::InferenceServer> make_server(
       std::shared_ptr<models::IrModel> model,
       serve::ServeOptions options = {}) const;
+
+  /// Put a model behind an end-to-end raw-netlist session server: clients
+  /// send SPICE text or value-edit deltas keyed by session id; feature
+  /// extraction runs server-side with per-session warm reuse (see
+  /// serve/session.hpp and docs/SERVING.md).  Featurization options
+  /// (input side, token grid) and the session-cache bounds come from this
+  /// pipeline's options; `options.sample` is overwritten accordingly.
+  std::unique_ptr<serve::SessionServer> make_session_server(
+      std::shared_ptr<models::IrModel> model,
+      serve::SessionServeOptions options = {}) const;
 
  private:
   PipelineOptions opts_;

@@ -21,6 +21,44 @@ double percent_mae_to_1e4_volts(double mae_percent, double vdd) {
   return mae_percent / 100.0 * vdd * 1e4;
 }
 
+FeaturizedNetlist featurize_netlist(const spice::Netlist& netlist,
+                                    const SampleOptions& opts) {
+  FeaturizedNetlist f;
+
+  // Circuit modality: the canonical channel stack, adjusted to the model
+  // side and normalized per channel (paper Sec. III-A).  A caller-shared
+  // FeatureContext reuses topology-invariant channels across consecutive
+  // same-topology netlists; the local fallback still gets the single-pass
+  // + parallel extraction (and is bitwise identical — cold == warm).
+  feat::FeatureContext local_feature_context;
+  feat::FeatureContext& feature_context = opts.feature_context
+                                              ? *opts.feature_context
+                                              : local_feature_context;
+  const feat::FeatureMaps& maps = feature_context.extract(netlist);
+  std::vector<float> circuit_data;
+  circuit_data.reserve(feat::kChannelCount * opts.input_side * opts.input_side);
+  for (int c = 0; c < feat::kChannelCount; ++c) {
+    feat::AdjustInfo info;
+    const grid::Grid2D adj =
+        feat::adjust_to_side(maps.channel(c), opts.input_side, info);
+    const grid::Grid2D normed = feat::normalize_channel_fixed(adj, c);
+    circuit_data.insert(circuit_data.end(), normed.data().begin(),
+                        normed.data().end());
+    if (c == 0) f.adjust = info;
+  }
+  const int side = static_cast<int>(opts.input_side);
+  f.circuit = tensor::Tensor::from_data(
+      {feat::kChannelCount, side, side}, std::move(circuit_data));
+
+  // Netlist modality: point cloud -> fixed token grid.
+  const pc::Cloud cloud = pc::cloud_from_netlist(netlist);
+  const pc::TokenGrid grid_tokens = pc::grid_pool(cloud, opts.pc_grid);
+  f.tokens = tensor::Tensor::from_data(
+      {static_cast<int>(grid_tokens.token_count()), pc::kTokenFeatureDim},
+      grid_tokens.features);
+  return f;
+}
+
 Sample make_sample(const spice::Netlist& netlist, const std::string& name,
                    const SampleOptions& opts) {
   Sample s;
@@ -42,44 +80,21 @@ Sample make_sample(const spice::Netlist& netlist, const std::string& name,
   truth.scale(static_cast<float>(100.0 / s.vdd));  // volts -> percent
   s.truth_full = truth;
 
-  // Circuit modality: the canonical channel stack, adjusted to the model
-  // side and normalized per channel (paper Sec. III-A).  A caller-shared
-  // FeatureContext reuses topology-invariant channels across consecutive
-  // same-topology netlists; the local fallback still gets the single-pass
-  // + parallel extraction (and is bitwise identical — cold == warm).
-  feat::FeatureContext local_feature_context;
-  feat::FeatureContext& feature_context = opts.feature_context
-                                              ? *opts.feature_context
-                                              : local_feature_context;
-  const feat::FeatureMaps& maps = feature_context.extract(netlist);
-  std::vector<float> circuit_data;
-  circuit_data.reserve(feat::kChannelCount * opts.input_side * opts.input_side);
-  for (int c = 0; c < feat::kChannelCount; ++c) {
-    feat::AdjustInfo info;
-    const grid::Grid2D adj =
-        feat::adjust_to_side(maps.channel(c), opts.input_side, info);
-    const grid::Grid2D normed = feat::normalize_channel_fixed(adj, c);
-    circuit_data.insert(circuit_data.end(), normed.data().begin(),
-                        normed.data().end());
-    if (c == 0) s.adjust = info;
-  }
-  const int side = static_cast<int>(opts.input_side);
-  s.circuit = tensor::Tensor::from_data(
-      {feat::kChannelCount, side, side}, std::move(circuit_data));
+  // Inference-side inputs (channel stack + tokens), shared verbatim with
+  // the serving path so a served request sees the exact tensors a sample
+  // would carry.
+  FeaturizedNetlist f = featurize_netlist(netlist, opts);
+  s.circuit = std::move(f.circuit);
+  s.tokens = std::move(f.tokens);
+  s.adjust = f.adjust;
 
   // Target, same spatial adjustment, in scaled-percent units.
+  const int side = static_cast<int>(opts.input_side);
   feat::AdjustInfo target_info;
   grid::Grid2D target_adj =
       feat::adjust_to_side(truth, opts.input_side, target_info);
   target_adj.scale(kTargetScale);
   s.target = tensor::Tensor::from_data({1, side, side}, target_adj.data());
-
-  // Netlist modality: point cloud -> fixed token grid.
-  const pc::Cloud cloud = pc::cloud_from_netlist(netlist);
-  const pc::TokenGrid grid_tokens = pc::grid_pool(cloud, opts.pc_grid);
-  s.tokens = tensor::Tensor::from_data(
-      {static_cast<int>(grid_tokens.token_count()), pc::kTokenFeatureDim},
-      grid_tokens.features);
   return s;
 }
 

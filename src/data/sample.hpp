@@ -61,6 +61,25 @@ struct Sample {
   std::size_t node_count = 0;
 };
 
+/// The inference-side inputs of a sample: the adjusted+normalized circuit
+/// channel stack, the pooled netlist tokens, and the pad/scale record
+/// needed to restore predictions — everything a served prediction needs,
+/// with NO golden solve (the model replaces it).  This is exactly the
+/// input half of make_sample; the serving path (serve::SessionServer)
+/// builds requests from it.
+struct FeaturizedNetlist {
+  tensor::Tensor circuit;   // [feat::kChannelCount, S, S], normalized
+  tensor::Tensor tokens;    // [G*G, pc::kTokenFeatureDim]
+  feat::AdjustInfo adjust;  // pad/scale record for restoring predictions
+};
+
+/// Featurize a netlist for inference.  Honors opts.feature_context the
+/// same way make_sample does (warm channel reuse for same-topology
+/// netlists; results bitwise identical to a cold extraction).  Throws
+/// like compute_feature_maps.
+FeaturizedNetlist featurize_netlist(const spice::Netlist& netlist,
+                                    const SampleOptions& opts);
+
 /// Build a sample from an already-parsed netlist (solves the golden IR
 /// drop as ground truth).
 Sample make_sample(const spice::Netlist& netlist, const std::string& name,

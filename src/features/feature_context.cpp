@@ -360,6 +360,14 @@ void FeatureContext::invalidate() {
   maps_ = {};
 }
 
+std::size_t FeatureContext::resident_bytes() const {
+  std::size_t bytes = sizeof(FeatureContext);
+  for (int c = 0; c < kChannelCount; ++c)
+    bytes += maps_.channel(c).data().capacity() * sizeof(float);
+  bytes += prev_.resident_bytes();
+  return bytes;
+}
+
 std::vector<FeatureMaps> compute_feature_maps_batch(
     const std::vector<const Netlist*>& netlists, std::size_t stripes,
     FeatureContextStats* aggregate) {

@@ -77,6 +77,14 @@ struct ClassifiedNetlist {
   std::vector<PointSource> current_sources;  // tap pixel + amps
   std::vector<PointSource> voltage_sources;  // pin pixel + volts
   std::vector<Segment> resistors;            // endpoint pixels + ohms
+
+  /// Estimated heap footprint of the classification lists (accounting for
+  /// cache memory budgets; capacity-based, not allocator-exact).
+  std::size_t resident_bytes() const {
+    return current_sources.capacity() * sizeof(PointSource) +
+           voltage_sources.capacity() * sizeof(PointSource) +
+           resistors.capacity() * sizeof(Segment);
+  }
 };
 
 /// One pass over nl.elements() with a shared node→pixel cache.  Throws
@@ -134,6 +142,11 @@ class FeatureContext {
   /// Drop every cached channel; the next extract recomputes all six.
   /// Stats are preserved.
   void invalidate();
+
+  /// Estimated heap footprint of the cached state (six rasterized grids
+  /// plus the previous classification lists).  Used by session caches
+  /// (serve::SessionServer) to enforce memory budgets.
+  std::size_t resident_bytes() const;
 
   const FeatureContextStats& stats() const { return stats_; }
 

@@ -35,6 +35,7 @@ struct ServeMetrics {
       obs::counter("lmmir_serve_rejected_queue_full_total");
   obs::Counter& rejected_shutdown =
       obs::counter("lmmir_serve_rejected_shutdown_total");
+  obs::Counter& timed_out = obs::counter("lmmir_serve_timed_out_total");
   obs::Counter& failed = obs::counter("lmmir_serve_failed_total");
   obs::Gauge& queue_depth = obs::gauge("lmmir_serve_queue_depth");
   obs::Histogram& latency = obs::histogram("lmmir_serve_request_latency_us",
@@ -61,6 +62,20 @@ double percentile(const std::vector<double>& sorted, double p) {
 }
 
 }  // namespace
+
+const char* reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::QueueFull: return "queue_full";
+    case RejectReason::Shutdown: return "shutdown";
+    case RejectReason::DeadlineExceeded: return "deadline_exceeded";
+  }
+  return "unknown";
+}
+
+double throughput_rps(std::size_t completed, double span_seconds) {
+  if (completed == 0 || !(span_seconds > 0.0)) return 0.0;
+  return static_cast<double>(completed) / span_seconds;
+}
 
 InferenceServer::InferenceServer(std::shared_ptr<models::IrModel> model,
                                  ServeOptions options)
@@ -104,27 +119,40 @@ std::future<PredictResult> InferenceServer::submit(PredictRequest request) {
   p.arrival = Clock::now();
   std::future<PredictResult> fut = p.promise.get_future();
   {
-    // Before the request becomes visible to dispatchers, so last_done_ can
-    // never precede first_submit_ (keeps the throughput span positive).
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    if (!any_submit_) {
-      first_submit_ = p.arrival;
-      any_submit_ = true;
-    }
-  }
-  {
     std::lock_guard<std::mutex> lock(mu_);
+    // Admission first: a rejected submission must leave the lifetime
+    // bookkeeping untouched, or every rejection before the first admitted
+    // request would stretch the throughput_rps span to cover traffic the
+    // server never accepted.
     if (stopping_) {
       rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
       ServeMetrics::get().rejected_shutdown.add();
-      throw std::runtime_error("submit: server is shut down");
+      throw RejectedError(RejectReason::Shutdown, 0,
+                          "submit: server is shut down");
     }
     if (opts_.max_queue > 0 && queue_.size() >= opts_.max_queue) {
       rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
       ServeMetrics::get().rejected_full.add();
-      throw std::runtime_error("submit: queue full (" +
-                               std::to_string(opts_.max_queue) +
-                               " pending); retry later");
+      // Retry hint: one batching window — the time for the window holding
+      // the queue at capacity to close and dispatch (floored so max_wait 0
+      // still suggests a non-zero backoff).
+      const std::uint64_t retry_us = std::max<std::uint64_t>(
+          opts_.max_wait_us, 100);
+      throw RejectedError(RejectReason::QueueFull, retry_us,
+                          "submit: queue full (" +
+                              std::to_string(opts_.max_queue) +
+                              " pending); retry later");
+    }
+    {
+      // Admitted: stamp before the request becomes visible to
+      // dispatchers, so last_done_ can never precede first_submit_.
+      // stats_mu_ nests inside mu_ here; nothing takes mu_ under
+      // stats_mu_, so the order is acyclic.
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      if (!any_submit_) {
+        first_submit_ = p.arrival;
+        any_submit_ = true;
+      }
     }
     queue_.push_back(std::move(p));
     // Under the lock, like the dispatcher's drain-side write: depth sets
@@ -150,11 +178,26 @@ bool InferenceServer::batchable(const PredictRequest& a,
   return true;
 }
 
+void InferenceServer::collect_expired_locked(std::vector<Pending>& expired) {
+  const auto now = Clock::now();
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->request.deadline_us > 0 &&
+        now >= it->arrival +
+                   std::chrono::microseconds(it->request.deadline_us)) {
+      expired.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void InferenceServer::dispatcher_loop(std::size_t worker_index) {
   tensor::TensorArena* arena =
       worker_index < arenas_.size() ? arenas_[worker_index].get() : nullptr;
   for (;;) {
     std::vector<Pending> batch;
+    std::vector<Pending> expired;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
@@ -172,19 +215,42 @@ void InferenceServer::dispatcher_loop(std::size_t worker_index) {
         if (Clock::now() >= deadline) break;
         cv_.wait_until(lock, deadline);
       }
-      if (queue_.empty()) continue;  // another dispatcher raced us to it
 
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-      while (batch.size() < opts_.max_batch && !queue_.empty() &&
-             batchable(batch.front().request, queue_.front().request)) {
+      // Per-request deadlines are enforced here, at batch formation: a
+      // request that already cannot be answered in time is dropped before
+      // the batch is stacked, so its slot (and the forward-pass compute)
+      // goes to requests that can still meet theirs.  Promises are
+      // fulfilled after unlocking.
+      collect_expired_locked(expired);
+
+      if (!queue_.empty()) {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
+        while (batch.size() < opts_.max_batch && !queue_.empty() &&
+               batchable(batch.front().request, queue_.front().request)) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
       }
       // Authoritative write under the queue lock: the gauge tracks drains
-      // as well as submits (otherwise it freezes at the last submit depth).
+      // and expiries as well as submits (otherwise it freezes at the last
+      // submit depth).
       ServeMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
     }
+    if (!expired.empty()) {
+      timed_out_.fetch_add(expired.size(), std::memory_order_relaxed);
+      ServeMetrics::get().timed_out.add(expired.size());
+      for (auto& p : expired) {
+        const double waited = elapsed_us(p.arrival, Clock::now());
+        p.promise.set_exception(std::make_exception_ptr(RejectedError(
+            RejectReason::DeadlineExceeded, 0,
+            "batch formation: deadline of " +
+                std::to_string(p.request.deadline_us) + " us exceeded (" +
+                std::to_string(static_cast<std::uint64_t>(waited)) +
+                " us in queue)")));
+      }
+    }
+    if (batch.empty()) continue;  // raced, drained, or everything expired
     run_batch(batch, arena);  // resets the arena before fulfilling promises
   }
 }
@@ -376,6 +442,7 @@ ServerStats InferenceServer::stats() const {
   ServerStats s;
   s.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
   s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  s.timed_out = timed_out_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
   std::vector<double> lat;
   Clock::time_point first, last;
@@ -405,9 +472,11 @@ ServerStats InferenceServer::stats() const {
   s.mean_us = sum / static_cast<double>(lat.size());
 
   if (any) {
-    const double span_s =
-        std::max(1e-9, std::chrono::duration<double>(last - first).count());
-    s.throughput_rps = static_cast<double>(s.completed) / span_s;
+    // A zero span is real (the only completions can share one timestamp
+    // on a coarse steady_clock); the helper reports 0 for it instead of
+    // the inf-like rate a 1e-9 floor used to manufacture.
+    s.throughput_rps = throughput_rps(
+        s.completed, std::chrono::duration<double>(last - first).count());
   }
   return s;
 }
@@ -422,13 +491,18 @@ PredictRequest request_from_sample(const data::Sample& sample) {
 
 grid::Grid2D restore_percent_map(const PredictResult& result,
                                  const data::Sample& sample) {
+  return restore_percent_map(result, sample.adjust);
+}
+
+grid::Grid2D restore_percent_map(const PredictResult& result,
+                                 const feat::AdjustInfo& adjust) {
   if (!result.map.defined() || result.map.ndim() != 3)
     throw std::invalid_argument("restore_percent_map: expects a [1,S,S] map");
   const std::size_t side = static_cast<std::size_t>(result.map.dim(1));
   grid::Grid2D map(side, side);
   map.data() = result.map.data();
   map.scale(1.0f / data::kTargetScale);
-  return feat::restore_from_side(map, sample.adjust);
+  return feat::restore_from_side(map, adjust);
 }
 
 }  // namespace lmmir::serve

@@ -30,6 +30,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,6 +41,41 @@
 #include "tensor/tensor.hpp"
 
 namespace lmmir::serve {
+
+/// Why an admission decision refused a request.
+enum class RejectReason {
+  QueueFull,         // backpressure: pending queue at max_queue
+  Shutdown,          // server no longer accepts work
+  DeadlineExceeded,  // request expired before batch formation
+};
+
+const char* reject_reason_name(RejectReason reason);
+
+/// Typed admission-control rejection.  Clients that catch RejectedError
+/// can back off programmatically (reason + retry_after_us) instead of
+/// parsing what(); catching std::runtime_error keeps working because the
+/// what() text is unchanged from the pre-typed throws.
+///
+///   retry_after_us > 0  — transient: retry after the hint (queue-full
+///                         rejections hint one batching window, the time
+///                         for the current window to drain);
+///   retry_after_us == 0 — permanent for this server (shutdown) or for
+///                         this request (deadline already exceeded).
+class RejectedError : public std::runtime_error {
+ public:
+  RejectedError(RejectReason reason, std::uint64_t retry_after_us,
+                const std::string& what_text)
+      : std::runtime_error(what_text),
+        reason_(reason),
+        retry_after_us_(retry_after_us) {}
+
+  RejectReason reason() const { return reason_; }
+  std::uint64_t retry_after_us() const { return retry_after_us_; }
+
+ private:
+  RejectReason reason_;
+  std::uint64_t retry_after_us_;
+};
 
 struct ServeOptions {
   std::size_t max_batch = 8;       // largest coalesced batch
@@ -63,6 +99,15 @@ struct PredictRequest {
   tensor::Tensor circuit;  // [C,S,S]; C >= model in_channels (extra sliced)
   tensor::Tensor tokens;   // [T,F] netlist tokens; may be undefined for
                            // single-modality models
+  /// Per-request deadline, microseconds after submit() admitted the
+  /// request (0 = none).  Enforced at batch-formation time: a request
+  /// whose deadline passed while it waited in the queue is dropped before
+  /// the batch is stacked and its future rethrows RejectedError
+  /// {DeadlineExceeded} — the compute it would have wasted goes to
+  /// requests that can still meet theirs.  A request already inside a
+  /// forming batch runs to completion (deadlines bound queue wait, not
+  /// compute).
+  std::uint64_t deadline_us = 0;
 };
 
 struct PredictResult {
@@ -92,6 +137,9 @@ struct ServerStats {
   /// rejected future vanished without a trace.
   std::size_t rejected_queue_full = 0;
   std::size_t rejected_shutdown = 0;
+  /// Requests admitted but dropped at batch formation because their
+  /// deadline_us expired while queued (future rethrows RejectedError).
+  std::size_t timed_out = 0;
   std::size_t failed = 0;
   double p50_us = 0.0;
   double p95_us = 0.0;
@@ -103,6 +151,14 @@ struct ServerStats {
   std::size_t max_batch_seen = 0;
 };
 
+/// Lifetime throughput from completions over the span between the first
+/// ADMITTED submission and the last completion.  Defensive against
+/// degenerate spans: zero completions, or a zero/negative span (every
+/// completion sharing one timestamp on a coarse clock, or a span computed
+/// from default-constructed time points) report 0 instead of inf/NaN or a
+/// 1e9x-inflated rate.  Exposed for direct unit testing; stats() uses it.
+double throughput_rps(std::size_t completed, double span_seconds);
+
 class InferenceServer {
  public:
   explicit InferenceServer(std::shared_ptr<models::IrModel> model,
@@ -112,9 +168,14 @@ class InferenceServer {
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
-  /// Enqueue from any thread.  The future rethrows inference errors.
-  /// Throws std::runtime_error after shutdown() or when the pending queue
-  /// is at max_queue (backpressure — retry later).
+  /// Enqueue from any thread.  The future rethrows inference errors (and
+  /// RejectedError{DeadlineExceeded} when request.deadline_us expired
+  /// before batch formation).  Throws RejectedError{Shutdown} after
+  /// shutdown() and RejectedError{QueueFull, retry_after_us} when the
+  /// pending queue is at max_queue (backpressure — both are
+  /// std::runtime_error subclasses with the historical what() text).
+  /// Rejected submissions leave the lifetime/throughput bookkeeping
+  /// untouched: only admitted requests count.
   std::future<PredictResult> submit(PredictRequest request);
 
   /// Synchronous convenience wrapper: submit + wait.
@@ -150,6 +211,9 @@ class InferenceServer {
   void dispatcher_loop(std::size_t worker_index);
   void run_batch(std::vector<Pending>& batch, tensor::TensorArena* arena);
   static bool batchable(const PredictRequest& a, const PredictRequest& b);
+  /// Move queued requests whose deadline passed into `expired` (called
+  /// under mu_; promises are fulfilled by the caller after unlocking).
+  void collect_expired_locked(std::vector<Pending>& expired);
 
   std::shared_ptr<models::IrModel> model_;
   ServeOptions opts_;
@@ -166,6 +230,7 @@ class InferenceServer {
   // throw paths where taking the stats lock would be wasted work.
   std::atomic<std::size_t> rejected_queue_full_{0};
   std::atomic<std::size_t> rejected_shutdown_{0};
+  std::atomic<std::size_t> timed_out_{0};
   std::atomic<std::size_t> failed_{0};
 
   mutable std::mutex stats_mu_;
@@ -188,5 +253,10 @@ PredictRequest request_from_sample(const data::Sample& sample);
 /// half of train::predict_map).
 grid::Grid2D restore_percent_map(const PredictResult& result,
                                  const data::Sample& sample);
+
+/// Same, from a bare adjustment record (the serving path, where there is
+/// no Sample — only the AdjustInfo recorded at featurization time).
+grid::Grid2D restore_percent_map(const PredictResult& result,
+                                 const feat::AdjustInfo& adjust);
 
 }  // namespace lmmir::serve

@@ -106,4 +106,20 @@ Netlist::PixelShape Netlist::pixel_shape() const {
   return s;
 }
 
+std::size_t Netlist::resident_bytes() const {
+  std::size_t bytes = sizeof(Netlist);
+  bytes += elements_.capacity() * sizeof(Element);
+  for (const auto& e : elements_) bytes += e.name.capacity();
+  bytes += nodes_.capacity() * sizeof(Node);
+  for (const auto& n : nodes_) bytes += n.raw_name.capacity();
+  // Hash map: one bucket pointer per bucket plus a node (key copy + id +
+  // chain link) per entry — the dominant unordered_map costs.
+  bytes += node_index_.bucket_count() * sizeof(void*);
+  for (const auto& [name, id] : node_index_) {
+    (void)id;
+    bytes += name.capacity() + sizeof(NodeId) + 2 * sizeof(void*);
+  }
+  return bytes;
+}
+
 }  // namespace lmmir::spice

@@ -86,6 +86,11 @@ class Netlist {
   };
   PixelShape pixel_shape() const;
 
+  /// Estimated heap footprint of this netlist (elements, interned nodes,
+  /// name strings, index buckets).  An accounting estimate for cache
+  /// memory budgets (serve::SessionServer), not an allocator-exact count.
+  std::size_t resident_bytes() const;
+
  private:
   void touch();  // stamp a fresh process-unique revision
 

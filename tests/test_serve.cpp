@@ -255,6 +255,104 @@ TEST(Serve, ArenaOnMatchesArenaOffBitwise) {
   }
 }
 
+TEST(ServeAdmission, ThroughputHelperGuardsDegenerateSpans) {
+  EXPECT_EQ(serve::throughput_rps(0, 5.0), 0.0);       // nothing completed
+  EXPECT_EQ(serve::throughput_rps(10, 0.0), 0.0);      // zero span
+  EXPECT_EQ(serve::throughput_rps(10, -1.0), 0.0);     // negative span
+  EXPECT_DOUBLE_EQ(serve::throughput_rps(10, 2.0), 5.0);
+}
+
+TEST(ServeAdmission, QueueFullRejectionIsTypedWithRetryHint) {
+  auto model = std::shared_ptr<models::IrModel>(models::make_model("IREDGe"));
+  serve::ServeOptions opts;
+  opts.max_batch = 8;
+  opts.max_wait_us = 500000;  // hold the window open while the queue fills
+  opts.max_queue = 1;
+  serve::InferenceServer server(model, opts);
+  util::Rng rng(11);
+  auto f1 = server.submit(make_request(rng, "t1"));
+  try {
+    server.submit(make_request(rng, "t2"));
+    FAIL() << "expected RejectedError";
+  } catch (const serve::RejectedError& e) {
+    EXPECT_EQ(e.reason(), serve::RejectReason::QueueFull);
+    EXPECT_GT(e.retry_after_us(), 0u);  // hint: one batching window
+    EXPECT_NE(std::string(e.what()).find("queue full"), std::string::npos);
+  }
+  EXPECT_NO_THROW(f1.get());
+  EXPECT_EQ(server.stats().rejected_queue_full, 1u);
+}
+
+TEST(ServeAdmission, ShutdownRejectionIsTyped) {
+  auto model = std::shared_ptr<models::IrModel>(models::make_model("IREDGe"));
+  serve::InferenceServer server(model, {});
+  server.shutdown();
+  util::Rng rng(12);
+  try {
+    server.submit(make_request(rng, "late"));
+    FAIL() << "expected RejectedError";
+  } catch (const serve::RejectedError& e) {
+    EXPECT_EQ(e.reason(), serve::RejectReason::Shutdown);
+    EXPECT_EQ(e.retry_after_us(), 0u);  // permanent for this server
+  }
+}
+
+// Regression for the admission-ordering bug: submit() used to stamp the
+// lifetime/throughput bookkeeping (first_submit_) BEFORE the admission
+// checks, so a rejected submission skewed the throughput span.  Rejected
+// submissions must leave stats untouched: a server that only ever
+// rejected reports zero completions and zero throughput, not NaN/inf or
+// a span anchored at the rejected arrival.
+TEST(ServeAdmission, RejectedSubmitLeavesBookkeepingUntouched) {
+  auto model = std::shared_ptr<models::IrModel>(models::make_model("IREDGe"));
+  serve::InferenceServer server(model, {});
+  server.shutdown();
+  util::Rng rng(13);
+  EXPECT_THROW(server.submit(make_request(rng, "r")), serve::RejectedError);
+  const serve::ServerStats s = server.stats();
+  EXPECT_EQ(s.completed, 0u);
+  EXPECT_EQ(s.rejected_shutdown, 1u);
+  EXPECT_EQ(s.throughput_rps, 0.0);
+}
+
+TEST(ServeAdmission, DeadlineExpiredRequestsDropAtBatchFormation) {
+  auto model = std::shared_ptr<models::IrModel>(models::make_model("IREDGe"));
+  serve::ServeOptions opts;
+  opts.max_batch = 8;
+  opts.max_wait_us = 20000;  // window long enough for the deadline to blow
+  serve::InferenceServer server(model, opts);
+  util::Rng rng(14);
+
+  serve::PredictRequest doomed = make_request(rng, "doomed");
+  doomed.deadline_us = 1;  // expires while waiting out the batching window
+  serve::PredictRequest healthy = make_request(rng, "healthy");
+
+  auto f_doomed = server.submit(std::move(doomed));
+  auto f_healthy = server.submit(std::move(healthy));
+
+  try {
+    f_doomed.get();
+    FAIL() << "expected RejectedError{DeadlineExceeded}";
+  } catch (const serve::RejectedError& e) {
+    EXPECT_EQ(e.reason(), serve::RejectReason::DeadlineExceeded);
+  }
+  // The co-queued request without a deadline is still served normally.
+  EXPECT_NO_THROW(f_healthy.get());
+  const serve::ServerStats s = server.stats();
+  EXPECT_EQ(s.timed_out, 1u);
+  EXPECT_EQ(s.completed, 1u);
+}
+
+TEST(ServeAdmission, GenerousDeadlineIsHarmless) {
+  auto model = std::shared_ptr<models::IrModel>(models::make_model("IREDGe"));
+  serve::InferenceServer server(model, {});
+  util::Rng rng(15);
+  serve::PredictRequest req = make_request(rng, "relaxed");
+  req.deadline_us = 60u * 1000u * 1000u;
+  EXPECT_NO_THROW(server.submit(std::move(req)).get());
+  EXPECT_EQ(server.stats().timed_out, 0u);
+}
+
 TEST(Serve, ArenaSteadyStateIsAllocationFree) {
   runtime::set_global_threads(1);  // deterministic chunking / scratch use
   auto model = std::shared_ptr<models::IrModel>(models::make_model("LMM-IR"));

@@ -1,0 +1,307 @@
+// serve sessions: raw-netlist requests, revision-keyed featurization
+// reuse, LRU + memory-budget eviction, concurrency and shutdown races.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "features/maps.hpp"
+#include "gen/began.hpp"
+#include "models/registry.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/session.hpp"
+#include "spice/parser.hpp"
+#include "spice/writer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lmmir;
+
+constexpr std::size_t kSide = 16;  // divisible by 2^levels of LMM-IR
+
+std::string tiny_netlist_text(std::uint64_t seed) {
+  gen::GeneratorConfig cfg;
+  cfg.name = "sess" + std::to_string(seed);
+  cfg.width_um = cfg.height_um = 24.0;
+  cfg.seed = seed;
+  cfg.use_default_stack();
+  return spice::write_netlist_string(gen::generate_pdn(cfg));
+}
+
+serve::SessionServeOptions tiny_options() {
+  serve::SessionServeOptions opts;
+  opts.sample.input_side = kSide;
+  opts.sample.pc_grid = 2;
+  return opts;
+}
+
+std::shared_ptr<models::IrModel> tiny_model() {
+  return std::shared_ptr<models::IrModel>(models::make_model("LMM-IR"));
+}
+
+serve::SessionRequest full_request(const std::string& session,
+                                   const std::string& text) {
+  serve::SessionRequest req;
+  req.session_id = session;
+  req.id = session + "/full";
+  req.netlist_text = text;
+  return req;
+}
+
+/// Indices+values rescaling every current source by `factor` (the
+/// load-sweep delta shape).
+std::vector<serve::ValueEdit> current_sweep(const std::string& text,
+                                            double factor) {
+  const spice::Netlist nl = spice::parse_netlist_string(text);
+  std::vector<serve::ValueEdit> edits;
+  const auto& els = nl.elements();
+  for (std::size_t i = 0; i < els.size(); ++i)
+    if (els[i].type == spice::ElementType::CurrentSource)
+      edits.push_back({i, els[i].value * factor});
+  return edits;
+}
+
+TEST(SessionServer, RawNetlistRoundTripAndRevisionSemantics) {
+  auto server = std::make_unique<serve::SessionServer>(tiny_model(),
+                                                       tiny_options());
+  const std::string text = tiny_netlist_text(101);
+
+  // Cold: session miss, all six channels computed.
+  serve::SessionResult first = server->predict(full_request("a", text));
+  EXPECT_FALSE(first.session_hit);
+  EXPECT_FALSE(first.revision_reuse);
+  EXPECT_EQ(first.channels_computed,
+            static_cast<std::size_t>(feat::kChannelCount));
+  EXPECT_GT(first.revision, 0u);
+  ASSERT_EQ(first.map.ndim(), 3);
+  EXPECT_EQ(first.map.dim(1), static_cast<int>(kSide));
+  EXPECT_GT(first.percent_map.rows(), 0u);
+
+  // Replay (no text, no edits): revision fast path, featurizer skipped.
+  serve::SessionRequest replay;
+  replay.session_id = "a";
+  replay.id = "a/replay";
+  serve::SessionResult again = server->predict(std::move(replay));
+  EXPECT_TRUE(again.session_hit);
+  EXPECT_TRUE(again.revision_reuse);
+  EXPECT_EQ(again.revision, first.revision);
+  ASSERT_EQ(again.map.numel(), first.map.numel());
+  for (std::size_t j = 0; j < first.map.numel(); ++j)
+    ASSERT_EQ(again.map.data()[j], first.map.data()[j]);
+
+  // Load-sweep delta: warm hit, topology-invariant channels reused.
+  serve::SessionRequest delta;
+  delta.session_id = "a";
+  delta.id = "a/sweep";
+  delta.edits = current_sweep(text, 1.25);
+  delta.base_revision = first.revision;  // optimistic check passes
+  serve::SessionResult swept = server->predict(std::move(delta));
+  EXPECT_TRUE(swept.session_hit);
+  EXPECT_FALSE(swept.revision_reuse);
+  EXPECT_NE(swept.revision, first.revision);
+  EXPECT_GE(swept.channels_reused, 4u);
+  EXPECT_LE(swept.channels_computed, 2u);
+
+  const serve::SessionCacheStats s = server->cache_stats();
+  EXPECT_EQ(s.requests, 3u);
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.revision_reuses, 1u);
+  EXPECT_EQ(s.sessions, 1u);
+  EXPECT_GT(s.resident_bytes, 0u);
+  EXPECT_GE(s.peak_resident_bytes, s.resident_bytes);
+}
+
+TEST(SessionServer, MalformedRequestsAreTypedErrors) {
+  auto server = std::make_unique<serve::SessionServer>(tiny_model(),
+                                                       tiny_options());
+  // Delta against a session that was never opened.
+  serve::SessionRequest orphan;
+  orphan.session_id = "ghost";
+  orphan.edits = {{0, 1.0}};
+  EXPECT_THROW(server->submit(std::move(orphan)), std::invalid_argument);
+
+  const std::string text = tiny_netlist_text(102);
+  serve::SessionResult first = server->predict(full_request("s", text));
+
+  // Stale optimistic-concurrency token.
+  serve::SessionRequest stale;
+  stale.session_id = "s";
+  stale.edits = current_sweep(text, 2.0);
+  stale.base_revision = first.revision + 999;
+  EXPECT_THROW(server->submit(std::move(stale)), std::invalid_argument);
+
+  // Edit addressing a nonexistent element.
+  serve::SessionRequest bad_edit;
+  bad_edit.session_id = "s";
+  bad_edit.edits = {{1u << 30, 5.0}};
+  EXPECT_THROW(server->submit(std::move(bad_edit)), std::out_of_range);
+}
+
+TEST(SessionCache, LruEvictionOrder) {
+  serve::SessionServeOptions opts = tiny_options();
+  opts.max_sessions = 2;
+  auto server = std::make_unique<serve::SessionServer>(tiny_model(), opts);
+  const std::string text = tiny_netlist_text(103);
+
+  server->predict(full_request("a", text));
+  server->predict(full_request("b", text));
+  EXPECT_EQ(server->cache_stats().evictions_lru, 0u);
+
+  // Third session evicts the least recently used ("a").
+  server->predict(full_request("c", text));
+  serve::SessionCacheStats s = server->cache_stats();
+  EXPECT_EQ(s.evictions_lru, 1u);
+  EXPECT_EQ(s.sessions, 2u);
+  EXPECT_FALSE(server->drop_session("a"));  // no longer cached
+  EXPECT_TRUE(server->drop_session("b"));   // still cached
+  server->predict(full_request("b", text)); // reopen b: {b, c}
+
+  // Touch "c" (now LRU -> MRU), then add "d": "b" must be the victim.
+  serve::SessionRequest touch;
+  touch.session_id = "c";
+  touch.id = "c/touch";
+  server->predict(std::move(touch));
+  server->predict(full_request("d", text));
+  EXPECT_FALSE(server->drop_session("b"));
+  EXPECT_TRUE(server->drop_session("c"));
+  EXPECT_TRUE(server->drop_session("d"));
+}
+
+TEST(SessionCache, MemoryBudgetEviction) {
+  const std::string text = tiny_netlist_text(104);
+
+  // Pilot: one session's footprint with no budget.
+  std::size_t one_session_bytes = 0;
+  {
+    auto pilot = std::make_unique<serve::SessionServer>(tiny_model(),
+                                                        tiny_options());
+    pilot->predict(full_request("p", text));
+    one_session_bytes = pilot->cache_stats().resident_bytes;
+  }
+  ASSERT_GT(one_session_bytes, 0u);
+
+  // Budget for ~1.5 sessions: every second tenant must evict the first.
+  serve::SessionServeOptions opts = tiny_options();
+  opts.max_resident_bytes = one_session_bytes * 3 / 2;
+  auto server = std::make_unique<serve::SessionServer>(tiny_model(), opts);
+  for (int s = 0; s < 4; ++s)
+    server->predict(
+        full_request("tenant" + std::to_string(s), text));
+
+  const serve::SessionCacheStats st = server->cache_stats();
+  EXPECT_GE(st.evictions_memory, 3u);
+  EXPECT_LE(st.resident_bytes, opts.max_resident_bytes);
+  EXPECT_LE(st.peak_resident_bytes, opts.max_resident_bytes);
+  EXPECT_EQ(st.sessions, 1u);
+
+  // Evicted sessions are gone, not corrupted: reopening one works.
+  EXPECT_FALSE(server->drop_session("tenant0"));
+  EXPECT_NO_THROW(server->predict(full_request("tenant0", text)));
+}
+
+TEST(SessionServer, ConcurrentSessionsFromPoolWorkers) {
+  runtime::set_global_threads(4);
+  auto server = std::make_unique<serve::SessionServer>(tiny_model(),
+                                                       tiny_options());
+  constexpr int kSessions = 4;
+  std::vector<std::string> texts;
+  for (int s = 0; s < kSessions; ++s)
+    texts.push_back(tiny_netlist_text(200 + static_cast<std::uint64_t>(s)));
+
+  // Submit from pool workers (extraction runs inline on the worker);
+  // get() runs on this thread — never on a worker, where blocking on the
+  // inference future could starve the forward pass of its own pool.
+  std::vector<serve::SessionTicket> tickets(kSessions);
+  std::vector<std::future<void>> submitted;
+  runtime::ThreadPool* pool = runtime::global_pool();
+  ASSERT_NE(pool, nullptr);
+  for (int s = 0; s < kSessions; ++s) {
+    submitted.push_back(pool->submit([&, s] {
+      EXPECT_TRUE(pool->in_worker());
+      tickets[static_cast<std::size_t>(s)] = server->submit(
+          full_request("w" + std::to_string(s), texts[static_cast<std::size_t>(s)]));
+    }));
+  }
+  for (auto& f : submitted) f.get();
+  for (int s = 0; s < kSessions; ++s) {
+    const serve::SessionResult r = tickets[static_cast<std::size_t>(s)].get();
+    EXPECT_EQ(r.session_id, "w" + std::to_string(s));
+    EXPECT_EQ(r.map.dim(1), static_cast<int>(kSide));
+  }
+  const serve::SessionCacheStats st = server->cache_stats();
+  EXPECT_EQ(st.requests, static_cast<std::size_t>(kSessions));
+  EXPECT_EQ(st.sessions, static_cast<std::size_t>(kSessions));
+  runtime::set_global_threads(1);
+}
+
+TEST(SessionServer, ShutdownRacingSubmitYieldsTypedRejections) {
+  auto server = std::make_unique<serve::SessionServer>(tiny_model(),
+                                                       tiny_options());
+  const std::string text = tiny_netlist_text(105);
+  server->predict(full_request("race", text));  // warm the session
+
+  std::atomic<int> served{0}, rejected{0}, wrong{0};
+  std::thread client([&] {
+    for (int i = 0; i < 200; ++i) {
+      try {
+        serve::SessionRequest req;
+        req.session_id = "race";
+        req.id = "race/" + std::to_string(i);
+        server->predict(std::move(req));
+        served.fetch_add(1);
+      } catch (const serve::RejectedError& e) {
+        if (e.reason() == serve::RejectReason::Shutdown)
+          rejected.fetch_add(1);
+        else
+          wrong.fetch_add(1);
+        break;  // server is gone; later submissions reject the same way
+      } catch (...) {
+        wrong.fetch_add(1);
+        break;
+      }
+    }
+  });
+  while (served.load() == 0 && rejected.load() == 0 && wrong.load() == 0)
+    std::this_thread::yield();
+  server->shutdown();
+  client.join();
+
+  // Every outcome is a clean success or a typed Shutdown rejection.
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_GT(served.load() + rejected.load(), 0);
+  // Idempotent; a post-shutdown submit rejects deterministically.
+  server->shutdown();
+  EXPECT_THROW(server->predict(full_request("late", text)),
+               serve::RejectedError);
+}
+
+TEST(SessionServer, PipelineFacadeWiresKnobs) {
+  core::PipelineOptions po;
+  po.sample.input_side = kSide;
+  po.sample.pc_grid = 2;
+  po.session_cache_sessions = 3;
+  po.session_cache_bytes = 7ull << 20;
+  core::Pipeline pipe(po);
+  auto server = pipe.make_session_server(tiny_model());
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->options().max_sessions, 3u);
+  EXPECT_EQ(server->options().max_resident_bytes, 7ull << 20);
+  EXPECT_EQ(server->options().sample.input_side, kSide);
+
+  const std::string text = tiny_netlist_text(106);
+  const serve::SessionResult r = server->predict(full_request("facade", text));
+  EXPECT_EQ(r.id, "facade/full");
+  // percent_map is restored to the netlist's original pixel resolution.
+  const spice::Netlist nl = spice::parse_netlist_string(text);
+  EXPECT_EQ(r.percent_map.rows(), nl.pixel_shape().rows);
+  EXPECT_EQ(r.percent_map.cols(), nl.pixel_shape().cols);
+}
+
+}  // namespace
