@@ -18,6 +18,15 @@
 //   * after a two-pass warm-up the arena performs ZERO further heap
 //     allocations for tensor memory across the steady-state rounds.
 //
+// The plan scenario (docs/PLAN.md) repeats the workload with recorded
+// inference plans on top of the arena, then reruns the steady-state
+// probe in plan-replay mode.  Additional exit gates:
+//   * plan-on predictions reproduce the serial reference bitwise,
+//   * plan replay is also allocation-free in steady state, and
+//   * the replay path performs no MORE per-request global-allocation
+//     bookkeeping than the arena-only probe (fused kernels skip the
+//     eager graph machinery, so it is normally strictly less).
+//
 // Knobs (environment):
 //   LMMIR_BENCH_THREADS   comma list of pool sizes      (default "1,8")
 //   LMMIR_BENCH_CLIENTS   concurrent client threads     (default 8)
@@ -42,6 +51,7 @@
 #include "runtime/thread_pool.hpp"
 #include "serve/server.hpp"
 #include "tensor/arena.hpp"
+#include "tensor/plan.hpp"
 #include "util/stopwatch.hpp"
 
 // ---- global allocation counter ----------------------------------------
@@ -94,12 +104,14 @@ struct ConfigResult {
 struct ArenaPhase {
   std::size_t threads = 0;
   bool arena = false;
+  bool plan = false;
   double seconds = 0.0;
   double throughput_rps = 0.0;
   std::uint64_t global_allocs = 0;   // operator-new calls during the phase
   double allocs_per_request = 0.0;
   bool identical = true;             // predictions == serial reference
   tensor::ArenaStats arena_stats;    // zeros when arena == false
+  tensor::plan::RuntimeStats plan_stats;  // zeros when plan == false
 };
 
 /// Drive `clients x requests_per_client` synchronous predictions against
@@ -109,7 +121,8 @@ ArenaPhase run_client_workload(
     const std::shared_ptr<models::IrModel>& model,
     const std::vector<data::Sample>& samples,
     const std::vector<std::vector<float>>& reference, std::size_t threads,
-    bool arena, std::size_t clients, std::size_t requests_per_client) {
+    bool arena, bool plan, std::size_t clients,
+    std::size_t requests_per_client) {
   // The off phase must be arena-free end to end, including the pool
   // workers' scratch arenas, or its allocation counts would be flattered.
   runtime::set_global_threads(threads, tensor::worker_arena_init(arena));
@@ -117,6 +130,7 @@ ArenaPhase run_client_workload(
   opts.max_batch = 8;
   opts.max_wait_us = 1000;
   opts.use_tensor_arena = arena;
+  opts.use_inference_plan = plan;
   serve::InferenceServer server(model, opts);
 
   std::atomic<bool> identical{true};
@@ -139,6 +153,7 @@ ArenaPhase run_client_workload(
   ArenaPhase p;
   p.threads = threads;
   p.arena = arena;
+  p.plan = plan;
   p.seconds = watch.seconds();
   p.throughput_rps = server.stats().throughput_rps;
   p.global_allocs =
@@ -149,7 +164,16 @@ ArenaPhase run_client_workload(
             : 0.0;
   p.identical = identical.load();
   p.arena_stats = server.arena_stats();
+  p.plan_stats = server.plan_stats();
   return p;
+}
+
+void print_plan_stats_json(benchio::JsonRecord& rec,
+                           const tensor::plan::RuntimeStats& s) {
+  rec.printf(
+      "{\"plans_recorded\": %zu, \"plans_unsupported\": %zu, "
+      "\"replays\": %zu, \"eager_runs\": %zu}",
+      s.plans_recorded, s.plans_unsupported, s.replays, s.eager_runs);
 }
 
 void print_arena_stats_json(benchio::JsonRecord& rec,
@@ -265,11 +289,25 @@ int main() {
   bool arena_identical = true;
   for (std::size_t threads : {min_cfg->threads, max_cfg->threads}) {
     for (bool arena : {false, true}) {
-      arena_phases.push_back(run_client_workload(model, samples, reference,
-                                                 threads, arena, clients,
-                                                 requests_per_client));
+      arena_phases.push_back(
+          run_client_workload(model, samples, reference, threads, arena,
+                              /*plan=*/false, clients, requests_per_client));
       arena_identical = arena_identical && arena_phases.back().identical;
     }
+    if (min_cfg->threads == max_cfg->threads) break;
+  }
+
+  // ---- plan scenario (recorded inference plans on top of the arena) ----
+  // Dynamic batching makes batch shape a runtime property, so each phase
+  // records one plan per distinct batch size it happens to form and
+  // replays the rest; the reference identity check is unchanged.
+  std::vector<ArenaPhase> plan_phases;
+  bool plan_identical = true;
+  for (std::size_t threads : {min_cfg->threads, max_cfg->threads}) {
+    plan_phases.push_back(
+        run_client_workload(model, samples, reference, threads, /*arena=*/true,
+                            /*plan=*/true, clients, requests_per_client));
+    plan_identical = plan_identical && plan_phases.back().identical;
     if (min_cfg->threads == max_cfg->threads) break;
   }
 
@@ -317,6 +355,52 @@ int main() {
   }
   runtime::set_global_threads(1);
   const bool zero_steady_state = steady_heap == warm_heap;
+
+  // ---- plan-replay steady-state probe ----------------------------------
+  // Same deterministic shape as above, with recorded inference plans on:
+  // the first warm-up pass records one plan per sample shape (eager,
+  // allocation-heavy), the second settles the arena inventory, and the
+  // steady rounds must then be pure replay — zero further tensor heap
+  // allocations AND no more per-request global-allocation bookkeeping
+  // than the arena-only probe (replay skips the eager graph machinery).
+  std::uint64_t plan_warm_heap = 0, plan_steady_heap = 0;
+  std::uint64_t plan_warm_global = 0, plan_steady_global = 0;
+  std::size_t plan_steady_requests = 0;
+  bool plan_steady_identical = true;
+  tensor::ArenaStats plan_arena_stats;
+  tensor::plan::RuntimeStats plan_probe_stats;
+  {
+    serve::ServeOptions opts;
+    opts.max_batch = 1;
+    opts.worker_threads = 1;
+    opts.use_tensor_arena = true;
+    opts.use_inference_plan = true;
+    serve::InferenceServer server(model, opts);
+
+    const std::uint64_t g0 = g_alloc_count.load(std::memory_order_relaxed);
+    for (int round = 0; round < 2; ++round)
+      for (const auto& s : samples)
+        server.predict(serve::request_from_sample(s));
+    plan_warm_heap = server.arena_stats().heap_allocations();
+    plan_warm_global = g_alloc_count.load(std::memory_order_relaxed) - g0;
+
+    const std::uint64_t g1 = g_alloc_count.load(std::memory_order_relaxed);
+    const std::size_t rounds = 3;
+    for (std::size_t round = 0; round < rounds; ++round)
+      for (std::size_t si = 0; si < samples.size(); ++si) {
+        const auto res =
+            server.predict(serve::request_from_sample(samples[si]));
+        if (res.map.data() != reference[si]) plan_steady_identical = false;
+        ++plan_steady_requests;
+      }
+    plan_arena_stats = server.arena_stats();
+    plan_steady_heap = plan_arena_stats.heap_allocations();
+    plan_steady_global = g_alloc_count.load(std::memory_order_relaxed) - g1;
+    plan_probe_stats = server.plan_stats();
+  }
+  runtime::set_global_threads(1);
+  const bool zero_plan_steady_state = plan_steady_heap == plan_warm_heap;
+  const bool plan_fewer_bookkeeping = plan_steady_global <= steady_global;
 
   benchio::JsonRecord rec;
   rec.printf("{\n");
@@ -377,6 +461,46 @@ int main() {
               zero_steady_state ? "true" : "false",
               steady_identical ? "true" : "false");
   rec.printf("  },\n");
+  rec.printf("  \"plan_scenario\": {\n");
+  rec.printf("    \"identical_plan_vs_reference\": %s,\n",
+              plan_identical ? "true" : "false");
+  rec.printf("    \"phases\": [\n");
+  for (std::size_t i = 0; i < plan_phases.size(); ++i) {
+    const auto& p = plan_phases[i];
+    rec.printf("      {\"threads\": %zu, \"arena\": %s, \"plan\": true, "
+                "\"seconds\": %.4f, \"throughput_rps\": %.2f, "
+                "\"global_allocs\": %llu, \"allocs_per_request\": %.1f, "
+                "\"identical\": %s, \"plan_stats\": ",
+                p.threads, p.arena ? "true" : "false", p.seconds,
+                p.throughput_rps,
+                static_cast<unsigned long long>(p.global_allocs),
+                p.allocs_per_request, p.identical ? "true" : "false");
+    print_plan_stats_json(rec, p.plan_stats);
+    rec.printf("}%s\n", i + 1 < plan_phases.size() ? "," : "");
+  }
+  rec.printf("    ],\n");
+  rec.printf("    \"steady_state\": {\"warmup_tensor_heap_allocs\": %llu, "
+              "\"steady_tensor_heap_allocs\": %llu, "
+              "\"steady_requests\": %zu, "
+              "\"warmup_global_allocs\": %llu, "
+              "\"steady_global_allocs\": %llu, "
+              "\"arena_only_steady_global_allocs\": %llu, "
+              "\"zero_steady_state_tensor_allocations\": %s, "
+              "\"fewer_bookkeeping_than_arena_only\": %s, "
+              "\"identical\": %s, "
+              "\"plan_stats\": ",
+              static_cast<unsigned long long>(plan_warm_heap),
+              static_cast<unsigned long long>(plan_steady_heap),
+              plan_steady_requests,
+              static_cast<unsigned long long>(plan_warm_global),
+              static_cast<unsigned long long>(plan_steady_global),
+              static_cast<unsigned long long>(steady_global),
+              zero_plan_steady_state ? "true" : "false",
+              plan_fewer_bookkeeping ? "true" : "false",
+              plan_steady_identical ? "true" : "false");
+  print_plan_stats_json(rec, plan_probe_stats);
+  rec.printf("}\n");
+  rec.printf("  },\n");
   rec.printf("  \"speedup_max_vs_min_threads\": %.3f,\n",
               base_rps > 0.0 ? peak_rps / base_rps : 0.0);
   rec.printf("  \"metrics\": %s\n", benchio::metrics_snapshot().c_str());
@@ -401,6 +525,29 @@ int main() {
                  "state (%llu warm-up -> %llu steady)\n",
                  static_cast<unsigned long long>(warm_heap),
                  static_cast<unsigned long long>(steady_heap));
+    return 1;
+  }
+  if (!plan_identical || !plan_steady_identical) {
+    std::fprintf(stderr, "FAIL: plan-replay predictions diverged from the "
+                         "eager reference\n");
+    return 1;
+  }
+  if (!zero_plan_steady_state) {
+    std::fprintf(stderr,
+                 "FAIL: plan replay still allocated tensor memory in steady "
+                 "state (%llu warm-up -> %llu steady)\n",
+                 static_cast<unsigned long long>(plan_warm_heap),
+                 static_cast<unsigned long long>(plan_steady_heap));
+    return 1;
+  }
+  if (!plan_fewer_bookkeeping) {
+    std::fprintf(stderr,
+                 "FAIL: plan replay performed more per-request bookkeeping "
+                 "allocations than the arena-only probe (%llu vs %llu over "
+                 "%zu requests)\n",
+                 static_cast<unsigned long long>(plan_steady_global),
+                 static_cast<unsigned long long>(steady_global),
+                 plan_steady_requests);
     return 1;
   }
   return 0;

@@ -54,6 +54,7 @@ PipelineOptions PipelineOptions::from_environment() {
   o.solver_context_reuse = env_long("LMMIR_SOLVER_REUSE", 1) != 0;
   o.feature_context_reuse = env_long("LMMIR_FEATURE_REUSE", 1) != 0;
   o.tensor_arena = env_long("LMMIR_TENSOR_ARENA", 1) != 0;
+  o.inference_plan = env_long("LMMIR_INFER_PLAN", 0) != 0;
   o.session_cache_sessions = static_cast<std::size_t>(
       env_long("LMMIR_SESSION_CACHE",
                static_cast<long>(o.session_cache_sessions)));
@@ -130,6 +131,10 @@ data::Sample Pipeline::sample_from_netlist_file(const std::string& path) const {
 std::unique_ptr<serve::InferenceServer> Pipeline::make_server(
     std::shared_ptr<models::IrModel> model, serve::ServeOptions options) const {
   options.use_tensor_arena = options.use_tensor_arena && opts_.tensor_arena;
+  // OR, not AND: plans are opt-in (default off), so either the pipeline
+  // option or the per-server option turning them on should win.
+  options.use_inference_plan =
+      options.use_inference_plan || opts_.inference_plan;
   return std::make_unique<serve::InferenceServer>(std::move(model), options);
 }
 
@@ -138,6 +143,8 @@ std::unique_ptr<serve::SessionServer> Pipeline::make_session_server(
     serve::SessionServeOptions options) const {
   options.serve.use_tensor_arena =
       options.serve.use_tensor_arena && opts_.tensor_arena;
+  options.serve.use_inference_plan =
+      options.serve.use_inference_plan || opts_.inference_plan;
   options.sample = opts_.sample;
   // Per-session FeatureContexts are owned by the cache; no shared solver
   // either (serving never golden-solves).

@@ -18,6 +18,9 @@
 //   dataset / testset feature extraction; see docs/FEATURES.md),
 //   LMMIR_TENSOR_ARENA (0 disables arena-backed tensor recycling on the
 //   inference path; see docs/TENSOR.md),
+//   LMMIR_INFER_PLAN (1 enables ahead-of-time inference plans — record
+//   once per input shape, replay with fused/SIMD kernels through
+//   preplanned storage; see docs/PLAN.md),
 //   LMMIR_SESSION_CACHE (max cached sessions in make_session_server),
 //   LMMIR_SESSION_CACHE_MB (session-cache memory budget, MiB; see
 //   docs/SERVING.md).
@@ -58,6 +61,14 @@ struct PipelineOptions {
   /// disable.  make_server() ANDs this with ServeOptions::
   /// use_tensor_arena, so either knob can switch arenas off.
   bool tensor_arena = true;
+  /// Replay ahead-of-time inference plans in the servers this pipeline
+  /// creates (record one eager pass per batch shape, then replay it with
+  /// fused/SIMD kernels through preplanned flat-arena storage; bitwise
+  /// identical to eager — see docs/PLAN.md).  Opt-in, so the default is
+  /// off; env: LMMIR_INFER_PLAN=1 to enable.  make_server() ORs this
+  /// with ServeOptions::use_inference_plan, so either knob can switch
+  /// plans on.
+  bool inference_plan = false;
   /// Session-cache bounds for make_session_server (raw-netlist serving):
   /// max concurrently cached tenant sessions and the memory budget over
   /// their estimated resident bytes.  Env: LMMIR_SESSION_CACHE,

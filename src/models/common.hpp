@@ -5,6 +5,7 @@
 #include <string>
 
 #include "nn/module.hpp"
+#include "tensor/plan.hpp"
 
 namespace lmmir::models {
 
@@ -28,14 +29,27 @@ class IrModel : public nn::Module {
   /// Inference entry point: forward under NoGradGuard, so no tape is
   /// recorded and — when the calling thread has a tensor::ArenaScope
   /// installed — every intermediate recycles through the arena instead
-  /// of the heap.  Used by trainer evaluation; the serving workers
-  /// apply the same NoGradGuard + ArenaScope pattern inline in
-  /// run_batch (they scope batch assembly too).  Training code calls
-  /// forward() directly.
+  /// of the heap.  Routed through the model's PlanRuntime: when
+  /// LMMIR_INFER_PLAN is on, the first call per input shape records an
+  /// ahead-of-time InferencePlan and later calls replay it (bitwise
+  /// identical, zero tensor heap allocations — see docs/PLAN.md); when
+  /// off, every call runs the eager forward.  Used by trainer
+  /// evaluation; the serving workers route through their server-owned
+  /// PlanRuntime inline in run_batch (they scope batch assembly too).
+  /// Training code calls forward() directly.
   Tensor predict(const Tensor& circuit, const Tensor& tokens) {
     tensor::NoGradGuard no_grad;
-    return forward(circuit, tokens);
+    return plan_runtime_.run(circuit, tokens,
+                             [this](const Tensor& c, const Tensor& t) {
+                               return forward(c, t);
+                             });
   }
+
+  /// The per-model plan cache behind predict().  Exposed so tests and
+  /// tools can toggle it (set_enabled) and inspect recording outcomes
+  /// (stats, plan_for).  Module is non-copyable, so per-instance state
+  /// here is safe.
+  tensor::plan::PlanRuntime& plan_runtime() { return plan_runtime_; }
 
   virtual std::string name() const = 0;
   virtual Capabilities capabilities() const = 0;
@@ -43,6 +57,9 @@ class IrModel : public nn::Module {
   /// only, feat::kChannelCount = with the paper's extra maps). The data
   /// pipeline slices the canonical channel stack down to this.
   virtual int in_channels() const = 0;
+
+ private:
+  tensor::plan::PlanRuntime plan_runtime_;
 };
 
 }  // namespace lmmir::models

@@ -79,7 +79,9 @@ double throughput_rps(std::size_t completed, double span_seconds) {
 
 InferenceServer::InferenceServer(std::shared_ptr<models::IrModel> model,
                                  ServeOptions options)
-    : model_(std::move(model)), opts_(options) {
+    : model_(std::move(model)),
+      opts_(options),
+      plan_runtime_(options.use_inference_plan) {
   if (!model_)
     throw std::invalid_argument("InferenceServer: model must not be null");
   if (opts_.max_batch == 0) opts_.max_batch = 1;
@@ -313,7 +315,14 @@ void InferenceServer::run_batch(std::vector<Pending>& batch,
 
       {
         obs::Span forward_span("serve.forward");
-        pred = model_->forward(circuit, tokens);
+        // Routed through the server's plan cache: first batch per shape
+        // records (an eager pass under a recording scope), later ones
+        // replay.  With use_inference_plan off the runtime always takes
+        // the eager branch, so this is the plain forward.
+        pred = plan_runtime_.run(
+            circuit, tokens, [this](const Tensor& c, const Tensor& t) {
+              return model_->forward(c, t);
+            });
       }
       // The scope ends here: the batch inputs and every intermediate
       // return to the arena as their handles drop.  `pred` stays alive

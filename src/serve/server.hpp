@@ -38,6 +38,7 @@
 #include "data/sample.hpp"
 #include "models/common.hpp"
 #include "tensor/arena.hpp"
+#include "tensor/plan.hpp"
 #include "tensor/tensor.hpp"
 
 namespace lmmir::serve {
@@ -92,6 +93,16 @@ struct ServeOptions {
   /// owning copies — they outlive the request scope.
   /// Default follows LMMIR_TENSOR_ARENA (unset/non-zero = on).
   bool use_tensor_arena = tensor::arena_enabled_from_env();
+  /// Replay ahead-of-time inference plans: the first batch per input
+  /// shape runs the eager forward under a recording scope; every later
+  /// batch with the same shape replays the recorded op sequence through
+  /// preplanned flat-arena storage and fused/SIMD kernels — bitwise
+  /// identical to eager, zero tensor heap allocations in steady state
+  /// (see docs/PLAN.md).  The plan cache is server-owned and keyed on
+  /// the batched input shapes, so every max_batch value the coalescer
+  /// produces gets its own plan.  Default follows LMMIR_INFER_PLAN
+  /// (opt-in: unset/"0" = off).
+  bool use_inference_plan = tensor::plan::plan_enabled_from_env();
 };
 
 struct PredictRequest {
@@ -196,6 +207,10 @@ class InferenceServer {
   /// measuring have resolved.
   tensor::ArenaStats arena_stats() const;
 
+  /// Plan-cache counters (recorded / unsupported / replays / eager runs;
+  /// all zero when use_inference_plan is off).
+  tensor::plan::RuntimeStats plan_stats() const { return plan_runtime_.stats(); }
+
   /// Latency samples retained for the stats() distribution (ring buffer).
   static constexpr std::size_t kStatsWindow = 16384;
 
@@ -218,6 +233,9 @@ class InferenceServer {
   std::shared_ptr<models::IrModel> model_;
   ServeOptions opts_;
   std::vector<std::unique_ptr<tensor::TensorArena>> arenas_;  // per dispatcher
+  /// Shared by the dispatchers: one plan per batched input shape; the
+  /// runtime serializes recording and pools executors for replay.
+  tensor::plan::PlanRuntime plan_runtime_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

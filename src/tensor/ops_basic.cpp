@@ -4,6 +4,7 @@
 
 #include "tensor/op_helpers.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/plan.hpp"
 
 namespace lmmir::tensor {
 
@@ -18,6 +19,7 @@ Tensor add(const Tensor& a, const Tensor& b) {
   std::vector<float> y = arena_buffer(a.numel());
   for (std::size_t i = 0; i < y.size(); ++i) y[i] = a.data()[i] + b.data()[i];
   auto out = make_node(a.shape(), std::move(y));
+  plan::record_op(plan::OpKind::kAdd, out, {&a, &b});
   if (needs_grad({&a, &b})) {
     attach(out, {a, b}, [self = out.get(), pa = a.impl(), pb = b.impl()]() {
       if (pa->requires_grad) accumulate_grad(*pa, self->grad);
@@ -32,6 +34,7 @@ Tensor sub(const Tensor& a, const Tensor& b) {
   std::vector<float> y = arena_buffer(a.numel());
   for (std::size_t i = 0; i < y.size(); ++i) y[i] = a.data()[i] - b.data()[i];
   auto out = make_node(a.shape(), std::move(y));
+  plan::record_op(plan::OpKind::kSub, out, {&a, &b});
   if (needs_grad({&a, &b})) {
     attach(out, {a, b}, [self = out.get(), pa = a.impl(), pb = b.impl()]() {
       if (pa->requires_grad) accumulate_grad(*pa, self->grad);
@@ -50,6 +53,7 @@ Tensor mul(const Tensor& a, const Tensor& b) {
   std::vector<float> y = arena_buffer(a.numel());
   for (std::size_t i = 0; i < y.size(); ++i) y[i] = a.data()[i] * b.data()[i];
   auto out = make_node(a.shape(), std::move(y));
+  plan::record_op(plan::OpKind::kMul, out, {&a, &b});
   if (needs_grad({&a, &b})) {
     attach(out, {a, b}, [self = out.get(), pa = a.impl(), pb = b.impl()]() {
       if (pa->requires_grad) {
@@ -71,6 +75,7 @@ Tensor scale(const Tensor& a, float s) {
   std::vector<float> y = arena_buffer(a.numel());
   for (std::size_t i = 0; i < y.size(); ++i) y[i] = a.data()[i] * s;
   auto out = make_node(a.shape(), std::move(y));
+  plan::record_op(plan::OpKind::kScale, out, {&a}, {.f0 = s});
   if (needs_grad({&a})) {
     attach(out, {a}, [self = out.get(), pa = a.impl(), s]() {
       if (!pa->requires_grad) return;
@@ -86,6 +91,7 @@ Tensor add_scalar(const Tensor& a, float s) {
   std::vector<float> y = arena_buffer(a.numel());
   for (std::size_t i = 0; i < y.size(); ++i) y[i] = a.data()[i] + s;
   auto out = make_node(a.shape(), std::move(y));
+  plan::record_op(plan::OpKind::kAddScalar, out, {&a}, {.f0 = s});
   if (needs_grad({&a})) {
     attach(out, {a}, [self = out.get(), pa = a.impl()]() {
       if (pa->requires_grad) accumulate_grad(*pa, self->grad);
@@ -100,6 +106,7 @@ Tensor relu(const Tensor& x) {
   std::vector<float> y = arena_buffer(x.numel());
   for (std::size_t i = 0; i < y.size(); ++i) y[i] = std::max(0.0f, x.data()[i]);
   auto out = make_node(x.shape(), std::move(y));
+  plan::record_op(plan::OpKind::kRelu, out, {&x});
   if (needs_grad({&x})) {
     attach(out, {x}, [self = out.get(), px = x.impl()]() {
       if (!px->requires_grad) return;
@@ -118,6 +125,7 @@ Tensor leaky_relu(const Tensor& x, float negative_slope) {
     y[i] = v > 0.0f ? v : negative_slope * v;
   }
   auto out = make_node(x.shape(), std::move(y));
+  plan::record_op(plan::OpKind::kLeakyRelu, out, {&x}, {.f0 = negative_slope});
   if (needs_grad({&x})) {
     attach(out, {x}, [self = out.get(), px = x.impl(), negative_slope]() {
       if (!px->requires_grad) return;
@@ -135,6 +143,7 @@ Tensor sigmoid(const Tensor& x) {
   for (std::size_t i = 0; i < y.size(); ++i)
     y[i] = 1.0f / (1.0f + std::exp(-x.data()[i]));
   auto out = make_node(x.shape(), std::move(y));
+  plan::record_op(plan::OpKind::kSigmoid, out, {&x});
   if (needs_grad({&x})) {
     attach(out, {x}, [self = out.get(), px = x.impl()]() {
       if (!px->requires_grad) return;
@@ -152,6 +161,7 @@ Tensor tanh_act(const Tensor& x) {
   std::vector<float> y = arena_buffer(x.numel());
   for (std::size_t i = 0; i < y.size(); ++i) y[i] = std::tanh(x.data()[i]);
   auto out = make_node(x.shape(), std::move(y));
+  plan::record_op(plan::OpKind::kTanh, out, {&x});
   if (needs_grad({&x})) {
     attach(out, {x}, [self = out.get(), px = x.impl()]() {
       if (!px->requires_grad) return;
@@ -185,6 +195,7 @@ Tensor softmax_lastdim(const Tensor& x) {
     for (std::size_t i = 0; i < d; ++i) o[i] *= inv;
   }
   auto out = make_node(x.shape(), std::move(y));
+  plan::record_op(plan::OpKind::kSoftmaxLastDim, out, {&x});
   if (needs_grad({&x})) {
     attach(out, {x}, [self = out.get(), px = x.impl(), d, rows]() {
       if (!px->requires_grad) return;
@@ -211,6 +222,7 @@ Tensor reshape(const Tensor& x, Shape new_shape) {
   std::vector<float> y =
       arena_buffer_copy(x.data().data(), x.data().data() + x.numel());
   auto out = make_node(std::move(new_shape), std::move(y));
+  plan::record_op(plan::OpKind::kReshape, out, {&x});
   if (needs_grad({&x})) {
     attach(out, {x}, [self = out.get(), px = x.impl()]() {
       if (px->requires_grad) accumulate_grad(*px, self->grad);
@@ -265,6 +277,7 @@ Tensor concat(const Tensor& a, const Tensor& b, int axis) {
                 y.data() + o * stride_o + stride_a);
   }
   auto out = make_node(std::move(out_shape), std::move(y));
+  plan::record_op(plan::OpKind::kConcat, out, {&a, &b}, {.i0 = axis});
   if (needs_grad({&a, &b})) {
     attach(out, {a, b},
            [self = out.get(), pa = a.impl(), pb = b.impl(), sa, stride_a,
@@ -302,6 +315,8 @@ Tensor slice_axis(const Tensor& x, int axis, int start, int len) {
     std::copy_n(x.data().data() + o * in_stride + off, out_stride,
                 y.data() + o * out_stride);
   auto out = make_node(std::move(out_shape), std::move(y));
+  plan::record_op(plan::OpKind::kSliceAxis, out, {&x},
+                  {.i0 = axis, .i1 = start, .i2 = len});
   if (needs_grad({&x})) {
     attach(out, {x},
            [self = out.get(), px = x.impl(), s, in_stride, out_stride, off]() {
@@ -333,6 +348,7 @@ Tensor transpose_last2(const Tensor& x) {
       for (std::size_t j = 0; j < n; ++j) o[j * m + i] = in[i * n + j];
   }
   auto out = make_node(std::move(out_shape), std::move(y));
+  plan::record_op(plan::OpKind::kTransposeLast2, out, {&x});
   if (needs_grad({&x})) {
     attach(out, {x}, [self = out.get(), px = x.impl(), batch, m, n]() {
       if (!px->requires_grad) return;
@@ -444,6 +460,7 @@ Tensor add_bias_lastdim(const Tensor& x, const Tensor& b) {
     for (std::size_t i = 0; i < d; ++i)
       y[r * d + i] = x.data()[r * d + i] + b.data()[i];
   auto out = make_node(x.shape(), std::move(y));
+  plan::record_op(plan::OpKind::kAddBiasLastDim, out, {&x, &b});
   if (needs_grad({&x, &b})) {
     attach(out, {x, b},
            [self = out.get(), px = x.impl(), pb = b.impl(), rows, d]() {
@@ -477,6 +494,7 @@ Tensor add_bias_channels(const Tensor& x, const Tensor& b) {
         y[base + i] = x.data()[base + i] + bv;
     }
   auto out = make_node(x.shape(), std::move(y));
+  plan::record_op(plan::OpKind::kAddBiasChannels, out, {&x, &b});
   if (needs_grad({&x, &b})) {
     attach(out, {x, b},
            [self = out.get(), px = x.impl(), pb = b.impl(), n, c, hw]() {
@@ -517,6 +535,7 @@ Tensor mul_broadcast_channel(const Tensor& x, const Tensor& a) {
     }
   }
   auto out = make_node(x.shape(), std::move(y));
+  plan::record_op(plan::OpKind::kMulBroadcastChannel, out, {&x, &a});
   if (needs_grad({&x, &a})) {
     attach(out, {x, a},
            [self = out.get(), px = x.impl(), pa = a.impl(), n, c, hw]() {
@@ -550,6 +569,8 @@ Tensor mul_broadcast_channel(const Tensor& x, const Tensor& a) {
 Tensor dropout(const Tensor& x, float p, util::Rng& rng, bool training) {
   if (!training || p <= 0.0f) return scale(x, 1.0f);  // identity (keeps graph)
   if (p >= 1.0f) throw std::invalid_argument("dropout: p must be < 1");
+  // Random masks are per-pass state a recorded plan cannot replay.
+  plan::record_unsupported("dropout in training mode");
   const float keep = 1.0f - p;
   std::vector<float> mask(x.numel());
   for (auto& m : mask) m = rng.uniform() < p ? 0.0f : 1.0f / keep;

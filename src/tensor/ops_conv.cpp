@@ -3,8 +3,10 @@
 #include <stdexcept>
 
 #include "runtime/parallel_for.hpp"
+#include "tensor/microkernels.hpp"
 #include "tensor/op_helpers.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/plan.hpp"
 
 namespace lmmir::tensor {
 
@@ -24,31 +26,12 @@ struct ConvGeom {
   int stride, pad_h, pad_w;
 };
 
-/// col[cin*kh*kw, oh*ow] for one sample (zero-padded borders).
+/// col[cin*kh*kw, oh*ow] for one sample (zero-padded borders).  The
+/// patch gather itself lives in tensor/microkernels.hpp so the plan
+/// replay (tensor/plan.hpp) shares this exact implementation.
 void im2col(const float* x, const ConvGeom& g, float* col) {
-  const std::size_t patch = g.cin * g.kh * g.kw;
-  const std::size_t cols = g.oh * g.ow;
-  std::fill(col, col + patch * cols, 0.0f);
-  for (std::size_t c = 0; c < g.cin; ++c) {
-    for (std::size_t ki = 0; ki < g.kh; ++ki) {
-      for (std::size_t kj = 0; kj < g.kw; ++kj) {
-        const std::size_t prow = (c * g.kh + ki) * g.kw + kj;
-        for (std::size_t oy = 0; oy < g.oh; ++oy) {
-          const long iy = static_cast<long>(oy) * g.stride - g.pad_h +
-                          static_cast<long>(ki);
-          if (iy < 0 || iy >= static_cast<long>(g.h)) continue;
-          for (std::size_t ox = 0; ox < g.ow; ++ox) {
-            const long ix = static_cast<long>(ox) * g.stride - g.pad_w +
-                            static_cast<long>(kj);
-            if (ix < 0 || ix >= static_cast<long>(g.w)) continue;
-            col[prow * cols + oy * g.ow + ox] =
-                x[(c * g.h + static_cast<std::size_t>(iy)) * g.w +
-                  static_cast<std::size_t>(ix)];
-          }
-        }
-      }
-    }
-  }
+  mk::im2col(x, g.cin, g.h, g.w, g.kh, g.kw, g.oh, g.ow, g.stride, g.pad_h,
+             g.pad_w, col);
 }
 
 /// Scatter col gradients back onto the (padded) input. Inverse of im2col.
@@ -159,6 +142,11 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, int stride,
   auto out = make_node(Shape{static_cast<int>(g.n), static_cast<int>(g.cout),
                              static_cast<int>(g.oh), static_cast<int>(g.ow)},
                        std::move(y));
+  plan::record_op(plan::OpKind::kConv2d, out, {&x, &w, &b},
+                  {.i0 = stride,
+                   .i1 = pad_h,
+                   .i2 = pad_w,
+                   .i3 = b.defined() ? 1 : 0});
   if (needs_grad({&x, &w, &b})) {
     attach(out, {x, w, b},
            [self = out.get(), px = x.impl(), pw = w.impl(),
@@ -280,6 +268,8 @@ Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b,
   auto out = make_node(Shape{static_cast<int>(g.n), static_cast<int>(g.cout),
                              static_cast<int>(g.oh), static_cast<int>(g.ow)},
                        std::move(y));
+  plan::record_op(plan::OpKind::kConvTranspose2d, out, {&x, &w, &b},
+                  {.i0 = stride, .i1 = padding, .i3 = b.defined() ? 1 : 0});
   if (needs_grad({&x, &w, &b})) {
     const int s = stride;
     const int p = padding;
@@ -388,6 +378,8 @@ Tensor maxpool2d(const Tensor& x, int kernel, int stride) {
   auto out = make_node(Shape{static_cast<int>(n), static_cast<int>(c),
                              static_cast<int>(oh), static_cast<int>(ow)},
                        std::move(y));
+  plan::record_op(plan::OpKind::kMaxPool2d, out, {&x},
+                  {.i0 = kernel, .i1 = stride});
   if (needs_grad({&x})) {
     attach(out, {x},
            [self = out.get(), px = x.impl(), argmax = argmax.take(), n, c,
@@ -424,6 +416,7 @@ Tensor upsample_nearest2x(const Tensor& x) {
   auto out = make_node(Shape{static_cast<int>(n), static_cast<int>(c),
                              static_cast<int>(oh), static_cast<int>(ow)},
                        std::move(y));
+  plan::record_op(plan::OpKind::kUpsampleNearest2x, out, {&x});
   if (needs_grad({&x})) {
     attach(out, {x}, [self = out.get(), px = x.impl(), n, c, h, w, oh, ow]() {
       if (!px->requires_grad) return;

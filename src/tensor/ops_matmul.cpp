@@ -3,6 +3,7 @@
 #include "runtime/parallel_for.hpp"
 #include "tensor/op_helpers.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/plan.hpp"
 
 namespace lmmir::tensor {
 
@@ -34,6 +35,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
       });
   auto out = make_node(Shape{static_cast<int>(m), static_cast<int>(n)},
                        std::move(y));
+  plan::record_op(plan::OpKind::kMatmul, out, {&a, &b});
   if (needs_grad({&a, &b})) {
     attach(out, {a, b},
            [self = out.get(), pa = a.impl(), pb = b.impl(), m, k, n]() {
@@ -76,6 +78,7 @@ Tensor bmm(const Tensor& a, const Tensor& b) {
   auto out = make_node(
       Shape{static_cast<int>(bs), static_cast<int>(m), static_cast<int>(n)},
       std::move(y));
+  plan::record_op(plan::OpKind::kBmm, out, {&a, &b});
   if (needs_grad({&a, &b})) {
     attach(out, {a, b},
            [self = out.get(), pa = a.impl(), pb = b.impl(), bs, m, k, n]() {
@@ -128,6 +131,8 @@ Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
   Shape out_shape = x.shape();
   out_shape.back() = static_cast<int>(outf);
   auto out = make_node(std::move(out_shape), std::move(y));
+  plan::record_op(plan::OpKind::kLinear, out, {&x, &w, &b},
+                  {.i3 = b.defined() ? 1 : 0});
   if (needs_grad({&x, &w, &b})) {
     attach(out, {x, w, b},
            [self = out.get(), px = x.impl(), pw = w.impl(),

@@ -3,6 +3,7 @@
 
 #include "tensor/op_helpers.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/plan.hpp"
 
 namespace lmmir::tensor {
 
@@ -29,6 +30,9 @@ Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   ScratchBuffer mean(c);
   ScratchBuffer invstd(c);
   if (training) {
+    // Batch statistics and running-stat updates are per-pass state a
+    // recorded plan cannot replay.
+    plan::record_unsupported("batch_norm2d in training mode");
     for (std::size_t ci = 0; ci < c; ++ci) {
       double acc = 0.0;
       for (std::size_t ni = 0; ni < n; ++ni) {
@@ -77,6 +81,18 @@ Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
     }
 
   auto out = make_node(x.shape(), std::move(y));
+  if (!training && plan::recording_active()) {
+    // Eval-mode stats are constants of the recording: snapshot the
+    // per-channel mean and inverse stddev by value (the running-stat
+    // vectors are plain buffers the recorder cannot reference).
+    plan::OpAttrs attrs;
+    attrs.snapshot.reserve(2 * c);
+    attrs.snapshot.insert(attrs.snapshot.end(), mean.data(), mean.data() + c);
+    attrs.snapshot.insert(attrs.snapshot.end(), invstd.data(),
+                          invstd.data() + c);
+    plan::record_op(plan::OpKind::kBatchNorm2dEval, out, {&x, &gamma, &beta},
+                    std::move(attrs));
+  }
   if (needs_grad({&x, &gamma, &beta})) {
     attach(out, {x, gamma, beta},
            [self = out.get(), px = x.impl(), pg = gamma.impl(),
@@ -166,6 +182,8 @@ Tensor layer_norm_lastdim(const Tensor& x, const Tensor& gamma,
   }
 
   auto out = make_node(x.shape(), std::move(y));
+  plan::record_op(plan::OpKind::kLayerNormLastDim, out, {&x, &gamma, &beta},
+                  {.f0 = eps});
   if (needs_grad({&x, &gamma, &beta})) {
     attach(out, {x, gamma, beta},
            [self = out.get(), px = x.impl(), pg = gamma.impl(),

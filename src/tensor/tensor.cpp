@@ -81,6 +81,9 @@ Tensor Tensor::from_data(const Shape& shape, std::vector<float> data,
     impl->data = std::move(data);
   } else {
     impl = detail::make_node(shape, std::move(data));
+    // A from_data tensor has no producing op: tell the plan recorder (if
+    // one is observing this thread) to claim it as a constant.
+    if (detail::NodeHook h = detail::node_hook()) h(impl, /*leaf=*/true);
   }
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
@@ -150,16 +153,27 @@ Tensor Tensor::detach() const {
 
 namespace detail {
 
+namespace {
+thread_local NodeHook g_node_hook = nullptr;
+}
+
+void set_node_hook(NodeHook hook) { g_node_hook = hook; }
+NodeHook node_hook() { return g_node_hook; }
+
 std::shared_ptr<TensorImpl> make_node(Shape shape, std::vector<float> data) {
   if (data.size() != shape_numel(shape))
     throw std::invalid_argument("make_node: size mismatch");
   // Inference nodes (arena installed, tape off) recycle through the
   // arena; everything else gets an owning allocation as before.
-  if (TensorArena* a = active_arena(); a && !grad_enabled())
-    return a->make_node(std::move(shape), std::move(data));
-  auto impl = std::make_shared<TensorImpl>();
-  impl->shape = std::move(shape);
-  impl->data = std::move(data);
+  std::shared_ptr<TensorImpl> impl;
+  if (TensorArena* a = active_arena(); a && !grad_enabled()) {
+    impl = a->make_node(std::move(shape), std::move(data));
+  } else {
+    impl = std::make_shared<TensorImpl>();
+    impl->shape = std::move(shape);
+    impl->data = std::move(data);
+  }
+  if (NodeHook h = g_node_hook) h(impl, /*leaf=*/false);
   return impl;
 }
 

@@ -108,6 +108,16 @@ namespace detail {
 /// Allocate a plain output node (no autograd edges yet).
 std::shared_ptr<TensorImpl> make_node(Shape shape, std::vector<float> data);
 
+/// Thread-local observation hook for plan recording (tensor/plan.hpp):
+/// invoked for every node make_node hands out on this thread
+/// (leaf=false), and a second time with leaf=true for tensors
+/// Tensor::from_data materializes without autograd — the recorder claims
+/// those as shape-dependent constants.  nullptr (the default) disables
+/// observation; the hot path pays one thread-local load.
+using NodeHook = void (*)(const std::shared_ptr<TensorImpl>& node, bool leaf);
+void set_node_hook(NodeHook hook);
+NodeHook node_hook();
+
 /// True if gradients can flow from any of the inputs.
 bool needs_grad(std::initializer_list<const Tensor*> inputs);
 

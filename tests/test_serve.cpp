@@ -383,4 +383,116 @@ TEST(Serve, ArenaSteadyStateIsAllocationFree) {
   EXPECT_EQ(steady.resets, warm.resets + 9u);  // one reset per batch
 }
 
+TEST(ServePlan, PlanReplayMatchesSequentialBitwiseAndCaches) {
+  runtime::set_global_threads(1);
+  auto model = std::shared_ptr<models::IrModel>(models::make_model("LMM-IR"));
+  util::Rng rng(555);
+  std::vector<serve::PredictRequest> reqs;
+  for (int i = 0; i < 5; ++i)
+    reqs.push_back(make_request(rng, "plan" + std::to_string(i)));
+
+  std::vector<std::vector<float>> expected;
+  for (const auto& r : reqs)
+    expected.push_back(sequential_prediction(*model, r));
+
+  serve::ServeOptions opts;
+  opts.use_inference_plan = true;
+  opts.max_batch = 1;       // every batch shares one shape key
+  opts.worker_threads = 1;
+  serve::InferenceServer server(model, opts);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const serve::PredictResult res = server.predict(reqs[i]);
+    ASSERT_EQ(res.map.numel(), expected[i].size());
+    for (std::size_t j = 0; j < expected[i].size(); ++j)
+      ASSERT_EQ(res.map.data()[j], expected[i][j])
+          << "request " << i << " diverged at " << j;
+  }
+  // First batch recorded; every later same-shape batch replayed the plan.
+  const tensor::plan::RuntimeStats ps = server.plan_stats();
+  EXPECT_EQ(ps.plans_recorded, 1u);
+  EXPECT_EQ(ps.plans_unsupported, 0u);
+  EXPECT_EQ(ps.eager_runs, 1u);
+  EXPECT_EQ(ps.replays, reqs.size() - 1);
+}
+
+TEST(ServePlan, PlanAndArenaComposeAllocationFree) {
+  // The two memory disciplines stack: plan replay through the dispatcher
+  // arena stays allocation-free in steady state, bitwise equal to eager.
+  runtime::set_global_threads(1);
+  auto model = std::shared_ptr<models::IrModel>(models::make_model("LMM-IR"));
+  util::Rng rng(556);
+  const serve::PredictRequest req = make_request(rng, "plan-arena");
+  const std::vector<float> expected = sequential_prediction(*model, req);
+
+  serve::ServeOptions opts;
+  opts.use_tensor_arena = true;
+  opts.use_inference_plan = true;
+  opts.max_batch = 1;
+  opts.worker_threads = 1;
+  serve::InferenceServer server(model, opts);
+  server.predict(req);  // recording pass (eager through the arena)
+  server.predict(req);  // first replay warms the replay-path shapes
+  const auto warm = server.arena_stats();
+  for (int i = 0; i < 4; ++i) {
+    const serve::PredictResult res = server.predict(req);
+    ASSERT_EQ(res.map.numel(), expected.size());
+    for (std::size_t j = 0; j < expected.size(); ++j)
+      ASSERT_EQ(res.map.data()[j], expected[j]) << "diverged at " << j;
+  }
+  const auto steady = server.arena_stats();
+  EXPECT_EQ(steady.heap_allocations(), warm.heap_allocations())
+      << "steady-state plan replays allocated tensor memory";
+  EXPECT_EQ(steady.live_nodes, 0u);
+  EXPECT_EQ(server.plan_stats().replays, 5u);
+}
+
+TEST(ServePlan, DistinctBatchShapesGetDistinctPlans) {
+  runtime::set_global_threads(1);
+  auto model = std::shared_ptr<models::IrModel>(models::make_model("IREDGe"));
+  serve::ServeOptions opts;
+  opts.use_inference_plan = true;
+  opts.max_wait_us = 0;  // no coalescing: deterministic batch shapes
+  serve::InferenceServer server(model, opts);
+  util::Rng rng(41);
+  serve::PredictRequest small;
+  small.id = "small";
+  small.circuit = Tensor::randn({feat::kChannelCount, kSide, kSide}, rng,
+                                0.5f);
+  serve::PredictRequest large;
+  large.id = "large";
+  large.circuit = Tensor::randn({feat::kChannelCount, 2 * kSide, 2 * kSide},
+                                rng, 0.5f);
+  server.predict(small);
+  server.predict(large);
+  server.predict(small);
+  server.predict(large);
+  const tensor::plan::RuntimeStats ps = server.plan_stats();
+  EXPECT_EQ(ps.plans_recorded, 2u);
+  EXPECT_EQ(ps.replays, 2u);
+}
+
+TEST(ServePlan, PipelineFacadeOrWiresThePlanKnob) {
+  // The pipeline option is an OR with the per-server option (plans are
+  // opt-in): either switch alone turns them on.
+  core::PipelineOptions po;
+  po.inference_plan = true;
+  core::Pipeline pipe(po);
+  auto model = std::shared_ptr<models::IrModel>(models::make_model("IREDGe"));
+  auto on_by_pipeline = pipe.make_server(model);
+  EXPECT_TRUE(on_by_pipeline->options().use_inference_plan);
+
+  core::PipelineOptions po_off;
+  po_off.inference_plan = false;
+  core::Pipeline pipe_off(po_off);
+  serve::ServeOptions explicit_on;
+  explicit_on.use_inference_plan = true;
+  auto on_by_server = pipe_off.make_server(model, explicit_on);
+  EXPECT_TRUE(on_by_server->options().use_inference_plan);
+
+  serve::ServeOptions defaults;
+  defaults.use_inference_plan = false;
+  auto off = pipe_off.make_server(model, defaults);
+  EXPECT_FALSE(off->options().use_inference_plan);
+}
+
 }  // namespace

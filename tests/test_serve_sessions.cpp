@@ -304,4 +304,69 @@ TEST(SessionServer, PipelineFacadeWiresKnobs) {
   EXPECT_EQ(r.percent_map.cols(), nl.pixel_shape().cols);
 }
 
+TEST(SessionServer, InferencePlanReplaysAcrossRevisions) {
+  // With plans on, the first full-netlist request records; the session
+  // replay AND every delta revision hit the same batch-shape key (the
+  // featurized tensors keep their shapes across value edits), so they
+  // ride the recorded plan — with unchanged results.
+  serve::SessionServeOptions opts = tiny_options();
+  opts.serve.use_inference_plan = true;
+  opts.serve.max_batch = 1;
+  auto server = std::make_unique<serve::SessionServer>(tiny_model(), opts);
+  const std::string text = tiny_netlist_text(151);
+
+  const serve::SessionResult first = server->predict(full_request("p", text));
+  serve::SessionRequest replay;
+  replay.session_id = "p";
+  replay.id = "p/replay";
+  const serve::SessionResult again = server->predict(std::move(replay));
+  ASSERT_EQ(again.map.numel(), first.map.numel());
+  for (std::size_t j = 0; j < first.map.numel(); ++j)
+    ASSERT_EQ(again.map.data()[j], first.map.data()[j])
+        << "plan replay changed the session-replay result at " << j;
+
+  serve::SessionRequest delta;
+  delta.session_id = "p";
+  delta.id = "p/sweep";
+  delta.edits = current_sweep(text, 1.5);
+  const serve::SessionResult swept = server->predict(std::move(delta));
+  EXPECT_NE(swept.revision, first.revision);
+
+  const tensor::plan::RuntimeStats ps = server->server().plan_stats();
+  EXPECT_EQ(ps.plans_recorded, 1u);
+  EXPECT_EQ(ps.plans_unsupported, 0u);
+  EXPECT_EQ(ps.eager_runs, 1u);   // only the recording pass ran eagerly
+  EXPECT_GE(ps.replays, 1u);      // the delta revision replayed the plan
+}
+
+TEST(SessionServer, ShutdownRacingThePlanRecordingPass) {
+  // The very first request is the plan-recording pass (slower than a
+  // replay, and it holds the recording slot).  Shutdown racing it must
+  // yield either a clean result or a typed Shutdown rejection — never a
+  // wedged recording entry, a crash, or a different exception.
+  serve::SessionServeOptions opts = tiny_options();
+  opts.serve.use_inference_plan = true;
+  auto server = std::make_unique<serve::SessionServer>(tiny_model(), opts);
+  const std::string text = tiny_netlist_text(152);
+
+  std::atomic<int> served{0}, rejected{0}, wrong{0};
+  std::thread client([&] {
+    try {
+      server->predict(full_request("rec", text));
+      served.fetch_add(1);
+    } catch (const serve::RejectedError& e) {
+      if (e.reason() == serve::RejectReason::Shutdown)
+        rejected.fetch_add(1);
+      else
+        wrong.fetch_add(1);
+    } catch (...) {
+      wrong.fetch_add(1);
+    }
+  });
+  server->shutdown();  // races featurization + the recording forward
+  client.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(served.load() + rejected.load(), 1);
+}
+
 }  // namespace

@@ -176,6 +176,37 @@ TEST(Ops, Conv2dOutputShapes) {
                std::invalid_argument);
 }
 
+TEST(Ops, Conv2dOneByOneKernelMixesChannels) {
+  // 1x1 conv is a pure per-pixel channel mix: no spatial gathering, so
+  // the output at every pixel is the weighted channel sum at that pixel.
+  auto x = Tensor::from_data({1, 2, 2, 2}, {1, 2, 3, 4,     // channel 0
+                                            10, 20, 30, 40});  // channel 1
+  auto w = Tensor::from_data({1, 2, 1, 1}, {2.0f, 0.5f});
+  auto y = ops::conv2d(x, w, Tensor(), 1, 0);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.data()[0], 2.0f * 1 + 0.5f * 10);
+  EXPECT_FLOAT_EQ(y.data()[3], 2.0f * 4 + 0.5f * 40);
+  // Strided 1x1 subsamples the grid.
+  auto ys = ops::conv2d(x, w, Tensor(), 2, 0);
+  EXPECT_EQ(ys.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(ys.data()[0], 2.0f * 1 + 0.5f * 10);
+}
+
+TEST(Ops, Conv2dStrideLargerThanKernelSkipsPixels) {
+  // stride 3 with a 1x1 kernel reads only every third pixel; the skipped
+  // ones must not leak into any output element.
+  std::vector<float> vals(25);
+  for (int i = 0; i < 25; ++i) vals[static_cast<std::size_t>(i)] = float(i);
+  auto x = Tensor::from_data({1, 1, 5, 5}, std::move(vals));
+  auto w = Tensor::from_data({1, 1, 1, 1}, {1.0f});
+  auto y = ops::conv2d(x, w, Tensor(), 3, 0);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.data()[0], 0.0f);   // (0,0)
+  EXPECT_FLOAT_EQ(y.data()[1], 3.0f);   // (0,3)
+  EXPECT_FLOAT_EQ(y.data()[2], 15.0f);  // (3,0)
+  EXPECT_FLOAT_EQ(y.data()[3], 18.0f);  // (3,3)
+}
+
 TEST(Ops, ConvTransposeInvertsStride2Shape) {
   Rng rng(7);
   auto x = Tensor::randn({1, 4, 5, 5}, rng);
@@ -256,6 +287,23 @@ TEST(Ops, LayerNormRowsNormalized) {
     for (int c = 0; c < 8; ++c) mean += y.data()[static_cast<std::size_t>(r * 8 + c)];
     EXPECT_NEAR(mean / 8.0, 0.0, 1e-4);
   }
+}
+
+TEST(Ops, LayerNormSingleRowBatch) {
+  // batch = 1: exactly one row is normalized; gamma/beta still apply.
+  auto x = Tensor::from_data({1, 4}, {2, 4, 6, 8});
+  auto y = ops::layer_norm_lastdim(x, Tensor::full({4}, 2.0f),
+                                   Tensor::full({4}, 1.0f));
+  ASSERT_EQ(y.shape(), (Shape{1, 4}));
+  // The normalized row has mean 0, so after gamma=2 / beta=1 the output
+  // mean is exactly beta.
+  double mean = 0.0;
+  for (int i = 0; i < 4; ++i) mean += y.data()[static_cast<std::size_t>(i)];
+  EXPECT_NEAR(mean / 4.0, 1.0, 1e-4);
+  // Symmetric input: the outer elements sit at +/- the same normalized
+  // distance.
+  EXPECT_NEAR(y.data()[0] + y.data()[3], 2.0f, 1e-4f);
+  EXPECT_LT(y.data()[0], y.data()[1]);
 }
 
 TEST(Ops, DropoutTrainVsEval) {
