@@ -13,12 +13,22 @@
 // thread-count independent, so the written golden maps and feature CSVs
 // are bitwise identical for any LMMIR_THREADS.
 //
-// Usage: generate_benchmarks [count] [out_dir] [seed]
+// Usage: generate_benchmarks [count] [out_dir] [seed] [--grid-scale[=N]]
+//
+// --grid-scale replaces the BeGAN-style random corpus with a ladder of N
+// (default 3) multi-layer large-grid cases whose die side doubles per
+// step — unknown counts roughly quadruple, the regime the AMG / domain-
+// decomposition preconditioners target.  `count` is ignored in this mode;
+// `seed` still perturbs the current maps.
+//
 // LMMIR_PRECOND selects the golden-solver preconditioner
-// (none|jacobi|ssor|ic0; default jacobi).
+// (none|jacobi|ssor|ic0|amg|dd; default jacobi) and
+// LMMIR_SOLVER_PRECISION the PCG arithmetic (double|mixed); see
+// docs/SOLVER.md.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,20 +43,62 @@
 #include "pdn/solver_context.hpp"
 #include "pdn/stats.hpp"
 #include "runtime/thread_pool.hpp"
+#include "sparse/precision.hpp"
+
+namespace {
+
+/// Ladder of multi-layer large-grid cases: side doubles per step, so the
+/// reduced-MNA unknown count roughly quadruples — the million-node solver
+/// regime scaled down to whatever `steps` the host can afford.
+std::vector<lmmir::gen::GeneratorConfig> grid_scale_suite(int steps,
+                                                          std::uint64_t seed) {
+  using namespace lmmir;
+  std::vector<gen::GeneratorConfig> configs;
+  for (int i = 0; i < steps; ++i) {
+    const double side = 48.0 * static_cast<double>(1 << i);
+    gen::GeneratorConfig cfg;
+    cfg.name = "grid" + std::to_string(i);
+    cfg.width_um = cfg.height_um = side;
+    cfg.seed = seed + static_cast<std::uint64_t>(i);
+    cfg.use_default_stack();
+    cfg.bump_pitch_um = std::max(12.0, side / 4.0);
+    cfg.n_hotspots = 3 + i;
+    cfg.total_current = 0.08 * (side * side) / (64.0 * 64.0);
+    configs.push_back(cfg);
+  }
+  return configs;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace lmmir;
-  const int count = argc > 1 ? std::atoi(argv[1]) : 5;
-  const std::string out_dir = argc > 2 ? argv[2] : "benchmarks";
-  const std::uint64_t seed = argc > 3
-      ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 2024;
+  int grid_scale_steps = 0;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--grid-scale", 12) == 0) {
+      grid_scale_steps = argv[i][12] == '='
+          ? std::max(1, std::atoi(argv[i] + 13)) : 3;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const int count = positional.size() > 0 ? std::atoi(positional[0]) : 5;
+  const std::string out_dir =
+      positional.size() > 1 ? positional[1] : "benchmarks";
+  const std::uint64_t seed = positional.size() > 2
+      ? static_cast<std::uint64_t>(std::atoll(positional[2])) : 2024;
 
   gen::SuiteOptions suite;  // default 1/8 contest scale
-  const auto configs = gen::fake_training_suite(count, seed, suite);
+  const auto configs = grid_scale_steps > 0
+      ? grid_scale_suite(grid_scale_steps, seed)
+      : gen::fake_training_suite(count, seed, suite);
 
   pdn::SolveOptions solve_opts;
   solve_opts.cg.preconditioner =
       sparse::preconditioner_kind_from_env(solve_opts.cg.preconditioner);
+  solve_opts.cg.precision =
+      sparse::solver_precision_from_env(solve_opts.cg.precision);
   pdn::SolverContextStats context_stats;
   feat::FeatureContextStats feature_stats;
 
@@ -101,7 +153,7 @@ int main(int argc, char** argv) {
                   100.0 * sol.worst_drop / sol.vdd, dir.c_str());
     }
   }
-  std::printf("wrote %d benchmark case(s) under %s/\n", count,
+  std::printf("wrote %zu benchmark case(s) under %s/\n", configs.size(),
               out_dir.c_str());
   std::printf("solver contexts (%zu striped context(s) over %zu thread(s)): "
               "%zu solve(s) = %zu rebuild(s) + %zu refresh(es), %zu "

@@ -11,7 +11,10 @@
 // Environment overrides (read once at construction):
 //   LMMIR_INPUT_SIDE, LMMIR_PC_GRID, LMMIR_SCALE, LMMIR_FAKE_CASES,
 //   LMMIR_REAL_CASES, LMMIR_EPOCHS, LMMIR_PRETRAIN_EPOCHS, LMMIR_SEED,
-//   LMMIR_PRECOND (golden-solver preconditioner: none|jacobi|ssor|ic0),
+//   LMMIR_PRECOND (golden-solver preconditioner:
+//   none|jacobi|ssor|ic0|amg|dd),
+//   LMMIR_SOLVER_PRECISION (golden-solver arithmetic: double|mixed; see
+//   docs/SOLVER.md),
 //   LMMIR_SOLVER_REUSE (0 disables the shared SolverContext during
 //   dataset / testset golden solves),
 //   LMMIR_FEATURE_REUSE (0 disables the shared feat::FeatureContext during

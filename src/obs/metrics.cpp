@@ -89,7 +89,11 @@ std::vector<double> batch_size_buckets() {
 }
 
 std::vector<double> iteration_buckets() {
-  return {8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192};
+  // Extends to 131072: million-node ladders under weak preconditioning
+  // (Jacobi at 10^6 unknowns) land well past the old 8192 top edge, and
+  // everything above the last finite bucket collapses into +Inf.
+  return {8,    16,   32,   64,    128,   256,   512,   1024,
+          2048, 4096, 8192, 16384, 32768, 65536, 131072};
 }
 
 // ------------------------------------------------------------------ registry

@@ -154,7 +154,7 @@ class Histogram {
 std::vector<double> latency_buckets_us();
 /// Default bucket edges for batch sizes (1 .. 64).
 std::vector<double> batch_size_buckets();
-/// Default bucket edges for PCG iteration counts (8 .. 8192).
+/// Default bucket edges for PCG iteration counts (8 .. 131072).
 std::vector<double> iteration_buckets();
 
 class MetricsRegistry {

@@ -1,0 +1,143 @@
+#pragma once
+// Smoothed-aggregation algebraic multigrid (AMG) preconditioner for the
+// million-node solver regime.  Single-level preconditioners (Jacobi /
+// SSOR / IC0) damp high-frequency error fast but leave the smooth modes
+// to CG, so iteration counts grow with grid size.  A multigrid V-cycle
+// attacks every frequency at its own scale: smooth on the fine grid,
+// restrict the residual to a coarser operator, recurse, prolong the
+// correction back — iteration counts stay near grid-independent.
+//
+// The hierarchy is built algebraically from the matrix alone:
+//
+//   1. strength of connection: j is a strong neighbor of i when
+//      |a_ij| >= θ·sqrt(|a_ii·a_jj|);
+//   2. greedy aggregation (Vanek-style): root nodes absorb their strong
+//      neighborhood, leftovers join their strongest aggregated neighbor,
+//      isolated nodes become singletons;
+//   3. smoothed prolongation P = (I − ω_p·D⁻¹A)·T over the tentative
+//      piecewise-constant T (one column per aggregate);
+//   4. Galerkin coarse operator A_c = Pᵀ·A·P, recursively until the
+//      coarsest level fits a dense Cholesky factor.
+//
+// The V-cycle smoother is weighted Jacobi with EQUAL pre/post sweep
+// counts; the Jacobi iteration operator is A-self-adjoint, so the cycle
+// is a symmetric positive definite operator and valid for PCG.
+//
+// Determinism: setup (strength, aggregation, Galerkin products) is
+// serial with fixed traversal order; the apply fans out only through the
+// repo's deterministic kernels (CsrMatrix::multiply, disjoint-row
+// transfer gathers, elementwise parallel_for), so V-cycle output is
+// bitwise-identical for any runtime thread count.
+//
+// Reuse: `refresh(a)` re-derives every numeric quantity (diagonals,
+// smoothed P, Galerkin operators, coarse factor) while keeping the
+// aggregates and traversal patterns — the ECO / load-sweep path through
+// pdn::SolverContext skips the symbolic setup.  `demote_storage()`
+// mirrors each level operator as CsrMatrixF32 for the mixed-precision
+// PCG path (sparse/precision.hpp).
+//
+// Level 0 references the matrix it was built from (like SSOR): the
+// matrix must outlive the preconditioner, and an in-place value change
+// requires refresh() before the next apply.
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/preconditioner.hpp"
+
+namespace lmmir::sparse {
+
+struct AmgOptions {
+  /// Strength-of-connection drop tolerance θ.  Smaller keeps more edges
+  /// in the aggregation graph (larger aggregates, faster coarsening).
+  double strength_theta = 0.08;
+  /// Prolongation-smoothing damping ω_p in P = (I − ω_p·D⁻¹A)·T.
+  double prolong_omega = 2.0 / 3.0;
+  /// Weighted-Jacobi smoother damping.
+  double smoother_omega = 2.0 / 3.0;
+  /// Pre-smoothing sweeps per level; post-smoothing always matches so
+  /// the cycle stays symmetric (see header comment).
+  int smoother_sweeps = 1;
+  /// Stop coarsening at this many unknowns and solve directly (dense
+  /// Cholesky, factored once at setup).
+  std::size_t coarse_size = 96;
+  std::size_t max_levels = 25;
+
+  /// Defaults overridden from LMMIR_AMG_THETA / LMMIR_AMG_SWEEPS /
+  /// LMMIR_AMG_COARSE (malformed values warn and fall back).
+  static AmgOptions from_environment();
+};
+
+class AmgPreconditioner final : public Preconditioner {
+ public:
+  explicit AmgPreconditioner(const CsrMatrix& a,
+                             AmgOptions opts = AmgOptions::from_environment());
+
+  PreconditionerKind kind() const override { return PreconditionerKind::Amg; }
+  void apply(const std::vector<double>& r,
+             std::vector<double>& z) const override;
+
+  /// Numeric rebuild on the SAME pattern, reusing aggregates and the
+  /// level structure (skips strength + aggregation).  Always true.
+  bool refresh(const CsrMatrix& a) override;
+
+  /// Mirror every level operator as CsrMatrixF32 so the V-cycle SpMVs
+  /// stream half the bytes (mixed-precision path).  Always true.
+  bool demote_storage() override;
+
+  /// Hierarchy telemetry for tests / benches.
+  struct HierarchyStats {
+    std::size_t levels = 0;
+    std::vector<std::size_t> level_dims;  // unknowns per level, fine first
+    std::vector<std::size_t> level_nnz;
+    /// Σ level nnz / fine nnz — the classic AMG memory-overhead figure.
+    double operator_complexity = 0.0;
+    std::size_t refreshes = 0;
+    bool coarse_direct = false;  // dense Cholesky at the coarsest level
+  };
+  const HierarchyStats& stats() const { return stats_; }
+  const AmgOptions& options() const { return opts_; }
+
+ private:
+  struct Level {
+    const CsrMatrix* a = nullptr;  // level 0: borrowed; else &a_owned
+    CsrMatrix a_owned;
+    std::optional<CsrMatrixF32> a_f32;  // demoted mirror (mixed precision)
+    std::vector<double> inv_diag;       // Jacobi smoother (zero rows -> 1)
+    std::vector<std::size_t> agg_of;    // fine node -> aggregate (refresh)
+    // Prolongation P (fine rows) and restriction R = Pᵀ (coarse rows).
+    std::vector<std::size_t> p_row_ptr, p_col;
+    std::vector<double> p_val;
+    std::vector<std::size_t> r_row_ptr, r_col;
+    std::vector<double> r_val;
+    // V-cycle scratch (apply is logically const; one instance per solve).
+    mutable std::vector<double> rhs, x, work, resid;
+  };
+
+  void build(const CsrMatrix& a, bool reuse_structure);
+  void build_level_transfers(Level& lvl, std::size_t n_coarse);
+  CsrMatrix galerkin_product(const Level& lvl) const;
+  void factor_coarse(const CsrMatrix& a);
+  void coarse_solve(const std::vector<double>& rhs,
+                    std::vector<double>& x) const;
+  void vcycle(std::size_t l, const std::vector<double>& rhs,
+              std::vector<double>& x) const;
+  void spmv(const Level& lvl, const std::vector<double>& x,
+            std::vector<double>& y) const;
+
+  AmgOptions opts_;
+  std::vector<Level> levels_;
+  // Coarsest-level dense Cholesky factor (row-major lower triangle), or
+  // empty when the factorization failed even with diagonal shifts — the
+  // coarse solve then falls back to fixed Jacobi sweeps (semi-definite
+  // systems stay usable; PCG's breakdown guards handle the rest).
+  std::size_t coarse_dim_ = 0;
+  std::vector<double> coarse_factor_;
+  mutable std::vector<double> coarse_y_;
+  HierarchyStats stats_;
+  bool demoted_ = false;
+};
+
+}  // namespace lmmir::sparse

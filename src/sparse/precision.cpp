@@ -1,0 +1,40 @@
+#include "sparse/precision.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "util/log.hpp"
+
+namespace lmmir::sparse {
+
+const char* to_string(SolverPrecision precision) {
+  switch (precision) {
+    case SolverPrecision::Double: return "double";
+    case SolverPrecision::Mixed: return "mixed";
+  }
+  return "unknown";
+}
+
+std::optional<SolverPrecision> solver_precision_from_string(
+    std::string_view key) {
+  std::string k(key);
+  for (auto& c : k)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (k == "double" || k == "fp64" || k == "f64")
+    return SolverPrecision::Double;
+  if (k == "mixed" || k == "float" || k == "fp32" || k == "f32")
+    return SolverPrecision::Mixed;
+  return std::nullopt;
+}
+
+SolverPrecision solver_precision_from_env(SolverPrecision fallback) {
+  const char* v = std::getenv("LMMIR_SOLVER_PRECISION");
+  if (!v) return fallback;
+  if (const auto p = solver_precision_from_string(v)) return *p;
+  util::log_warn("ignoring malformed LMMIR_SOLVER_PRECISION='", v,
+                 "' (want double|mixed)");
+  return fallback;
+}
+
+}  // namespace lmmir::sparse

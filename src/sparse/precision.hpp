@@ -1,0 +1,37 @@
+#pragma once
+// Solver storage precision for the PCG hot loop.  PDN SpMV is memory-bound
+// — the value and index arrays stream through cache once per iteration —
+// so demoting the MATRIX STORAGE to float (values f32, indices u32) halves
+// the byte traffic per iteration while every recurrence (dot products,
+// alpha/beta, iterate updates) stays in double.  An outer
+// iterative-refinement loop recovers full double-precision accuracy: each
+// inner solve runs against the demoted operator, the true residual is
+// re-evaluated in double, and the correction system is re-solved until the
+// double-precision tolerance holds.
+//
+//   Double — today's pure-double PCG, bit-exact with the pre-knob solver.
+//   Mixed  — f32-storage SpMV + double recurrences + refinement.
+//
+// The knob rides SolveOptions::cg.precision; LMMIR_SOLVER_PRECISION
+// selects it process-wide ("double" | "mixed").
+#include <optional>
+#include <string_view>
+
+namespace lmmir::sparse {
+
+enum class SolverPrecision { Double, Mixed };
+
+/// Canonical lower-case key ("double", "mixed").
+const char* to_string(SolverPrecision precision);
+
+/// Parse a key (case-insensitive); nullopt for unknown keys.
+std::optional<SolverPrecision> solver_precision_from_string(
+    std::string_view key);
+
+/// Read the LMMIR_SOLVER_PRECISION environment variable.  Returns
+/// `fallback` when unset; warns (util::log_warn) and returns `fallback`
+/// on unknown keys.
+SolverPrecision solver_precision_from_env(
+    SolverPrecision fallback = SolverPrecision::Double);
+
+}  // namespace lmmir::sparse

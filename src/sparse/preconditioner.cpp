@@ -8,6 +8,8 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/parallel_for.hpp"
+#include "sparse/amg.hpp"
+#include "sparse/schwarz.hpp"
 #include "sparse/trisolve.hpp"
 #include "util/log.hpp"
 
@@ -19,6 +21,8 @@ const char* to_string(PreconditionerKind kind) {
     case PreconditionerKind::Jacobi: return "jacobi";
     case PreconditionerKind::Ssor: return "ssor";
     case PreconditionerKind::Ic0: return "ic0";
+    case PreconditionerKind::Amg: return "amg";
+    case PreconditionerKind::Schwarz: return "dd";
   }
   return "unknown";
 }
@@ -31,6 +35,10 @@ std::optional<PreconditionerKind> preconditioner_kind_from_string(
   if (k == "jacobi" || k == "diag") return PreconditionerKind::Jacobi;
   if (k == "ssor") return PreconditionerKind::Ssor;
   if (k == "ic0" || k == "ic" || k == "ichol") return PreconditionerKind::Ic0;
+  if (k == "amg" || k == "multigrid" || k == "sa")
+    return PreconditionerKind::Amg;
+  if (k == "dd" || k == "schwarz" || k == "block_jacobi")
+    return PreconditionerKind::Schwarz;
   return std::nullopt;
 }
 
@@ -39,7 +47,7 @@ PreconditionerKind preconditioner_kind_from_env(PreconditionerKind fallback) {
   if (!v) return fallback;
   if (const auto kind = preconditioner_kind_from_string(v)) return *kind;
   util::log_warn("ignoring malformed LMMIR_PRECOND='", v,
-                 "' (want none|jacobi|ssor|ic0)");
+                 "' (want none|jacobi|ssor|ic0|amg|dd)");
   return fallback;
 }
 
@@ -64,16 +72,39 @@ class JacobiPreconditioner final : public Preconditioner {
              std::vector<double>& z) const override {
     z.resize(r.size());
     // Elementwise scale: disjoint writes, bitwise-identical for any thread
-    // count.
+    // count.  Demoted mode reads the f32 diagonal (half the stream) and
+    // widens per element; the product stays double.
+    if (!inv_diag_f32_.empty()) {
+      runtime::parallel_for(
+          0, r.size(), runtime::grain_for_cost(1),
+          [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+              z[i] = static_cast<double>(inv_diag_f32_[i]) * r[i];
+          });
+      return;
+    }
     runtime::parallel_for(0, r.size(), runtime::grain_for_cost(1),
                           [&](std::size_t lo, std::size_t hi) {
                             for (std::size_t i = lo; i < hi; ++i)
                               z[i] = inv_diag_[i] * r[i];
                           });
   }
+  bool demote_storage() override {
+    if (inv_diag_f32_.empty())
+      inv_diag_f32_.assign(inv_diag_.begin(), inv_diag_.end());
+    return true;
+  }
+  bool refresh(const CsrMatrix& a) override {
+    inv_diag_ = a.diagonal();
+    for (auto& d : inv_diag_) d = (d != 0.0) ? 1.0 / d : 1.0;
+    if (!inv_diag_f32_.empty())
+      inv_diag_f32_.assign(inv_diag_.begin(), inv_diag_.end());
+    return true;
+  }
 
  private:
   std::vector<double> inv_diag_;
+  std::vector<float> inv_diag_f32_;  // demoted mirror (mixed precision)
 };
 
 /// Symmetric Gauss-Seidel / SSOR sweep,
@@ -310,6 +341,10 @@ std::unique_ptr<Preconditioner> make_preconditioner(PreconditionerKind kind,
       return std::make_unique<SsorPreconditioner>(a);
     case PreconditionerKind::Ic0:
       return std::make_unique<Ic0Preconditioner>(a);
+    case PreconditionerKind::Amg:
+      return std::make_unique<AmgPreconditioner>(a);
+    case PreconditionerKind::Schwarz:
+      return std::make_unique<SchwarzPreconditioner>(a);
   }
   throw std::invalid_argument("make_preconditioner: unknown kind");
 }

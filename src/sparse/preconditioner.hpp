@@ -5,13 +5,19 @@
 // generate ground truth for.  Three classic SPD preconditioners are
 // provided behind one interface:
 //
-//   None   — identity; pure CG, the iteration-count baseline.
-//   Jacobi — diagonal scaling; O(n) setup, embarrassingly parallel apply,
-//            effective on diagonally dominant PDN meshes.
-//   SSOR   — symmetric successive over-relaxation sweep; no extra storage
-//            beyond the matrix, roughly halves iterations on grids.
-//   IC0    — incomplete Cholesky with zero fill-in; strongest iteration
-//            reduction, triangular-solve apply.
+//   None    — identity; pure CG, the iteration-count baseline.
+//   Jacobi  — diagonal scaling; O(n) setup, embarrassingly parallel apply,
+//             effective on diagonally dominant PDN meshes.
+//   SSOR    — symmetric successive over-relaxation sweep; no extra storage
+//             beyond the matrix, roughly halves iterations on grids.
+//   IC0     — incomplete Cholesky with zero fill-in; strongest
+//             single-level iteration reduction, triangular-solve apply.
+//   AMG     — smoothed-aggregation algebraic multigrid V-cycle
+//             (sparse/amg.hpp); near-grid-independent iteration counts,
+//             the million-node-regime preconditioner.
+//   Schwarz — overlapping additive Schwarz over contiguous index tiles
+//             with per-subdomain IC(0) solves (sparse/schwarz.hpp); turns
+//             thread count into solver speedup on one solve.
 //
 // The SSOR and IC(0) triangular sweeps are level-scheduled (see
 // sparse/trisolve.hpp): rows are grouped into dependency wavefronts so the
@@ -36,9 +42,10 @@
 
 namespace lmmir::sparse {
 
-enum class PreconditionerKind { None, Jacobi, Ssor, Ic0 };
+enum class PreconditionerKind { None, Jacobi, Ssor, Ic0, Amg, Schwarz };
 
-/// Canonical lower-case key ("none", "jacobi", "ssor", "ic0").
+/// Canonical lower-case key ("none", "jacobi", "ssor", "ic0", "amg",
+/// "dd").
 const char* to_string(PreconditionerKind kind);
 
 /// Parse a factory key (case-insensitive); nullopt for unknown keys.
@@ -63,6 +70,28 @@ class Preconditioner {
   virtual void apply(const std::vector<double>& r,
                      std::vector<double>& z) const = 0;
   const char* name() const { return to_string(kind()); }
+
+  /// Numeric refresh: re-derive the factored state from `a`, which must
+  /// have the SAME sparsity pattern the instance was built from (new
+  /// values only — the pdn::SolverContext in-place value update).
+  /// Returns false when the kind has no cheaper-than-rebuild path (the
+  /// default); the caller then rebuilds via the factory.  Kinds that
+  /// return true (AMG: aggregates and transfer patterns kept; Schwarz:
+  /// tile partition and extraction plans kept) skip their symbolic setup
+  /// and refactor numerics only.
+  virtual bool refresh(const CsrMatrix& a) {
+    (void)a;
+    return false;
+  }
+
+  /// Demote internal storage to f32 where the kind supports it (the
+  /// mixed-precision path, sparse/precision.hpp): Jacobi stores a float
+  /// inverse diagonal, AMG mirrors its level operators as CsrMatrixF32.
+  /// Recurrences stay double either way.  Returns false when the kind
+  /// keeps full double storage (SSOR, IC0, Schwarz: their triangular
+  /// sweeps carry loop dependences where f32 storage was not worth the
+  /// extra rounding).  Idempotent.
+  virtual bool demote_storage() { return false; }
 };
 
 /// Build a preconditioner for SPD matrix `a`.  IC0 retries with a scaled

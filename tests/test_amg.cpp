@@ -1,0 +1,220 @@
+// Smoothed-aggregation AMG: hierarchy shape, SPD validity of the V-cycle,
+// golden agreement with the established preconditioners, numeric refresh
+// reuse, semi-definite robustness, and the bitwise thread-count contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/began.hpp"
+#include "pdn/circuit.hpp"
+#include "pdn/solver.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sparse/amg.hpp"
+#include "sparse/cg.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lmmir;
+using namespace lmmir::sparse;
+
+/// Reduced MNA systems of two generated suite circuits (deterministic).
+const std::vector<pdn::AssembledSystem>& suite_systems() {
+  static const std::vector<pdn::AssembledSystem> systems = [] {
+    std::vector<pdn::AssembledSystem> out;
+    for (const double side : {30.0, 48.0}) {
+      gen::GeneratorConfig cfg;
+      cfg.name = "amg_suite";
+      cfg.width_um = cfg.height_um = side;
+      cfg.seed = 0x511Du + static_cast<std::uint64_t>(side);
+      cfg.use_default_stack();
+      cfg.total_current = 0.08 * (side * side) / (64.0 * 64.0);
+      const spice::Netlist nl = gen::generate_pdn(cfg);
+      out.push_back(pdn::assemble_ir_system(pdn::Circuit(nl)));
+    }
+    return out;
+  }();
+  return systems;
+}
+
+AmgOptions test_options() {
+  AmgOptions o;  // fixed explicitly so LMMIR_AMG_* env cannot skew tests
+  o.coarse_size = 40;
+  return o;
+}
+
+TEST(AmgHierarchy, CoarsensSuiteSystems) {
+  for (const auto& sys : suite_systems()) {
+    const AmgPreconditioner amg(sys.matrix, test_options());
+    const auto& st = amg.stats();
+    ASSERT_GE(st.levels, 2u);
+    ASSERT_EQ(st.level_dims.size(), st.levels);
+    EXPECT_EQ(st.level_dims.front(), sys.matrix.dim());
+    for (std::size_t l = 1; l < st.levels; ++l)
+      EXPECT_LT(st.level_dims[l], st.level_dims[l - 1]);
+    // Aggregation keeps the hierarchy cheap: total stored nonzeros stay a
+    // small multiple of the fine matrix.  Smoothed prolongation roughly
+    // squares the stencil per level, and the deep coarsening forced by the
+    // tiny test coarse_size makes these suite systems the worst case, so
+    // the bound is looser than production hierarchies need.
+    EXPECT_LT(st.operator_complexity, 4.0);
+    EXPECT_TRUE(st.coarse_direct);
+    EXPECT_EQ(st.refreshes, 0u);
+  }
+}
+
+TEST(AmgApply, VcycleOperatorIsSymmetric) {
+  // PCG needs M⁻¹ symmetric: equal pre/post Jacobi sweeps make the
+  // V-cycle A-self-adjoint, checked as ⟨u, M⁻¹v⟩ = ⟨v, M⁻¹u⟩.
+  const auto& sys = suite_systems().front();
+  const AmgPreconditioner amg(sys.matrix, test_options());
+  const std::size_t n = sys.matrix.dim();
+  util::Rng rng(17);
+  std::vector<double> u(n), v(n), mu, mv;
+  for (std::size_t i = 0; i < n; ++i) {
+    u[i] = rng.uniform_double(-1.0, 1.0);
+    v[i] = rng.uniform_double(-1.0, 1.0);
+  }
+  amg.apply(u, mu);
+  amg.apply(v, mv);
+  double uv = 0.0, vu = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    uv += u[i] * mv[i];
+    vu += v[i] * mu[i];
+  }
+  EXPECT_NEAR(uv, vu, 1e-9 * std::max(1.0, std::abs(uv)));
+}
+
+TEST(AmgGolden, MatchesJacobiAndIc0Solutions) {
+  for (const auto& sys : suite_systems()) {
+    CgOptions ref_opts;
+    ref_opts.preconditioner = PreconditionerKind::Ic0;
+    ref_opts.tolerance = 1e-12;
+    const auto ref = conjugate_gradient(sys.matrix, sys.rhs, ref_opts);
+    ASSERT_TRUE(ref.converged);
+
+    CgOptions amg_opts = ref_opts;
+    amg_opts.preconditioner = PreconditionerKind::Amg;
+    const auto res = conjugate_gradient(sys.matrix, sys.rhs, amg_opts);
+    ASSERT_TRUE(res.converged);
+    ASSERT_EQ(res.x.size(), ref.x.size());
+    for (std::size_t i = 0; i < res.x.size(); ++i)
+      EXPECT_NEAR(res.x[i], ref.x[i], 1e-8) << "node " << i;
+  }
+}
+
+TEST(AmgGolden, BeatsJacobiIterationCount) {
+  // The whole point of the V-cycle: far fewer PCG iterations than a
+  // single-level diagonal scale on the same system.
+  const auto& sys = suite_systems().back();
+  auto iterations = [&](PreconditionerKind kind) {
+    CgOptions opts;
+    opts.preconditioner = kind;
+    const auto res = conjugate_gradient(sys.matrix, sys.rhs, opts);
+    EXPECT_TRUE(res.converged) << to_string(kind);
+    return res.iterations;
+  };
+  EXPECT_LT(iterations(PreconditionerKind::Amg),
+            iterations(PreconditionerKind::Jacobi));
+}
+
+TEST(AmgReuse, RefreshKeepsAggregatesAndMatchesRebuild) {
+  const auto& sys = suite_systems().front();
+  AmgPreconditioner amg(sys.matrix, test_options());
+  const auto levels_before = amg.stats().levels;
+
+  // Uniformly scaled conductances: the strength graph — and therefore the
+  // aggregates a fresh build would pick — is identical, so refresh must
+  // reproduce the rebuilt preconditioner bitwise.
+  CsrMatrix scaled = sys.matrix;
+  for (auto& v : scaled.values_mut()) v *= 1.7;
+  ASSERT_TRUE(amg.refresh(scaled));
+  EXPECT_EQ(amg.stats().refreshes, 1u);
+  EXPECT_EQ(amg.stats().levels, levels_before);
+
+  const AmgPreconditioner fresh(scaled, test_options());
+  util::Rng rng(23);
+  std::vector<double> r(sys.matrix.dim()), za, zb;
+  for (auto& x : r) x = rng.uniform_double(-1.0, 1.0);
+  amg.apply(r, za);
+  fresh.apply(r, zb);
+  ASSERT_EQ(za.size(), zb.size());
+  for (std::size_t i = 0; i < za.size(); ++i)
+    ASSERT_EQ(za[i], zb[i]) << "node " << i;  // exact, not NEAR
+}
+
+TEST(AmgBreakdown, SemiDefiniteSystemStaysFinite) {
+  // A pure graph Laplacian (no Dirichlet pin anywhere) is singular; the
+  // coarse factor retries shifts and PCG's guards must keep the result
+  // finite instead of crashing or emitting NaN.
+  const std::size_t n = 64;
+  CooBuilder coo(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double diag = 0.0;
+    if (i > 0) {
+      coo.add(i, i - 1, -1.0);
+      diag += 1.0;
+    }
+    if (i + 1 < n) {
+      coo.add(i, i + 1, -1.0);
+      diag += 1.0;
+    }
+    coo.add(i, i, diag);
+  }
+  const auto m = CsrMatrix::from_coo(coo);
+  std::vector<double> b(n, 0.0);
+  b.front() = 1.0;
+  b.back() = -1.0;  // consistent rhs (orthogonal to the constant nullspace)
+  CgOptions opts;
+  opts.preconditioner = PreconditionerKind::Amg;
+  opts.max_iterations = 500;
+  const auto res = conjugate_gradient(m, b, opts);
+  EXPECT_TRUE(std::isfinite(res.residual));
+  for (const double v : res.x) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(AmgMixed, DemotedStorageStillSolves) {
+  const auto& sys = suite_systems().front();
+  AmgPreconditioner amg(sys.matrix, test_options());
+  ASSERT_TRUE(amg.demote_storage());
+  ASSERT_TRUE(amg.demote_storage());  // idempotent
+  CgOptions opts;
+  const auto res =
+      conjugate_gradient(sys.matrix, sys.rhs, opts, &amg);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.preconditioner, PreconditionerKind::Amg);
+}
+
+/// Restores the global pool to 1 thread even when an ASSERT bails out.
+struct ThreadGuard {
+  ~ThreadGuard() { runtime::set_global_threads(1); }
+};
+
+TEST(AmgDeterminism, ApplyAndSolveBitwiseIdentical1Vs4Threads) {
+  const auto& sys = suite_systems().back();
+  ThreadGuard guard;
+  const AmgPreconditioner amg(sys.matrix, test_options());
+  util::Rng rng(99);
+  std::vector<double> r(sys.matrix.dim()), z1, z4;
+  for (auto& x : r) x = rng.uniform_double(-1.0, 1.0);
+
+  runtime::set_global_threads(1);
+  amg.apply(r, z1);
+  CgOptions opts;
+  opts.preconditioner = PreconditionerKind::Amg;
+  const auto serial = conjugate_gradient(sys.matrix, sys.rhs, opts);
+
+  runtime::set_global_threads(4);
+  amg.apply(r, z4);
+  const auto parallel = conjugate_gradient(sys.matrix, sys.rhs, opts);
+  runtime::set_global_threads(1);
+
+  ASSERT_EQ(z1.size(), z4.size());
+  for (std::size_t i = 0; i < z1.size(); ++i)
+    ASSERT_EQ(z1[i], z4[i]) << "apply node " << i;
+  ASSERT_EQ(serial.iterations, parallel.iterations);
+  for (std::size_t i = 0; i < serial.x.size(); ++i)
+    ASSERT_EQ(serial.x[i], parallel.x[i]) << "solve node " << i;
+}
+
+}  // namespace

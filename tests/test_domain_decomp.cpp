@@ -1,0 +1,180 @@
+// Overlapping additive-Schwarz domain decomposition: thread-independent
+// partition, SPD validity, golden agreement, partition reuse on refresh,
+// and the bitwise 1-vs-N determinism contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/began.hpp"
+#include "pdn/circuit.hpp"
+#include "pdn/solver.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sparse/cg.hpp"
+#include "sparse/schwarz.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lmmir;
+using namespace lmmir::sparse;
+
+const std::vector<pdn::AssembledSystem>& suite_systems() {
+  static const std::vector<pdn::AssembledSystem> systems = [] {
+    std::vector<pdn::AssembledSystem> out;
+    for (const double side : {30.0, 48.0}) {
+      gen::GeneratorConfig cfg;
+      cfg.name = "dd_suite";
+      cfg.width_um = cfg.height_um = side;
+      cfg.seed = 0xDD00u + static_cast<std::uint64_t>(side);
+      cfg.use_default_stack();
+      cfg.total_current = 0.08 * (side * side) / (64.0 * 64.0);
+      const spice::Netlist nl = gen::generate_pdn(cfg);
+      out.push_back(pdn::assemble_ir_system(pdn::Circuit(nl)));
+    }
+    return out;
+  }();
+  return systems;
+}
+
+SchwarzOptions test_options() {
+  SchwarzOptions o;  // fixed explicitly so LMMIR_DD_* env cannot skew tests
+  o.blocks = 4;
+  o.overlap = 1;
+  return o;
+}
+
+TEST(DomainDecompPartition, CoversEveryUnknownWithSaneTiles) {
+  const auto& sys = suite_systems().front();
+  const SchwarzPreconditioner dd(sys.matrix, test_options());
+  const auto& st = dd.stats();
+  EXPECT_EQ(st.subdomains, 4u);
+  EXPECT_EQ(st.overlap_rounds, 1u);
+  // Overlap duplicates boundary nodes, so the union is at least a cover.
+  EXPECT_GE(st.total_nodes, sys.matrix.dim());
+  EXPECT_LE(st.max_subdomain, sys.matrix.dim());
+  EXPECT_GT(st.max_subdomain, 0u);
+}
+
+TEST(DomainDecompPartition, BlocksClampToMatrixDim) {
+  CooBuilder coo(3);
+  for (std::size_t i = 0; i < 3; ++i) coo.add(i, i, 2.0);
+  const auto m = CsrMatrix::from_coo(coo);
+  SchwarzOptions o;
+  o.blocks = 64;  // far more tiles than unknowns
+  o.overlap = 1;
+  const SchwarzPreconditioner dd(m, o);
+  EXPECT_LE(dd.stats().subdomains, 3u);
+  std::vector<double> z;
+  dd.apply({2.0, 2.0, 2.0}, z);
+  for (const double v : z) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(DomainDecompApply, AdditiveOperatorIsSymmetric) {
+  // Symmetric additive Schwarz (not RAS) was chosen precisely so PCG can
+  // use it: ⟨u, M⁻¹v⟩ = ⟨v, M⁻¹u⟩.
+  const auto& sys = suite_systems().front();
+  const SchwarzPreconditioner dd(sys.matrix, test_options());
+  const std::size_t n = sys.matrix.dim();
+  util::Rng rng(31);
+  std::vector<double> u(n), v(n), mu, mv;
+  for (std::size_t i = 0; i < n; ++i) {
+    u[i] = rng.uniform_double(-1.0, 1.0);
+    v[i] = rng.uniform_double(-1.0, 1.0);
+  }
+  dd.apply(u, mu);
+  dd.apply(v, mv);
+  double uv = 0.0, vu = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    uv += u[i] * mv[i];
+    vu += v[i] * mu[i];
+  }
+  EXPECT_NEAR(uv, vu, 1e-9 * std::max(1.0, std::abs(uv)));
+}
+
+TEST(DomainDecompGolden, MatchesIc0Solutions) {
+  for (const auto& sys : suite_systems()) {
+    CgOptions ref_opts;
+    ref_opts.preconditioner = PreconditionerKind::Ic0;
+    ref_opts.tolerance = 1e-12;
+    const auto ref = conjugate_gradient(sys.matrix, sys.rhs, ref_opts);
+    ASSERT_TRUE(ref.converged);
+
+    CgOptions dd_opts = ref_opts;
+    dd_opts.preconditioner = PreconditionerKind::Schwarz;
+    const auto res = conjugate_gradient(sys.matrix, sys.rhs, dd_opts);
+    ASSERT_TRUE(res.converged);
+    ASSERT_EQ(res.x.size(), ref.x.size());
+    for (std::size_t i = 0; i < res.x.size(); ++i)
+      EXPECT_NEAR(res.x[i], ref.x[i], 1e-8) << "node " << i;
+  }
+}
+
+TEST(DomainDecompGolden, OverlapDoesNotHurtConvergence) {
+  const auto& sys = suite_systems().back();
+  auto iterations = [&](std::size_t overlap) {
+    SchwarzOptions o = test_options();
+    o.overlap = overlap;
+    const SchwarzPreconditioner dd(sys.matrix, o);
+    CgOptions opts;
+    const auto res = conjugate_gradient(sys.matrix, sys.rhs, opts, &dd);
+    EXPECT_TRUE(res.converged) << "overlap " << overlap;
+    return res.iterations;
+  };
+  // Halo exchange is what couples the tiles; one round should never make
+  // the block-Jacobi (overlap 0) iteration count meaningfully worse.
+  EXPECT_LE(iterations(1), iterations(0) + 2);
+}
+
+TEST(DomainDecompReuse, RefreshKeepsPartitionAndMatchesRebuild) {
+  const auto& sys = suite_systems().front();
+  SchwarzPreconditioner dd(sys.matrix, test_options());
+  const auto tiles_before = dd.stats().subdomains;
+
+  CsrMatrix scaled = sys.matrix;
+  for (auto& v : scaled.values_mut()) v *= 2.25;
+  ASSERT_TRUE(dd.refresh(scaled));
+  EXPECT_EQ(dd.stats().refreshes, 1u);
+  EXPECT_EQ(dd.stats().subdomains, tiles_before);
+
+  // The partition is value-independent (contiguous index tiles + pattern
+  // halos), so refresh and a fresh build must agree bitwise.
+  const SchwarzPreconditioner fresh(scaled, test_options());
+  util::Rng rng(37);
+  std::vector<double> r(sys.matrix.dim()), za, zb;
+  for (auto& x : r) x = rng.uniform_double(-1.0, 1.0);
+  dd.apply(r, za);
+  fresh.apply(r, zb);
+  ASSERT_EQ(za.size(), zb.size());
+  for (std::size_t i = 0; i < za.size(); ++i)
+    ASSERT_EQ(za[i], zb[i]) << "node " << i;  // exact, not NEAR
+}
+
+/// Restores the global pool to 1 thread even when an ASSERT bails out.
+struct ThreadGuard {
+  ~ThreadGuard() { runtime::set_global_threads(1); }
+};
+
+TEST(DomainDecompDeterminism, SolveBitwiseIdentical1Vs4Threads) {
+  // The load-bearing property: subdomain solves fan out over the pool,
+  // yet private buffers + fixed-order accumulation keep the PCG iterate
+  // stream bitwise-identical at any thread count.
+  const auto& sys = suite_systems().back();
+  ThreadGuard guard;
+  CgOptions opts;
+  opts.preconditioner = PreconditionerKind::Schwarz;
+
+  runtime::set_global_threads(1);
+  const auto serial = conjugate_gradient(sys.matrix, sys.rhs, opts);
+  runtime::set_global_threads(4);
+  const auto parallel = conjugate_gradient(sys.matrix, sys.rhs, opts);
+  runtime::set_global_threads(1);
+
+  ASSERT_TRUE(serial.converged);
+  ASSERT_EQ(serial.iterations, parallel.iterations);
+  ASSERT_EQ(serial.x.size(), parallel.x.size());
+  for (std::size_t i = 0; i < serial.x.size(); ++i)
+    ASSERT_EQ(serial.x[i], parallel.x[i]) << "node " << i;
+  EXPECT_EQ(serial.residual, parallel.residual);
+}
+
+}  // namespace

@@ -21,7 +21,8 @@ using namespace lmmir::sparse;
 
 constexpr PreconditionerKind kAllKinds[] = {
     PreconditionerKind::None, PreconditionerKind::Jacobi,
-    PreconditionerKind::Ssor, PreconditionerKind::Ic0};
+    PreconditionerKind::Ssor, PreconditionerKind::Ic0,
+    PreconditionerKind::Amg,  PreconditionerKind::Schwarz};
 
 /// Reduced MNA systems of a few generated suite circuits (shared across
 /// tests; generation is deterministic).
@@ -49,7 +50,13 @@ TEST(PrecondFactory, ParsesCanonicalKeys) {
             PreconditionerKind::Jacobi);
   EXPECT_EQ(preconditioner_kind_from_string("SSOR"), PreconditionerKind::Ssor);
   EXPECT_EQ(preconditioner_kind_from_string("ic0"), PreconditionerKind::Ic0);
-  EXPECT_FALSE(preconditioner_kind_from_string("amg").has_value());
+  EXPECT_EQ(preconditioner_kind_from_string("amg"), PreconditionerKind::Amg);
+  EXPECT_EQ(preconditioner_kind_from_string("multigrid"),
+            PreconditionerKind::Amg);
+  EXPECT_EQ(preconditioner_kind_from_string("dd"), PreconditionerKind::Schwarz);
+  EXPECT_EQ(preconditioner_kind_from_string("Schwarz"),
+            PreconditionerKind::Schwarz);
+  EXPECT_FALSE(preconditioner_kind_from_string("cholmod").has_value());
   for (const auto kind : kAllKinds)
     EXPECT_EQ(preconditioner_kind_from_string(to_string(kind)), kind);
 }
@@ -58,7 +65,7 @@ TEST(PrecondFactory, UnknownKeyThrows) {
   CooBuilder coo(1);
   coo.add(0, 0, 1.0);
   const auto m = CsrMatrix::from_coo(coo);
-  EXPECT_THROW(make_preconditioner("multigrid", m), std::invalid_argument);
+  EXPECT_THROW(make_preconditioner("cholmod", m), std::invalid_argument);
   EXPECT_NO_THROW(make_preconditioner("IC0", m));
 }
 

@@ -8,8 +8,9 @@ markdown file under docs/:
    directory in the repo (http(s)/mailto links and pure #anchors are
    skipped; #fragments on relative links are stripped before checking);
 2. every LMMIR_* environment variable a doc mentions actually appears
-   somewhere in the source tree (src/, tests/, bench/, examples/), so
-   docs cannot advertise knobs the code no longer reads.
+   somewhere in the source tree (src/, tests/, bench/, examples/, plus
+   the top-level CMakeLists.txt for build-time LMMIR_* options), so docs
+   cannot advertise knobs the code no longer reads.
 
 Exits non-zero with one line per violation.
 """
@@ -22,6 +23,8 @@ DOC_FILES = ["README.md", "ROADMAP.md", "CHANGES.md", "PAPER.md"]
 DOC_DIRS = ["docs"]
 SOURCE_DIRS = ["src", "tests", "bench", "examples"]
 SOURCE_EXTS = {".cpp", ".hpp", ".h", ".cc"}
+# Build-time LMMIR_* knobs (e.g. SIMD toggles) live in CMake, not C++.
+SOURCE_FILES = ["CMakeLists.txt"]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 ENV_RE = re.compile(r"\bLMMIR_[A-Z][A-Z0-9_]*\b")
@@ -52,6 +55,11 @@ def source_env_vars():
                 with open(os.path.join(dirpath, f), encoding="utf-8",
                           errors="replace") as fh:
                     found.update(ENV_RE.findall(fh.read()))
+    for name in SOURCE_FILES:
+        path = os.path.join(REPO, name)
+        if os.path.isfile(path):
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                found.update(ENV_RE.findall(fh.read()))
     return found
 
 
