@@ -66,6 +66,8 @@ PipelineOptions PipelineOptions::from_environment() {
           "LMMIR_SESSION_CACHE_MB",
           static_cast<long>(o.session_cache_bytes >> 20)))
       << 20;
+  if (const char* dir = std::getenv("LMMIR_CORPUS_DIR")) o.corpus_dir = dir;
+  o.prefetch = env_long("LMMIR_PREFETCH", 1) != 0;
   return o;
 }
 
@@ -112,6 +114,39 @@ data::Dataset Pipeline::build_training_dataset() const {
   if (opts_.solver_context_reuse) log_context_stats("dataset", solver_ctx);
   if (opts_.feature_context_reuse) log_feature_stats("dataset", feature_ctx);
   return ds;
+}
+
+data::CorpusManifest Pipeline::export_training_corpus(
+    const std::string& dir, std::size_t samples_per_shard) const {
+  data::DatasetOptions d;
+  d.sample = opts_.sample;
+  d.fake_cases = opts_.fake_cases;
+  d.real_cases = opts_.real_cases;
+  d.fake_oversample = opts_.fake_oversample;
+  d.real_oversample = opts_.real_oversample;
+  d.suite_scale = opts_.suite_scale;
+  d.seed = opts_.seed;
+  pdn::SolverContext solver_ctx;
+  feat::FeatureContext feature_ctx;
+  if (opts_.solver_context_reuse) d.sample.solver_context = &solver_ctx;
+  if (opts_.feature_context_reuse) d.sample.feature_context = &feature_ctx;
+  const data::CorpusManifest manifest =
+      data::spill_training_dataset(d, dir, samples_per_shard);
+  if (opts_.solver_context_reuse) log_context_stats("corpus", solver_ctx);
+  if (opts_.feature_context_reuse) log_feature_stats("corpus", feature_ctx);
+  return manifest;
+}
+
+std::unique_ptr<data::StreamingLoader> Pipeline::make_streaming_loader(
+    const std::string& dir) const {
+  const std::string& corpus_dir = dir.empty() ? opts_.corpus_dir : dir;
+  if (corpus_dir.empty())
+    throw std::invalid_argument(
+        "make_streaming_loader: no corpus directory (set LMMIR_CORPUS_DIR "
+        "or pass one)");
+  auto corpus = std::make_unique<data::ShardCorpus>(corpus_dir);
+  return std::make_unique<data::StreamingLoader>(
+      std::move(corpus), train::provider_options(opts_.train, opts_.prefetch));
 }
 
 std::vector<data::Sample> Pipeline::build_hidden_testset() const {

@@ -26,12 +26,17 @@
 //   preplanned storage; see docs/PLAN.md),
 //   LMMIR_SESSION_CACHE (max cached sessions in make_session_server),
 //   LMMIR_SESSION_CACHE_MB (session-cache memory budget, MiB; see
-//   docs/SERVING.md).
+//   docs/SERVING.md),
+//   LMMIR_CORPUS_DIR (shard-corpus directory for out-of-core training;
+//   see docs/DATA.md),
+//   LMMIR_PREFETCH (0 disables the streaming loader's async prefetch;
+//   results are bitwise identical either way).
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "data/loader.hpp"
 #include "models/common.hpp"
 #include "serve/server.hpp"
 #include "serve/session.hpp"
@@ -78,6 +83,17 @@ struct PipelineOptions {
   /// LMMIR_SESSION_CACHE_MB (0 = unbounded; see docs/SERVING.md).
   std::size_t session_cache_sessions = 64;
   std::size_t session_cache_bytes = 256ull << 20;
+  /// Shard-corpus directory for out-of-core training (docs/DATA.md).
+  /// Empty (the default) keeps the in-memory Dataset path; non-empty
+  /// points make_streaming_loader() (and the training examples) at an
+  /// existing corpus written by export_training_corpus() or
+  /// examples/export_corpus.  Env: LMMIR_CORPUS_DIR.
+  std::string corpus_dir;
+  /// Async double-buffered batch prefetch in the streaming loader (next
+  /// batch stacked on a pool worker while the current step runs).
+  /// Bitwise-identical results on or off.  Env: LMMIR_PREFETCH=0 to
+  /// disable.
+  bool prefetch = true;
 
   /// Defaults overridden from LMMIR_* environment variables.
   static PipelineOptions from_environment();
@@ -93,6 +109,19 @@ class Pipeline {
 
   /// Generate + featurize + golden-solve the training pool.
   data::Dataset build_training_dataset() const;
+
+  /// Spill the training pool to a shard corpus under `dir` instead of
+  /// holding it resident: same cases, bitwise-identical samples, but the
+  /// memory footprint is one sample at a time (docs/DATA.md).
+  data::CorpusManifest export_training_corpus(
+      const std::string& dir, std::size_t samples_per_shard = 64) const;
+
+  /// Open a shard corpus (defaults to options().corpus_dir) as a
+  /// streaming batch provider wired to this pipeline's train config and
+  /// prefetch knob; feed it to train::fit.  The returned loader owns the
+  /// corpus mapping.
+  std::unique_ptr<data::StreamingLoader> make_streaming_loader(
+      const std::string& dir = "") const;
 
   /// The 10 hidden Table-II cases.
   std::vector<data::Sample> build_hidden_testset() const;

@@ -1,6 +1,8 @@
 #include "data/dataset.hpp"
 
+#include <atomic>
 #include <stdexcept>
+#include <utility>
 
 #include "gen/suite.hpp"
 #include "tensor/ops.hpp"
@@ -8,28 +10,68 @@
 
 namespace lmmir::data {
 
-Dataset build_training_dataset(const DatasetOptions& opts) {
-  Dataset ds;
+namespace {
+
+std::atomic<std::uint64_t> g_batch_tensor_allocs{0};
+
+/// Shared generation loop: build_training_dataset and
+/// spill_training_dataset must produce bitwise-identical samples in the
+/// same order, so both funnel through this one emitter.
+template <typename Emit>
+void generate_training_cases(const DatasetOptions& opts, Emit&& emit) {
   gen::SuiteOptions suite;
   suite.scale = opts.suite_scale;
   const auto fakes =
       gen::fake_training_suite(opts.fake_cases, opts.seed, suite);
   const auto reals =
       gen::real_training_suite(opts.real_cases, opts.seed + 101, suite);
+  for (const auto& cfg : fakes)
+    emit(make_sample(cfg, opts.sample), opts.fake_oversample);
+  for (const auto& cfg : reals)
+    emit(make_sample(cfg, opts.sample), opts.real_oversample);
+}
 
-  for (const auto& cfg : fakes) {
-    ds.samples.push_back(make_sample(cfg, opts.sample));
-    for (int k = 0; k < opts.fake_oversample; ++k)
+}  // namespace
+
+std::uint64_t batch_tensor_allocations() {
+  return g_batch_tensor_allocs.load(std::memory_order_relaxed);
+}
+
+Dataset build_training_dataset(const DatasetOptions& opts) {
+  Dataset ds;
+  generate_training_cases(opts, [&ds](Sample&& s, int oversample) {
+    ds.samples.push_back(std::move(s));
+    for (int k = 0; k < oversample; ++k)
       ds.epoch.push_back(ds.samples.size() - 1);
-  }
-  for (const auto& cfg : reals) {
-    ds.samples.push_back(make_sample(cfg, opts.sample));
-    for (int k = 0; k < opts.real_oversample; ++k)
-      ds.epoch.push_back(ds.samples.size() - 1);
-  }
+  });
   util::log_info("dataset: ", ds.samples.size(), " cases, epoch size ",
                  ds.epoch.size());
   return ds;
+}
+
+CorpusManifest spill_training_dataset(const DatasetOptions& opts,
+                                      const std::string& dir,
+                                      std::size_t samples_per_shard) {
+  ShardCorpusWriter writer(dir, samples_per_shard);
+  generate_training_cases(opts, [&writer](Sample&& s, int oversample) {
+    writer.append(s, static_cast<std::uint32_t>(oversample));
+    // `s` dies here: resident footprint is one sample, not the corpus.
+  });
+  const CorpusManifest manifest = writer.finalize();
+  util::log_info("dataset: spilled ", manifest.samples, " cases (epoch size ",
+                 manifest.epoch_samples, ") into ",
+                 manifest.shard_files.size(), " shards under ", dir);
+  return manifest;
+}
+
+CorpusManifest write_corpus(const Dataset& dataset, const std::string& dir,
+                            std::size_t samples_per_shard) {
+  std::vector<std::uint32_t> oversample(dataset.samples.size(), 0);
+  for (std::size_t idx : dataset.epoch) ++oversample.at(idx);
+  ShardCorpusWriter writer(dir, samples_per_shard);
+  for (std::size_t i = 0; i < dataset.samples.size(); ++i)
+    writer.append(dataset.samples[i], oversample[i] ? oversample[i] : 1);
+  return writer.finalize();
 }
 
 std::vector<Sample> build_table2_testset(const SampleOptions& opts,
@@ -42,9 +84,34 @@ std::vector<Sample> build_table2_testset(const SampleOptions& opts,
   return out;
 }
 
-Batch make_batch(const std::vector<Sample>& samples,
-                 const std::vector<std::size_t>& indices, float noise_std,
-                 util::Rng& rng) {
+namespace detail {
+
+std::vector<float>& ensure_batch_slot(tensor::Tensor& t,
+                                      const tensor::Shape& shape) {
+  const std::size_t numel = tensor::shape_numel(shape);
+  if (t.defined() && t.impl().use_count() == 1 && !t.requires_grad() &&
+      t.impl()->data.capacity() >= numel) {
+    tensor::TensorImpl& impl = *t.impl();
+    impl.shape = shape;
+    impl.data.clear();  // keeps capacity: refill is insert-only, no realloc
+    impl.grad.clear();
+    impl.parents.clear();
+    impl.backward_fn = nullptr;
+    return impl.data;
+  }
+  g_batch_tensor_allocs.fetch_add(1, std::memory_order_relaxed);
+  auto impl = std::make_shared<tensor::TensorImpl>();
+  impl->shape = shape;
+  impl->data.reserve(numel);
+  t = tensor::Tensor(std::move(impl));
+  return t.impl()->data;
+}
+
+}  // namespace detail
+
+void make_batch_into(const std::vector<Sample>& samples,
+                     const std::vector<std::size_t>& indices, float noise_std,
+                     util::Rng& rng, Batch& out) {
   if (indices.empty()) throw std::invalid_argument("make_batch: empty batch");
   const Sample& first = samples.at(indices[0]);
   const auto cs = first.circuit.shape();  // [C,S,S]
@@ -52,12 +119,12 @@ Batch make_batch(const std::vector<Sample>& samples,
   const auto ys = first.target.shape();   // [1,S,S]
   const int b = static_cast<int>(indices.size());
 
-  std::vector<float> circ;
-  std::vector<float> toks;
-  std::vector<float> targ;
-  circ.reserve(static_cast<std::size_t>(b) * first.circuit.numel());
-  toks.reserve(static_cast<std::size_t>(b) * first.tokens.numel());
-  targ.reserve(static_cast<std::size_t>(b) * first.target.numel());
+  std::vector<float>& circ =
+      detail::ensure_batch_slot(out.circuit, {b, cs[0], cs[1], cs[2]});
+  std::vector<float>& toks =
+      detail::ensure_batch_slot(out.tokens, {b, ts[0], ts[1]});
+  std::vector<float>& targ =
+      detail::ensure_batch_slot(out.target, {b, ys[0], ys[1], ys[2]});
   for (std::size_t idx : indices) {
     const Sample& s = samples.at(idx);
     if (!tensor::same_shape(s.circuit.shape(), cs) ||
@@ -69,13 +136,13 @@ Batch make_batch(const std::vector<Sample>& samples,
   }
   if (noise_std > 0.0f)
     for (auto& v : circ) v += rng.normal(0.0f, noise_std);
+}
 
+Batch make_batch(const std::vector<Sample>& samples,
+                 const std::vector<std::size_t>& indices, float noise_std,
+                 util::Rng& rng) {
   Batch batch;
-  batch.circuit =
-      tensor::Tensor::from_data({b, cs[0], cs[1], cs[2]}, std::move(circ));
-  batch.tokens = tensor::Tensor::from_data({b, ts[0], ts[1]}, std::move(toks));
-  batch.target =
-      tensor::Tensor::from_data({b, ys[0], ys[1], ys[2]}, std::move(targ));
+  make_batch_into(samples, indices, noise_std, rng, batch);
   return batch;
 }
 

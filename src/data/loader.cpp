@@ -1,0 +1,214 @@
+#include "data/loader.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace lmmir::data {
+
+namespace {
+
+obs::Counter& prefetch_hits() {
+  static obs::Counter& c =
+      obs::counter("lmmir_train_prefetch_hits_total");
+  return c;
+}
+obs::Counter& prefetch_stalls() {
+  static obs::Counter& c =
+      obs::counter("lmmir_train_prefetch_stalls_total");
+  return c;
+}
+obs::Histogram& loader_wait_seconds() {
+  static obs::Histogram& h = obs::histogram(
+      "lmmir_train_loader_wait_seconds", obs::seconds_buckets());
+  return h;
+}
+
+}  // namespace
+
+// -------------------------------------------------- DatasetBatchProvider
+
+DatasetBatchProvider::DatasetBatchProvider(const Dataset& dataset,
+                                           LoaderOptions opts)
+    : dataset_(&dataset), opts_(opts) {
+  if (opts_.batch_size <= 0)
+    throw std::invalid_argument("DatasetBatchProvider: batch_size must be >0");
+}
+
+std::size_t DatasetBatchProvider::epoch_size() const {
+  return dataset_->epoch.size();
+}
+
+void DatasetBatchProvider::start_epoch(util::Rng& rng) {
+  rng_ = &rng;
+  order_ = dataset_->epoch;
+  rng.shuffle(order_);
+  cursor_ = 0;
+}
+
+bool DatasetBatchProvider::next(Batch& out) {
+  if (!rng_ || cursor_ >= order_.size()) return false;
+  util::Stopwatch wait;
+  const std::size_t end =
+      std::min(order_.size(),
+               cursor_ + static_cast<std::size_t>(opts_.batch_size));
+  idx_.assign(order_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+              order_.begin() + static_cast<std::ptrdiff_t>(end));
+  cursor_ = end;
+  const float noise =
+      opts_.augment ? rng_->uniform(0.0f, opts_.noise_std_max) : 0.0f;
+  make_batch_into(dataset_->samples, idx_, noise, *rng_, out);
+  loader_wait_seconds().observe(wait.seconds());
+  return true;
+}
+
+// ------------------------------------------------------ StreamingLoader
+
+StreamingLoader::StreamingLoader(const ShardCorpus& corpus, LoaderOptions opts)
+    : corpus_(&corpus), opts_(opts), base_order_(corpus.epoch_order()) {
+  if (opts_.batch_size <= 0)
+    throw std::invalid_argument("StreamingLoader: batch_size must be > 0");
+}
+
+StreamingLoader::StreamingLoader(std::unique_ptr<ShardCorpus> corpus,
+                                 LoaderOptions opts)
+    : owned_corpus_(std::move(corpus)),
+      corpus_(owned_corpus_.get()),
+      opts_(opts),
+      base_order_(corpus_->epoch_order()) {
+  if (opts_.batch_size <= 0)
+    throw std::invalid_argument("StreamingLoader: batch_size must be > 0");
+}
+
+StreamingLoader::~StreamingLoader() {
+  if (pending_valid_ && pending_async_) {
+    try {
+      pending_.get();
+    } catch (const std::exception& e) {
+      util::log_warn("streaming loader: in-flight prefetch failed during "
+                     "teardown: ",
+                     e.what());
+    }
+  }
+}
+
+std::size_t StreamingLoader::epoch_size() const { return base_order_.size(); }
+
+void StreamingLoader::start_epoch(util::Rng& rng) {
+  if (pending_valid_ && pending_async_) pending_.get();  // never overlap epochs
+  pending_valid_ = false;
+  rng_ = &rng;
+  order_ = base_order_;  // assign into retained capacity
+  rng.shuffle(order_);
+  cursor_ = 0;
+  issue_prefetch();
+}
+
+void StreamingLoader::issue_prefetch() {
+  pending_valid_ = false;
+  pending_async_ = false;
+  if (cursor_ >= order_.size()) return;
+  const std::size_t begin = cursor_;
+  const std::size_t end =
+      std::min(order_.size(),
+               begin + static_cast<std::size_t>(opts_.batch_size));
+  cursor_ = end;
+  Batch* slot = &slots_[fill_];
+  runtime::ThreadPool* pool = runtime::global_pool();
+  if (opts_.prefetch && pool && !pool->in_worker()) {
+    // Exactly one task in flight: the next issue happens only after this
+    // one is consumed, so the RNG draw order stays serialized (see the
+    // determinism contract in the header).
+    pending_ = pool->submit(
+        [this, slot, begin, end] { stack_range(*slot, begin, end); });
+    pending_async_ = true;
+  } else {
+    util::Stopwatch watch;
+    stack_range(*slot, begin, end);
+    inline_stack_seconds_ = watch.seconds();
+  }
+  pending_valid_ = true;
+}
+
+bool StreamingLoader::next(Batch& out) {
+  if (!pending_valid_) return false;
+  if (pending_async_) {
+    const bool ready = pending_.wait_for(std::chrono::seconds(0)) ==
+                       std::future_status::ready;
+    (ready ? prefetch_hits() : prefetch_stalls()).add();
+    util::Stopwatch wait;
+    pending_.get();  // rethrows stacking errors on the training thread
+    loader_wait_seconds().observe(wait.seconds());
+  } else {
+    // Inline mode: the stack ran synchronously at issue time — all of it
+    // was training-loop wait.
+    prefetch_stalls().add();
+    loader_wait_seconds().observe(inline_stack_seconds_);
+  }
+  const int ready_slot = fill_;
+  fill_ ^= 1;
+  // Swap, never copy: the caller's previous batch tensors drop into the
+  // slot (uniquely owned again now that the step's tape is gone) and get
+  // reused by the prefetch after next — the zero-allocation rotation.
+  std::swap(out.circuit, slots_[ready_slot].circuit);
+  std::swap(out.tokens, slots_[ready_slot].tokens);
+  std::swap(out.target, slots_[ready_slot].target);
+  issue_prefetch();
+  return true;
+}
+
+void StreamingLoader::stack_range(Batch& out, std::size_t begin,
+                                  std::size_t end) {
+  const float noise =
+      opts_.augment ? rng_->uniform(0.0f, opts_.noise_std_max) : 0.0f;
+  const SampleMeta& first = corpus_->meta(order_[begin]);
+  const int b = static_cast<int>(end - begin);
+  std::vector<float>& circ = detail::ensure_batch_slot(
+      out.circuit, {b, static_cast<int>(first.circuit_shape[0]),
+                    static_cast<int>(first.circuit_shape[1]),
+                    static_cast<int>(first.circuit_shape[2])});
+  std::vector<float>& toks = detail::ensure_batch_slot(
+      out.tokens, {b, static_cast<int>(first.tokens_shape[0]),
+                   static_cast<int>(first.tokens_shape[1])});
+  std::vector<float>& targ = detail::ensure_batch_slot(
+      out.target, {b, static_cast<int>(first.target_shape[0]),
+                   static_cast<int>(first.target_shape[1]),
+                   static_cast<int>(first.target_shape[2])});
+
+  for (std::size_t i = begin; i < end; ++i) {
+    std::size_t local = 0;
+    const ShardReader& shard = corpus_->shard_of(order_[i], local);
+    const SampleMeta& m = shard.meta(local);
+    if (m.circuit_numel() != first.circuit_numel() ||
+        m.tokens_numel() != first.tokens_numel() ||
+        m.target_numel() != first.target_numel())
+      throw std::invalid_argument(
+          "StreamingLoader: heterogeneous sample shapes");
+    // Stack straight out of the mapping — same insert order as
+    // make_batch, no intermediate Sample materialization.
+    const float* c = shard.circuit_data(local);
+    circ.insert(circ.end(), c, c + m.circuit_numel());
+    const float* t = shard.tokens_data(local);
+    toks.insert(toks.end(), t, t + m.tokens_numel());
+    const float* y = shard.target_data(local);
+    targ.insert(targ.end(), y, y + m.target_numel());
+  }
+  if (noise > 0.0f)
+    for (auto& v : circ) v += rng_->normal(0.0f, noise);
+}
+
+std::size_t StreamingLoader::resident_batch_bytes() const {
+  std::size_t bytes = 0;
+  for (const Batch& slot : slots_)
+    for (const tensor::Tensor* t :
+         {&slot.circuit, &slot.tokens, &slot.target})
+      if (t->defined()) bytes += t->impl()->data.capacity() * sizeof(float);
+  return bytes;
+}
+
+}  // namespace lmmir::data

@@ -1,0 +1,542 @@
+#include "data/shard.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define LMMIR_SHARD_HAVE_MMAP 1
+#endif
+
+#include "util/log.hpp"
+
+namespace lmmir::data {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 64;
+constexpr std::size_t kIndexEntryBytes = 128;
+constexpr std::uint32_t kFlagLittleEndianFloats = 1u;
+
+// ---- little-endian scalar (de)serialization ---------------------------
+// The format is defined little-endian; every supported target is, so the
+// codecs are memcpy with a static guard rather than byte swizzling.
+static_assert(sizeof(float) == 4 && sizeof(double) == 8,
+              "shard format assumes IEEE-754 float/double");
+
+template <typename T>
+void put(std::vector<unsigned char>& buf, T v) {
+  const auto* p = reinterpret_cast<const unsigned char*>(&v);
+  buf.insert(buf.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T get(const unsigned char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("shard: " + path + ": " + what);
+}
+
+void write_all(std::FILE* f, const void* data, std::size_t n,
+               const std::string& path) {
+  if (n && std::fwrite(data, 1, n, f) != n)
+    fail(path, "short write (disk full?)");
+}
+
+std::uint64_t fnv_floats(std::uint64_t h, const std::vector<float>& v) {
+  return v.empty() ? h : fnv1a_bytes(v.data(), v.size() * sizeof(float), h);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a_bytes(const void* data, std::size_t n,
+                          std::uint64_t seed) {
+  std::uint64_t h = seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------- ShardWriter
+
+ShardWriter::ShardWriter(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (!file_) fail(path_, "cannot open for writing");
+  // Reserve the header slot; finalize() rewrites it with real values, so
+  // a crashed writer leaves zeros the reader rejects as bad magic.
+  const unsigned char zeros[kHeaderBytes] = {};
+  write_all(file_, zeros, kHeaderBytes, path_);
+  offset_ = kHeaderBytes;
+}
+
+ShardWriter::~ShardWriter() {
+  try {
+    finalize();
+  } catch (const std::exception& e) {
+    util::log_warn("shard: finalize of ", path_, " failed: ", e.what());
+    if (file_) std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void ShardWriter::append(const Sample& sample, std::uint32_t oversample) {
+  if (finalized_) fail(path_, "append after finalize");
+  if (sample.circuit.ndim() != 3 || sample.tokens.ndim() != 2 ||
+      sample.target.ndim() != 3)
+    fail(path_, "sample '" + sample.name + "' has unexpected tensor ranks");
+  if (oversample == 0) fail(path_, "oversample must be >= 1");
+
+  Entry e;
+  e.meta.name = sample.name;
+  e.meta.oversample = oversample;
+  for (int d = 0; d < 3; ++d) {
+    e.meta.circuit_shape[d] =
+        static_cast<std::uint32_t>(sample.circuit.dim(d));
+    e.meta.target_shape[d] = static_cast<std::uint32_t>(sample.target.dim(d));
+  }
+  for (int d = 0; d < 2; ++d)
+    e.meta.tokens_shape[d] = static_cast<std::uint32_t>(sample.tokens.dim(d));
+  e.meta.truth_rows = static_cast<std::uint32_t>(sample.truth_full.rows());
+  e.meta.truth_cols = static_cast<std::uint32_t>(sample.truth_full.cols());
+  e.meta.vdd = sample.vdd;
+  e.meta.golden_solve_seconds = sample.golden_solve_seconds;
+  e.meta.node_count = sample.node_count;
+  e.meta.adjust = sample.adjust;
+  e.payload_offset = offset_;
+
+  // Name bytes, then zero padding up to the aligned float run.
+  write_all(file_, sample.name.data(), sample.name.size(), path_);
+  offset_ += sample.name.size();
+  const std::uint64_t aligned =
+      (offset_ + (kShardAlign - 1)) & ~static_cast<std::uint64_t>(kShardAlign - 1);
+  const std::size_t pad = static_cast<std::size_t>(aligned - offset_);
+  if (pad) {
+    const unsigned char zeros[kShardAlign] = {};
+    write_all(file_, zeros, pad, path_);
+    offset_ = aligned;
+  }
+  e.float_offset = offset_;
+
+  std::uint64_t sum = fnv1a_bytes(sample.name.data(), sample.name.size());
+  for (std::size_t i = 0; i < pad; ++i) {
+    sum ^= 0;
+    sum *= 1099511628211ull;
+  }
+  const std::vector<float>* runs[4] = {&sample.circuit.data(),
+                                       &sample.tokens.data(),
+                                       &sample.target.data(),
+                                       &sample.truth_full.data()};
+  for (const auto* run : runs) {
+    write_all(file_, run->data(), run->size() * sizeof(float), path_);
+    offset_ += run->size() * sizeof(float);
+    sum = fnv_floats(sum, *run);
+  }
+  e.checksum = sum;
+  entries_.push_back(std::move(e));
+}
+
+void ShardWriter::finalize() {
+  if (finalized_) return;
+  if (!file_) fail(path_, "finalize without an open file");
+
+  // Index block.
+  std::vector<unsigned char> index;
+  index.reserve(entries_.size() * kIndexEntryBytes);
+  for (const Entry& e : entries_) {
+    const std::size_t before = index.size();
+    put<std::uint64_t>(index, e.payload_offset);
+    put<std::uint64_t>(index, e.float_offset);
+    put<std::uint64_t>(index, e.checksum);
+    put<std::uint32_t>(index, static_cast<std::uint32_t>(e.meta.name.size()));
+    put<std::uint32_t>(index, e.meta.oversample);
+    for (int d = 0; d < 3; ++d) put<std::uint32_t>(index, e.meta.circuit_shape[d]);
+    for (int d = 0; d < 2; ++d) put<std::uint32_t>(index, e.meta.tokens_shape[d]);
+    for (int d = 0; d < 3; ++d) put<std::uint32_t>(index, e.meta.target_shape[d]);
+    put<std::uint32_t>(index, e.meta.truth_rows);
+    put<std::uint32_t>(index, e.meta.truth_cols);
+    put<std::uint64_t>(index, static_cast<std::uint64_t>(e.meta.adjust.orig_rows));
+    put<std::uint64_t>(index, static_cast<std::uint64_t>(e.meta.adjust.orig_cols));
+    put<std::uint64_t>(index, static_cast<std::uint64_t>(e.meta.adjust.side));
+    put<std::uint32_t>(index, e.meta.adjust.scaled ? 1u : 0u);
+    put<std::uint32_t>(index, 0u);  // reserved
+    put<double>(index, e.meta.vdd);
+    put<double>(index, e.meta.golden_solve_seconds);
+    put<std::uint64_t>(index, e.meta.node_count);
+    if (index.size() - before != kIndexEntryBytes)
+      fail(path_, "internal: index entry size drifted");
+  }
+  const std::uint64_t index_offset = offset_;
+  write_all(file_, index.data(), index.size(), path_);
+  offset_ += index.size();
+
+  // Header.
+  std::vector<unsigned char> header;
+  header.reserve(kHeaderBytes);
+  header.insert(header.end(), kShardMagic, kShardMagic + 8);
+  put<std::uint32_t>(header, kShardVersion);
+  put<std::uint32_t>(header, kFlagLittleEndianFloats);
+  put<std::uint64_t>(header, static_cast<std::uint64_t>(entries_.size()));
+  put<std::uint64_t>(header, index_offset);
+  put<std::uint64_t>(header, fnv1a_bytes(index.data(), index.size()));
+  put<std::uint64_t>(header, offset_);
+  header.resize(kHeaderBytes, 0);
+
+  if (std::fseek(file_, 0, SEEK_SET) != 0) fail(path_, "seek failed");
+  write_all(file_, header.data(), header.size(), path_);
+  if (std::fclose(file_) != 0) {
+    file_ = nullptr;
+    fail(path_, "close failed");
+  }
+  file_ = nullptr;
+  finalized_ = true;
+}
+
+// ---------------------------------------------------------- ShardReader
+
+ShardReader::ShardReader(const std::string& path) : path_(path) {
+#ifdef LMMIR_SHARD_HAVE_MMAP
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) fail(path_, "cannot open");
+  struct stat st;
+  if (::fstat(fd_, &st) != 0 || st.st_size < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    fail(path_, "stat failed");
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ < kHeaderBytes) {
+    ::close(fd_);
+    fd_ = -1;
+    fail(path_, "file too small for a shard header");
+  }
+  void* m = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd_, 0);
+  if (m == MAP_FAILED) {
+    // Fall back to a heap copy (e.g. filesystems without mmap support).
+    unsigned char* buf = nullptr;
+    if (::posix_memalign(reinterpret_cast<void**>(&buf), kShardAlign,
+                         size_ ? size_ : 1) != 0)
+      buf = nullptr;
+    std::FILE* f = buf ? std::fopen(path.c_str(), "rb") : nullptr;
+    const bool ok = f && std::fread(buf, 1, size_, f) == size_;
+    if (f) std::fclose(f);
+    if (!ok) {
+      std::free(buf);
+      ::close(fd_);
+      fd_ = -1;
+      fail(path_, "mmap and read fallback both failed");
+    }
+    map_ = buf;
+    heap_fallback_ = true;
+  } else {
+    map_ = static_cast<const unsigned char*>(m);
+  }
+#else
+  fail(path_, "no mmap support on this platform");
+#endif
+
+  // Header.
+  if (std::memcmp(map_, kShardMagic, 8) != 0) fail(path_, "bad magic");
+  const std::uint32_t version = get<std::uint32_t>(map_ + 8);
+  if (version != kShardVersion)
+    fail(path_, "unsupported version " + std::to_string(version));
+  const std::uint32_t flags = get<std::uint32_t>(map_ + 12);
+  if (!(flags & kFlagLittleEndianFloats))
+    fail(path_, "unsupported float encoding");
+  const std::uint64_t count = get<std::uint64_t>(map_ + 16);
+  const std::uint64_t index_offset = get<std::uint64_t>(map_ + 24);
+  const std::uint64_t index_checksum = get<std::uint64_t>(map_ + 32);
+  const std::uint64_t file_bytes = get<std::uint64_t>(map_ + 40);
+  if (file_bytes != size_)
+    fail(path_, "header size mismatch (truncated or grown file)");
+  const std::uint64_t index_bytes = count * kIndexEntryBytes;
+  if (index_offset > size_ || index_bytes > size_ - index_offset)
+    fail(path_, "index out of bounds");
+  const unsigned char* index = map_ + index_offset;
+  if (fnv1a_bytes(index, index_bytes) != index_checksum)
+    fail(path_, "index checksum mismatch");
+
+  metas_.reserve(count);
+  float_offsets_.reserve(count);
+  payload_offsets_.reserve(count);
+  checksums_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const unsigned char* p = index + i * kIndexEntryBytes;
+    SampleMeta m;
+    const std::uint64_t payload_offset = get<std::uint64_t>(p + 0);
+    const std::uint64_t float_offset = get<std::uint64_t>(p + 8);
+    const std::uint64_t checksum = get<std::uint64_t>(p + 16);
+    const std::uint32_t name_len = get<std::uint32_t>(p + 24);
+    m.oversample = get<std::uint32_t>(p + 28);
+    for (int d = 0; d < 3; ++d)
+      m.circuit_shape[d] = get<std::uint32_t>(p + 32 + 4 * d);
+    for (int d = 0; d < 2; ++d)
+      m.tokens_shape[d] = get<std::uint32_t>(p + 44 + 4 * d);
+    for (int d = 0; d < 3; ++d)
+      m.target_shape[d] = get<std::uint32_t>(p + 52 + 4 * d);
+    m.truth_rows = get<std::uint32_t>(p + 64);
+    m.truth_cols = get<std::uint32_t>(p + 68);
+    m.adjust.orig_rows =
+        static_cast<std::size_t>(get<std::uint64_t>(p + 72));
+    m.adjust.orig_cols =
+        static_cast<std::size_t>(get<std::uint64_t>(p + 80));
+    m.adjust.side = static_cast<std::size_t>(get<std::uint64_t>(p + 88));
+    m.adjust.scaled = get<std::uint32_t>(p + 96) != 0;
+    m.vdd = get<double>(p + 104);
+    m.golden_solve_seconds = get<double>(p + 112);
+    m.node_count = get<std::uint64_t>(p + 120);
+
+    // Bounds: the whole payload (name + pad + floats) must sit inside
+    // the file, and the float run must carry the aligned offset the
+    // writer guarantees.
+    if (payload_offset > size_ || name_len > size_ - payload_offset)
+      fail(path_, "sample " + std::to_string(i) + " name out of bounds");
+    if (float_offset % alignof(float) != 0)
+      fail(path_, "sample " + std::to_string(i) + " misaligned float run");
+    const std::uint64_t float_bytes =
+        static_cast<std::uint64_t>(m.float_count()) * sizeof(float);
+    if (float_offset < payload_offset + name_len || float_offset > size_ ||
+        float_bytes > size_ - float_offset)
+      fail(path_, "sample " + std::to_string(i) + " floats out of bounds");
+
+    m.name.assign(reinterpret_cast<const char*>(map_ + payload_offset),
+                  name_len);
+    if (m.oversample == 0)
+      fail(path_, "sample " + std::to_string(i) + " has zero oversample");
+    metas_.push_back(std::move(m));
+    float_offsets_.push_back(float_offset);
+    payload_offsets_.push_back(payload_offset);
+    checksums_.push_back(checksum);
+  }
+}
+
+ShardReader::~ShardReader() {
+#ifdef LMMIR_SHARD_HAVE_MMAP
+  if (map_) {
+    if (heap_fallback_)
+      std::free(const_cast<unsigned char*>(map_));
+    else
+      ::munmap(const_cast<unsigned char*>(map_), size_);
+  }
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+const unsigned char* ShardReader::base(std::size_t offset,
+                                       std::size_t n) const {
+  if (offset > size_ || n > size_ - offset)
+    fail(path_, "read out of bounds");
+  return map_ + offset;
+}
+
+const float* ShardReader::circuit_data(std::size_t i) const {
+  const SampleMeta& m = meta(i);
+  return reinterpret_cast<const float*>(base(
+      static_cast<std::size_t>(float_offsets_[i]),
+      m.float_count() * sizeof(float)));
+}
+
+const float* ShardReader::tokens_data(std::size_t i) const {
+  return circuit_data(i) + meta(i).circuit_numel();
+}
+
+const float* ShardReader::target_data(std::size_t i) const {
+  const SampleMeta& m = meta(i);
+  return circuit_data(i) + m.circuit_numel() + m.tokens_numel();
+}
+
+const float* ShardReader::truth_data(std::size_t i) const {
+  const SampleMeta& m = meta(i);
+  return circuit_data(i) + m.circuit_numel() + m.tokens_numel() +
+         m.target_numel();
+}
+
+Sample ShardReader::read_sample(std::size_t i) const {
+  const SampleMeta& m = meta(i);
+  Sample s;
+  s.name = m.name;
+  s.vdd = m.vdd;
+  s.golden_solve_seconds = m.golden_solve_seconds;
+  s.node_count = static_cast<std::size_t>(m.node_count);
+  s.adjust = m.adjust;
+
+  const float* c = circuit_data(i);
+  s.circuit = tensor::Tensor::from_data(
+      {static_cast<int>(m.circuit_shape[0]),
+       static_cast<int>(m.circuit_shape[1]),
+       static_cast<int>(m.circuit_shape[2])},
+      std::vector<float>(c, c + m.circuit_numel()));
+  const float* t = tokens_data(i);
+  s.tokens = tensor::Tensor::from_data(
+      {static_cast<int>(m.tokens_shape[0]),
+       static_cast<int>(m.tokens_shape[1])},
+      std::vector<float>(t, t + m.tokens_numel()));
+  const float* y = target_data(i);
+  s.target = tensor::Tensor::from_data(
+      {static_cast<int>(m.target_shape[0]),
+       static_cast<int>(m.target_shape[1]),
+       static_cast<int>(m.target_shape[2])},
+      std::vector<float>(y, y + m.target_numel()));
+  const float* tr = truth_data(i);
+  s.truth_full = grid::Grid2D(m.truth_rows, m.truth_cols);
+  std::copy(tr, tr + m.truth_numel(), s.truth_full.data().begin());
+  return s;
+}
+
+bool ShardReader::verify_sample(std::size_t i) const {
+  const SampleMeta& m = meta(i);
+  const std::size_t start = static_cast<std::size_t>(payload_offsets_[i]);
+  const std::size_t end = static_cast<std::size_t>(float_offsets_[i]) +
+                          m.float_count() * sizeof(float);
+  const unsigned char* p = base(start, end - start);
+  return fnv1a_bytes(p, end - start) == checksums_[i];
+}
+
+bool ShardReader::verify(std::string* error) const {
+  for (std::size_t i = 0; i < metas_.size(); ++i) {
+    if (!verify_sample(i)) {
+      if (error)
+        *error = path_ + ": sample " + std::to_string(i) + " ('" +
+                 metas_[i].name + "') checksum mismatch";
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------- ShardCorpusWriter
+
+ShardCorpusWriter::ShardCorpusWriter(std::string dir,
+                                     std::size_t samples_per_shard)
+    : dir_(std::move(dir)),
+      samples_per_shard_(samples_per_shard ? samples_per_shard : 1) {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir_);
+  for (const auto& entry : fs::directory_iterator(dir_))
+    if (entry.path().extension() == ".lmshard")
+      fail(dir_, "directory already holds shards (corpora are immutable)");
+}
+
+ShardCorpusWriter::~ShardCorpusWriter() {
+  try {
+    finalize();
+  } catch (const std::exception& e) {
+    util::log_warn("shard corpus: finalize of ", dir_, " failed: ", e.what());
+  }
+}
+
+void ShardCorpusWriter::roll() {
+  if (writer_) {
+    writer_->finalize();
+    manifest_.bytes += std::filesystem::file_size(writer_->path());
+    writer_.reset();
+  }
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%06zu.lmshard",
+                manifest_.shard_files.size());
+  const std::string path = dir_ + "/" + name;
+  writer_ = std::make_unique<ShardWriter>(path);
+  manifest_.shard_files.push_back(path);
+}
+
+void ShardCorpusWriter::append(const Sample& sample,
+                               std::uint32_t oversample) {
+  if (finalized_) fail(dir_, "append after finalize");
+  if (!writer_ || writer_->sample_count() >= samples_per_shard_) roll();
+  writer_->append(sample, oversample);
+  ++manifest_.samples;
+  manifest_.epoch_samples += oversample;
+}
+
+CorpusManifest ShardCorpusWriter::finalize() {
+  if (!finalized_) {
+    if (writer_) {
+      writer_->finalize();
+      manifest_.bytes += std::filesystem::file_size(writer_->path());
+      writer_.reset();
+    }
+    finalized_ = true;
+  }
+  return manifest_;
+}
+
+// ----------------------------------------------------------- ShardCorpus
+
+ShardCorpus::ShardCorpus(const std::string& dir) : dir_(dir) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir_)) fail(dir_, "not a directory");
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir_))
+    if (entry.path().extension() == ".lmshard")
+      files.push_back(entry.path().string());
+  std::sort(files.begin(), files.end());
+  if (files.empty()) fail(dir_, "no .lmshard files");
+  for (const auto& f : files) {
+    shard_base_.push_back(total_samples_);
+    shards_.push_back(std::make_unique<ShardReader>(f));
+    total_samples_ += shards_.back()->sample_count();
+    for (std::size_t i = 0; i < shards_.back()->sample_count(); ++i)
+      epoch_size_ += shards_.back()->meta(i).oversample;
+  }
+}
+
+std::vector<std::size_t> ShardCorpus::epoch_order() const {
+  std::vector<std::size_t> order;
+  order.reserve(epoch_size_);
+  std::size_t global = 0;
+  for (const auto& shard : shards_)
+    for (std::size_t i = 0; i < shard->sample_count(); ++i, ++global)
+      for (std::uint32_t k = 0; k < shard->meta(i).oversample; ++k)
+        order.push_back(global);
+  return order;
+}
+
+const ShardReader& ShardCorpus::shard_of(std::size_t global,
+                                         std::size_t& local) const {
+  if (global >= total_samples_) fail(dir_, "sample index out of range");
+  // shard_base_ is sorted; find the last base <= global.
+  std::size_t lo = 0;
+  for (std::size_t s = 1; s < shard_base_.size(); ++s)
+    if (shard_base_[s] <= global) lo = s;
+  local = global - shard_base_[lo];
+  return *shards_[lo];
+}
+
+const SampleMeta& ShardCorpus::meta(std::size_t global) const {
+  std::size_t local = 0;
+  const ShardReader& shard = shard_of(global, local);
+  return shard.meta(local);
+}
+
+Sample ShardCorpus::read_sample(std::size_t global) const {
+  std::size_t local = 0;
+  const ShardReader& shard = shard_of(global, local);
+  return shard.read_sample(local);
+}
+
+std::size_t ShardCorpus::mapped_bytes() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard->mapped_bytes();
+  return n;
+}
+
+bool ShardCorpus::verify(std::string* error) const {
+  for (const auto& shard : shards_)
+    if (!shard->verify(error)) return false;
+  return true;
+}
+
+}  // namespace lmmir::data

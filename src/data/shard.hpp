@@ -1,0 +1,244 @@
+#pragma once
+// Sharded on-disk sample store: the out-of-core half of the training
+// pipeline (see docs/DATA.md).
+//
+// The paper's regime is 200 epochs x 3310 cases; holding every Sample
+// resident caps corpus scale far below that, so corpus generation can
+// spill samples into *shards* — versioned binary files carrying the raw
+// channel / token / target tensors plus the metadata needed to
+// reconstruct a data::Sample bit-for-bit — and training streams them
+// back through a memory-mapped reader (data/loader.hpp) whose resident
+// footprint is the prefetch window, not the corpus.
+//
+// Format (version 1, little-endian, see docs/DATA.md for the layout
+// table):
+//   header   64 bytes: magic "LMIRSHD1", version, flags, sample count,
+//            index offset, index checksum (FNV-1a), file size;
+//   payload  per sample: name bytes, then the circuit / tokens / target
+//            / truth float arrays in one contiguous 64-byte-aligned run;
+//   index    one fixed-width entry per sample (offsets, shapes,
+//            metadata, FNV-1a checksum over the sample's payload).
+//
+// Safety model: every read is bounds-checked against the mapping before
+// it is trusted, the index checksum is verified on open, and per-sample
+// payload checksums are verified on demand (verify()) — a truncated or
+// bit-flipped shard fails loudly instead of training on garbage.  The
+// reader memory-maps the file read-only and hands out const float views
+// directly into the mapping (the writer 64-byte-aligns every float run,
+// so the views are always aligned on a page-aligned mapping); sample
+// materialization copies only into the caller's destination, never
+// through intermediate buffers.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/sample.hpp"
+
+namespace lmmir::data {
+
+/// Magic + version of the shard format this build reads and writes.
+inline constexpr char kShardMagic[8] = {'L', 'M', 'I', 'R',
+                                        'S', 'H', 'D', '1'};
+inline constexpr std::uint32_t kShardVersion = 1;
+/// Alignment of every per-sample float run (allows aligned views and
+/// future SIMD consumption straight from the mapping).
+inline constexpr std::size_t kShardAlign = 64;
+
+/// FNV-1a over a byte range — the checksum the shard format pins.
+std::uint64_t fnv1a_bytes(const void* data, std::size_t n,
+                          std::uint64_t seed = 14695981039346656037ull);
+
+/// Everything stored about a sample except the float payload.  The
+/// oversample count realizes the dataset's over-sampling (fake x10,
+/// real x20 at paper scale) without duplicating payload bytes: a
+/// streaming epoch repeats the sample `oversample` times, exactly like
+/// Dataset::epoch repeats its index.
+struct SampleMeta {
+  std::string name;
+  std::uint32_t oversample = 1;
+  std::uint32_t circuit_shape[3] = {0, 0, 0};  // [C, S, S]
+  std::uint32_t tokens_shape[2] = {0, 0};      // [T, F]
+  std::uint32_t target_shape[3] = {0, 0, 0};   // [1, S, S]
+  std::uint32_t truth_rows = 0;
+  std::uint32_t truth_cols = 0;
+  double vdd = 0.0;
+  double golden_solve_seconds = 0.0;
+  std::uint64_t node_count = 0;
+  feat::AdjustInfo adjust;
+
+  std::size_t circuit_numel() const {
+    return static_cast<std::size_t>(circuit_shape[0]) * circuit_shape[1] *
+           circuit_shape[2];
+  }
+  std::size_t tokens_numel() const {
+    return static_cast<std::size_t>(tokens_shape[0]) * tokens_shape[1];
+  }
+  std::size_t target_numel() const {
+    return static_cast<std::size_t>(target_shape[0]) * target_shape[1] *
+           target_shape[2];
+  }
+  std::size_t truth_numel() const {
+    return static_cast<std::size_t>(truth_rows) * truth_cols;
+  }
+  /// Total float payload (circuit + tokens + target + truth).
+  std::size_t float_count() const {
+    return circuit_numel() + tokens_numel() + target_numel() + truth_numel();
+  }
+};
+
+/// Streaming writer for one shard file.  append() streams the sample's
+/// payload to disk immediately — the writer's resident state is one
+/// index entry per sample, never the samples themselves — and
+/// finalize() (or the destructor) writes the index and header.  A
+/// writer that fails mid-stream leaves a file without a valid header,
+/// which the reader rejects.
+class ShardWriter {
+ public:
+  explicit ShardWriter(const std::string& path);
+  ~ShardWriter();  // finalizes if not already done (errors swallowed)
+  ShardWriter(const ShardWriter&) = delete;
+  ShardWriter& operator=(const ShardWriter&) = delete;
+
+  /// Append one sample; `oversample` is its epoch repeat count.
+  void append(const Sample& sample, std::uint32_t oversample = 1);
+
+  /// Write index + header and close the file.  Idempotent.
+  void finalize();
+
+  std::size_t sample_count() const { return entries_.size(); }
+  /// Bytes written so far (payload only until finalize()).
+  std::size_t bytes_written() const { return offset_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Entry {
+    SampleMeta meta;
+    std::uint64_t payload_offset = 0;  // name bytes
+    std::uint64_t float_offset = 0;    // 64-aligned float run
+    std::uint64_t checksum = 0;        // FNV-1a over the whole payload
+  };
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t offset_ = 0;  // current end-of-payload file offset
+  std::vector<Entry> entries_;
+  bool finalized_ = false;
+};
+
+/// Memory-mapped reader for one shard file.  Opening validates magic,
+/// version, bounds, and the index checksum; float views point straight
+/// into the mapping (zero-copy — the writer aligned them) and stay
+/// valid for the reader's lifetime.
+class ShardReader {
+ public:
+  explicit ShardReader(const std::string& path);
+  ~ShardReader();
+  ShardReader(const ShardReader&) = delete;
+  ShardReader& operator=(const ShardReader&) = delete;
+
+  std::size_t sample_count() const { return metas_.size(); }
+  const SampleMeta& meta(std::size_t i) const { return metas_.at(i); }
+  const std::string& path() const { return path_; }
+  /// Bytes of the read-only mapping (file-backed, not anonymous heap).
+  std::size_t mapped_bytes() const { return size_; }
+
+  /// Aligned views into the mapping (valid while the reader lives).
+  const float* circuit_data(std::size_t i) const;
+  const float* tokens_data(std::size_t i) const;
+  const float* target_data(std::size_t i) const;
+  const float* truth_data(std::size_t i) const;
+
+  /// Materialize the full Sample (copies out of the mapping — the only
+  /// copy on the read path).
+  Sample read_sample(std::size_t i) const;
+
+  /// Recompute sample `i`'s payload checksum against the index.
+  bool verify_sample(std::size_t i) const;
+  /// Verify every sample; on failure returns false and describes the
+  /// first mismatch in `error` (when non-null).
+  bool verify(std::string* error = nullptr) const;
+
+ private:
+  const unsigned char* base(std::size_t offset, std::size_t n) const;
+
+  std::string path_;
+  int fd_ = -1;
+  const unsigned char* map_ = nullptr;
+  std::size_t size_ = 0;
+  bool heap_fallback_ = false;  // mmap unavailable: file read into heap
+  std::vector<SampleMeta> metas_;
+  std::vector<std::uint64_t> float_offsets_;
+  std::vector<std::uint64_t> payload_offsets_;
+  std::vector<std::uint64_t> checksums_;
+};
+
+/// Summary of a written corpus directory.
+struct CorpusManifest {
+  std::vector<std::string> shard_files;  // absolute or dir-relative paths
+  std::size_t samples = 0;
+  std::size_t epoch_samples = 0;  // sum of oversample counts
+  std::size_t bytes = 0;          // payload + index + header bytes
+};
+
+/// Rolling multi-shard writer over a directory: append() spills into
+/// `shard-NNNNNN.lmshard` files of at most `samples_per_shard` samples.
+/// Creates the directory; refuses a directory that already holds
+/// shards (a corpus is immutable once written).
+class ShardCorpusWriter {
+ public:
+  ShardCorpusWriter(std::string dir, std::size_t samples_per_shard = 64);
+  ~ShardCorpusWriter();
+
+  void append(const Sample& sample, std::uint32_t oversample = 1);
+  /// Finalize the open shard and return the manifest.  Idempotent.
+  CorpusManifest finalize();
+
+ private:
+  void roll();
+
+  std::string dir_;
+  std::size_t samples_per_shard_;
+  std::unique_ptr<ShardWriter> writer_;
+  CorpusManifest manifest_;
+  bool finalized_ = false;
+};
+
+/// Read-only view over a corpus directory: every `*.lmshard` file in
+/// lexical order, with global sample indices spanning the shards in
+/// that order (matching the order ShardCorpusWriter wrote them).
+class ShardCorpus {
+ public:
+  explicit ShardCorpus(const std::string& dir);
+
+  std::size_t sample_count() const { return total_samples_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Epoch length: the sum of per-sample oversample counts.
+  std::size_t epoch_size() const { return epoch_size_; }
+  /// The over-sampled epoch index list, constructed exactly like
+  /// Dataset::epoch (sample order, repeats adjacent) so a seeded
+  /// shuffle of it is bitwise-identical to the in-memory path.
+  std::vector<std::size_t> epoch_order() const;
+
+  const SampleMeta& meta(std::size_t global) const;
+  /// The shard holding `global`, and its local index within it.
+  const ShardReader& shard_of(std::size_t global, std::size_t& local) const;
+  Sample read_sample(std::size_t global) const;
+
+  /// File-backed mapped bytes across all shards (the corpus costs this
+  /// much address space, but resident pages are the kernel's page
+  /// cache, evictable under pressure — not anonymous training memory).
+  std::size_t mapped_bytes() const;
+
+  bool verify(std::string* error = nullptr) const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  std::vector<std::unique_ptr<ShardReader>> shards_;
+  std::vector<std::size_t> shard_base_;  // global index of each shard's 0
+  std::size_t total_samples_ = 0;
+  std::size_t epoch_size_ = 0;
+};
+
+}  // namespace lmmir::data

@@ -96,6 +96,12 @@ std::vector<double> iteration_buckets() {
           2048, 4096, 8192, 16384, 32768, 65536, 131072};
 }
 
+std::vector<double> seconds_buckets() {
+  // Coarse log scale for whole-step / whole-wait durations (100 us .. 100
+  // s) — training steps and loader waits, where the _us edges bottom out.
+  return {1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100};
+}
+
 // ------------------------------------------------------------------ registry
 
 struct MetricsRegistry::Impl {

@@ -156,6 +156,9 @@ std::vector<double> latency_buckets_us();
 std::vector<double> batch_size_buckets();
 /// Default bucket edges for PCG iteration counts (8 .. 131072).
 std::vector<double> iteration_buckets();
+/// Default bucket edges for second-scale durations (100 us .. 100 s) —
+/// training steps, loader waits.
+std::vector<double> seconds_buckets();
 
 class MetricsRegistry {
  public:

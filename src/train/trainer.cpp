@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/optim.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/ops.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
@@ -14,24 +15,27 @@ using tensor::Tensor;
 
 namespace {
 
-/// One optimization pass over the epoch list with the given target
-/// builder; returns the mean batch loss.
+/// One optimization pass over the provider's epoch with the given target
+/// builder; returns the mean batch loss.  `batch` is the run-wide pooled
+/// Batch — the provider reuses (or swaps) its tensors, so passing the
+/// same instance across epochs and stages is what keeps steady-state
+/// steps allocation-free.
 template <typename TargetFn>
-float run_epoch(models::IrModel& model, const data::Dataset& dataset,
+float run_epoch(models::IrModel& model, data::BatchProvider& provider,
                 const TrainConfig& config, nn::Adam& opt, util::Rng& rng,
-                TargetFn&& make_target) {
-  std::vector<std::size_t> order = dataset.epoch;
-  rng.shuffle(order);
+                data::Batch& batch, TargetFn&& make_target) {
+  static obs::Counter& steps_total =
+      obs::counter("lmmir_train_steps_total");
+  static obs::Counter& samples_total =
+      obs::counter("lmmir_train_samples_total");
+  static obs::Histogram& step_seconds = obs::histogram(
+      "lmmir_train_step_seconds", obs::seconds_buckets());
+
+  provider.start_epoch(rng);
   double loss_sum = 0.0;
   std::size_t batches = 0;
-  for (std::size_t i = 0; i < order.size(); i += config.batch_size) {
-    const std::size_t end = std::min(order.size(), i + config.batch_size);
-    std::vector<std::size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(i),
-                                 order.begin() + static_cast<std::ptrdiff_t>(end));
-    const float noise = config.augment
-                            ? rng.uniform(0.0f, config.noise_std_max)
-                            : 0.0f;
-    data::Batch batch = data::make_batch(dataset.samples, idx, noise, rng);
+  while (provider.next(batch)) {
+    util::Stopwatch step_watch;
     const Tensor input =
         data::slice_channels(batch.circuit, model.in_channels());
 
@@ -62,6 +66,9 @@ float run_epoch(models::IrModel& model, const data::Dataset& dataset,
 
     loss_sum += loss.item();
     ++batches;
+    steps_total.add();
+    samples_total.add(static_cast<std::uint64_t>(batch.circuit.dim(0)));
+    step_seconds.observe(step_watch.seconds());
   }
   return batches ? static_cast<float>(loss_sum / static_cast<double>(batches))
                  : 0.0f;
@@ -69,7 +76,17 @@ float run_epoch(models::IrModel& model, const data::Dataset& dataset,
 
 }  // namespace
 
-TrainHistory fit(models::IrModel& model, const data::Dataset& dataset,
+data::LoaderOptions provider_options(const TrainConfig& config,
+                                     bool prefetch) {
+  data::LoaderOptions opts;
+  opts.batch_size = config.batch_size;
+  opts.augment = config.augment;
+  opts.noise_std_max = config.noise_std_max;
+  opts.prefetch = prefetch;
+  return opts;
+}
+
+TrainHistory fit(models::IrModel& model, data::BatchProvider& provider,
                  const TrainConfig& config) {
   TrainHistory hist;
   util::Stopwatch watch;
@@ -77,14 +94,17 @@ TrainHistory fit(models::IrModel& model, const data::Dataset& dataset,
   model.set_training(true);
 
   nn::Adam opt(model.parameters(), config.lr);
+  // One pooled Batch for the whole run: after a short warmup its tensors
+  // just rotate through the provider (zero steady-state allocations).
+  data::Batch batch;
 
   // Stage 1: reconstruction pre-training — the decoder reproduces the
   // (clean) current map from the noisy multimodal input.
   for (int e = 0; e < config.pretrain_epochs; ++e) {
-    const float loss =
-        run_epoch(model, dataset, config, opt, rng, [](const data::Batch& b) {
-          return data::slice_channels(b.circuit, 1);
-        });
+    const float loss = run_epoch(model, provider, config, opt, rng, batch,
+                                 [](const data::Batch& b) {
+                                   return data::slice_channels(b.circuit, 1);
+                                 });
     hist.pretrain_loss.push_back(loss);
     if (config.verbose)
       util::log_info("pretrain epoch ", e, " loss ", loss);
@@ -94,7 +114,7 @@ TrainHistory fit(models::IrModel& model, const data::Dataset& dataset,
   // Stage 2: IR-drop fine-tuning.
   for (int e = 0; e < config.finetune_epochs; ++e) {
     const float loss =
-        run_epoch(model, dataset, config, opt, rng,
+        run_epoch(model, provider, config, opt, rng, batch,
                   [](const data::Batch& b) { return b.target; });
     hist.finetune_loss.push_back(loss);
     if (config.verbose)
@@ -105,6 +125,12 @@ TrainHistory fit(models::IrModel& model, const data::Dataset& dataset,
   model.set_training(false);
   hist.seconds = watch.seconds();
   return hist;
+}
+
+TrainHistory fit(models::IrModel& model, const data::Dataset& dataset,
+                 const TrainConfig& config) {
+  data::DatasetBatchProvider provider(dataset, provider_options(config));
+  return fit(model, provider, config);
 }
 
 grid::Grid2D predict_map(models::IrModel& model, const data::Sample& sample) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "data/loader.hpp"
 #include "eval/metrics.hpp"
 #include "models/common.hpp"
 
@@ -40,9 +41,28 @@ struct TrainHistory {
   double seconds = 0.0;
 };
 
-/// Train a model on the dataset's (over-sampled) epoch list.
+/// Train a model from any batch provider (in-memory DatasetBatchProvider
+/// or out-of-core StreamingLoader — see data/loader.hpp).  Batch tensors
+/// are pooled across steps and stages: one Batch rotates through the
+/// provider for the whole run, so steady-state steps make zero
+/// batch-tensor heap allocations (data::batch_tensor_allocations(),
+/// gated by bench_train_pipeline).  The provider's batching options must
+/// match `config` for the loss history to be comparable across
+/// providers; provider_options(config) builds them.
+TrainHistory fit(models::IrModel& model, data::BatchProvider& provider,
+                 const TrainConfig& config);
+
+/// Train a model on the dataset's (over-sampled) epoch list.  Wraps the
+/// provider overload with a DatasetBatchProvider; behavior (losses,
+/// weights, RNG draws) is unchanged from the pre-provider trainer.
 TrainHistory fit(models::IrModel& model, const data::Dataset& dataset,
                  const TrainConfig& config);
+
+/// The LoaderOptions matching a TrainConfig (batch size + augmentation),
+/// so callers wiring a StreamingLoader to fit() can't drift from the
+/// in-memory path.
+data::LoaderOptions provider_options(const TrainConfig& config,
+                                     bool prefetch = true);
 
 /// Per-case evaluation record in Table-III units.
 struct EvalCase {

@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "data/dataset.hpp"
+#include "runtime/thread_pool.hpp"
 #include "features/contest_io.hpp"
 #include "features/maps.hpp"
 #include "gen/began.hpp"
@@ -160,6 +161,95 @@ TEST(SliceChannels, SelectsLeadingChannels) {
   EXPECT_EQ(all.shape(), b.circuit.shape());
   EXPECT_THROW(data::slice_channels(b.circuit, 7), std::invalid_argument);
   EXPECT_THROW(data::slice_channels(b.circuit, 0), std::invalid_argument);
+}
+
+TEST(SliceChannels, EdgeCases) {
+  const auto s = data::make_sample(tiny_case(9), tiny_opts());
+  util::Rng rng(12);
+  const auto b = data::make_batch({s}, {0}, 0.0f, rng);
+
+  // k == 0 and negative k are rejected, never silently empty.
+  EXPECT_THROW(data::slice_channels(b.circuit, 0), std::invalid_argument);
+  EXPECT_THROW(data::slice_channels(b.circuit, -1), std::invalid_argument);
+
+  // k == channel count is a pass-through IDENTITY: the very same impl,
+  // not a copy (the trainer relies on this for the 6-channel model).
+  const auto full = data::slice_channels(b.circuit, 6);
+  EXPECT_EQ(full.impl().get(), b.circuit.impl().get());
+
+  // A slice of a slice (the "already narrowed" input): values must match
+  // the leading channels of the original stack.
+  const auto three = data::slice_channels(b.circuit, 3);
+  const auto two = data::slice_channels(three, 2);
+  EXPECT_EQ(two.shape(), (tensor::Shape{1, 2, 24, 24}));
+  for (std::size_t i = 0; i < two.numel(); ++i)
+    EXPECT_FLOAT_EQ(two.data()[i], b.circuit.data()[i]);
+
+  // Non-4D input is rejected.
+  EXPECT_THROW(data::slice_channels(s.circuit, 3), std::invalid_argument);
+}
+
+TEST(Batch, NoiseDeterministicAcrossThreadCounts) {
+  const auto s1 = data::make_sample(tiny_case(11), tiny_opts());
+  const auto s2 = data::make_sample(tiny_case(12), tiny_opts());
+  const std::size_t saved_threads = runtime::global_threads();
+
+  runtime::set_global_threads(1);
+  util::Rng r1(99);
+  const auto serial = data::make_batch({s1, s2}, {0, 1}, 5e-3f, r1);
+
+  runtime::set_global_threads(4);
+  util::Rng r2(99);
+  const auto threaded = data::make_batch({s1, s2}, {0, 1}, 5e-3f, r2);
+  runtime::set_global_threads(saved_threads);
+
+  // Same seed => bitwise-equal batch regardless of pool size (noise is
+  // drawn from one sequential stream, never split across workers).
+  EXPECT_EQ(serial.circuit.data(), threaded.circuit.data());
+  EXPECT_EQ(serial.tokens.data(), threaded.tokens.data());
+  EXPECT_EQ(serial.target.data(), threaded.target.data());
+}
+
+TEST(Batch, MakeBatchIntoReusesUniquelyOwnedSlots) {
+  const auto s1 = data::make_sample(tiny_case(13), tiny_opts());
+  const auto s2 = data::make_sample(tiny_case(14), tiny_opts());
+  util::Rng rng(21);
+
+  data::Batch out;
+  data::make_batch_into({s1, s2}, {0, 1}, 0.0f, rng, out);
+  const std::uint64_t after_first = data::batch_tensor_allocations();
+  const auto* circuit_impl = out.circuit.impl().get();
+
+  // Uniquely owned + same size: reused in place, zero new allocations.
+  data::make_batch_into({s1, s2}, {1, 0}, 1e-3f, rng, out);
+  EXPECT_EQ(data::batch_tensor_allocations(), after_first);
+  EXPECT_EQ(out.circuit.impl().get(), circuit_impl);
+
+  // Ragged tail (smaller batch) still fits the retained capacity.
+  data::make_batch_into({s1, s2}, {1}, 0.0f, rng, out);
+  EXPECT_EQ(data::batch_tensor_allocations(), after_first);
+  EXPECT_EQ(out.circuit.shape(), (tensor::Shape{1, 6, 24, 24}));
+  for (std::size_t i = 0; i < s2.circuit.numel(); ++i)
+    ASSERT_EQ(out.circuit.data()[i], s2.circuit.data()[i]);
+
+  // A second owner (e.g. a live autograd tape) forces a fresh tensor —
+  // reuse must never scribble over data someone else can still read.
+  const tensor::Tensor retained = out.circuit;
+  data::make_batch_into({s1, s2}, {0, 1}, 0.0f, rng, out);
+  EXPECT_EQ(data::batch_tensor_allocations(), after_first + 1);
+  EXPECT_NE(out.circuit.impl().get(), retained.impl().get());
+  EXPECT_EQ(retained.shape(), (tensor::Shape{1, 6, 24, 24}));  // untouched
+}
+
+TEST(Batch, AllocatingOverloadMatchesIntoVariant) {
+  const auto s = data::make_sample(tiny_case(15), tiny_opts());
+  util::Rng r1(77), r2(77);
+  const auto a = data::make_batch({s}, {0}, 2e-3f, r1);
+  data::Batch b;
+  data::make_batch_into({s}, {0}, 2e-3f, r2, b);
+  EXPECT_EQ(a.circuit.data(), b.circuit.data());
+  EXPECT_EQ(a.tokens.data(), b.tokens.data());
+  EXPECT_EQ(a.target.data(), b.target.data());
 }
 
 }  // namespace

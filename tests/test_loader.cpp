@@ -1,0 +1,203 @@
+// data/loader: batch providers — streaming-vs-in-memory bitwise parity,
+// thread-count invariance, prefetch, zero-allocation slot pooling.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/loader.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using namespace lmmir;
+
+data::Dataset tiny_dataset() {
+  data::DatasetOptions opts;
+  opts.sample.input_side = 16;
+  opts.sample.pc_grid = 4;
+  opts.fake_cases = 3;
+  opts.real_cases = 1;
+  opts.fake_oversample = 2;
+  opts.real_oversample = 2;
+  opts.suite_scale = 0.04;
+  opts.seed = 17;
+  return data::build_training_dataset(opts);
+}
+
+struct TempCorpus {
+  explicit TempCorpus(const data::Dataset& ds, const std::string& name)
+      : path((std::filesystem::temp_directory_path() / name).string()) {
+    std::filesystem::remove_all(path);
+    data::write_corpus(ds, path, /*samples_per_shard=*/2);
+  }
+  ~TempCorpus() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+/// Restore the global pool size on scope exit (tests must not leak a
+/// reconfigured pool into the rest of the suite).
+struct ThreadGuard {
+  ThreadGuard() : saved(runtime::global_threads()) {}
+  ~ThreadGuard() { runtime::set_global_threads(saved); }
+  std::size_t saved;
+};
+
+data::LoaderOptions tiny_loader_opts() {
+  data::LoaderOptions opts;
+  opts.batch_size = 2;
+  opts.augment = true;
+  opts.noise_std_max = 1e-2f;
+  return opts;
+}
+
+/// Drain one epoch, concatenating every batch's data for comparison.
+struct EpochDump {
+  std::vector<float> circuit, tokens, target;
+  std::size_t batches = 0;
+};
+
+EpochDump drain_epoch(data::BatchProvider& provider, std::uint64_t seed) {
+  util::Rng rng(seed);
+  provider.start_epoch(rng);
+  EpochDump dump;
+  data::Batch batch;
+  while (provider.next(batch)) {
+    dump.circuit.insert(dump.circuit.end(), batch.circuit.data().begin(),
+                        batch.circuit.data().end());
+    dump.tokens.insert(dump.tokens.end(), batch.tokens.data().begin(),
+                       batch.tokens.data().end());
+    dump.target.insert(dump.target.end(), batch.target.data().begin(),
+                       batch.target.data().end());
+    ++dump.batches;
+  }
+  return dump;
+}
+
+TEST(Loader, StreamingMatchesInMemoryBitwise) {
+  const auto ds = tiny_dataset();
+  TempCorpus corpus_dir(ds, "lmmir_loader_parity");
+  data::ShardCorpus corpus(corpus_dir.path);
+
+  data::DatasetBatchProvider in_memory(ds, tiny_loader_opts());
+  data::StreamingLoader streaming(corpus, tiny_loader_opts());
+  EXPECT_EQ(in_memory.epoch_size(), streaming.epoch_size());
+
+  for (std::uint64_t seed : {3u, 4u}) {
+    const EpochDump a = drain_epoch(in_memory, seed);
+    const EpochDump b = drain_epoch(streaming, seed);
+    EXPECT_EQ(a.batches, b.batches);
+    EXPECT_EQ(a.circuit, b.circuit);  // bitwise, noise included
+    EXPECT_EQ(a.tokens, b.tokens);
+    EXPECT_EQ(a.target, b.target);
+  }
+}
+
+TEST(Loader, BitwiseIdenticalAcrossThreadCounts) {
+  const auto ds = tiny_dataset();
+  TempCorpus corpus_dir(ds, "lmmir_loader_threads");
+  data::ShardCorpus corpus(corpus_dir.path);
+  ThreadGuard guard;
+
+  runtime::set_global_threads(1);
+  data::StreamingLoader serial(corpus, tiny_loader_opts());
+  const EpochDump a = drain_epoch(serial, 11);
+
+  runtime::set_global_threads(3);  // async prefetch actually engages
+  data::StreamingLoader threaded(corpus, tiny_loader_opts());
+  const EpochDump b = drain_epoch(threaded, 11);
+
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.circuit, b.circuit);
+  EXPECT_EQ(a.tokens, b.tokens);
+  EXPECT_EQ(a.target, b.target);
+}
+
+TEST(Loader, PrefetchToggleIsBitwiseNoop) {
+  const auto ds = tiny_dataset();
+  TempCorpus corpus_dir(ds, "lmmir_loader_prefetch");
+  data::ShardCorpus corpus(corpus_dir.path);
+  ThreadGuard guard;
+  runtime::set_global_threads(3);
+
+  auto opts = tiny_loader_opts();
+  data::StreamingLoader prefetching(corpus, opts);
+  opts.prefetch = false;
+  data::StreamingLoader inline_only(corpus, opts);
+
+  const EpochDump a = drain_epoch(prefetching, 29);
+  const EpochDump b = drain_epoch(inline_only, 29);
+  EXPECT_EQ(a.circuit, b.circuit);
+  EXPECT_EQ(a.target, b.target);
+}
+
+TEST(Loader, SteadyStateMakesZeroBatchAllocations) {
+  const auto ds = tiny_dataset();
+  TempCorpus corpus_dir(ds, "lmmir_loader_allocs");
+  data::ShardCorpus corpus(corpus_dir.path);
+  data::StreamingLoader loader(corpus, tiny_loader_opts());
+
+  util::Rng rng(7);
+  data::Batch batch;  // persists across epochs, like the trainer's
+  loader.start_epoch(rng);
+  while (loader.next(batch)) {
+  }
+  const std::uint64_t after_warmup = data::batch_tensor_allocations();
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    loader.start_epoch(rng);
+    while (loader.next(batch)) {
+    }
+  }
+  EXPECT_EQ(data::batch_tensor_allocations(), after_warmup);
+}
+
+TEST(Loader, ResidentBytesBoundedByPrefetchWindow) {
+  const auto ds = tiny_dataset();
+  TempCorpus corpus_dir(ds, "lmmir_loader_resident");
+  data::ShardCorpus corpus(corpus_dir.path);
+  auto opts = tiny_loader_opts();
+  data::StreamingLoader loader(corpus, opts);
+
+  util::Rng rng(9);
+  data::Batch batch;
+  loader.start_epoch(rng);
+  while (loader.next(batch)) {
+  }
+  const data::Sample& s = ds.samples.front();
+  const std::size_t batch_bytes =
+      static_cast<std::size_t>(opts.batch_size) *
+      (s.circuit.numel() + s.tokens.numel() + s.target.numel()) *
+      sizeof(float);
+  EXPECT_LE(loader.resident_batch_bytes(),
+            loader.prefetch_window() * batch_bytes);
+  // The corpus itself is file-backed mapping, not loader-resident memory.
+  EXPECT_GT(corpus.mapped_bytes(), loader.resident_batch_bytes());
+}
+
+TEST(Loader, InMemoryProviderReusesSlotsToo) {
+  const auto ds = tiny_dataset();
+  data::DatasetBatchProvider provider(ds, tiny_loader_opts());
+  util::Rng rng(13);
+  data::Batch batch;
+  provider.start_epoch(rng);
+  ASSERT_TRUE(provider.next(batch));
+  const auto* circuit_impl = batch.circuit.impl().get();
+  const std::uint64_t after_first = data::batch_tensor_allocations();
+  while (provider.next(batch)) {
+  }
+  provider.start_epoch(rng);
+  while (provider.next(batch)) {
+  }
+  EXPECT_EQ(data::batch_tensor_allocations(), after_first);
+  EXPECT_EQ(batch.circuit.impl().get(), circuit_impl);  // same pooled buffer
+}
+
+TEST(Loader, NextWithoutStartEpochIsEmpty) {
+  const auto ds = tiny_dataset();
+  data::DatasetBatchProvider provider(ds, tiny_loader_opts());
+  data::Batch batch;
+  EXPECT_FALSE(provider.next(batch));
+}
+
+}  // namespace

@@ -1,8 +1,13 @@
-// train: two-stage fit drives the loss down; evaluation plumbing.
+// train: two-stage fit drives the loss down; evaluation plumbing;
+// streaming fit is bitwise-equal to the in-memory path.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
+#include "data/loader.hpp"
 #include "models/iredge.hpp"
 #include "models/lmmir_model.hpp"
+#include "runtime/thread_pool.hpp"
 #include "train/trainer.hpp"
 
 namespace {
@@ -99,6 +104,91 @@ TEST(Evaluate, ProducesFullResolutionMetrics) {
   const grid::Grid2D map = train::predict_map(model, ds.samples.front());
   EXPECT_EQ(map.rows(), ds.samples.front().truth_full.rows());
   EXPECT_EQ(map.cols(), ds.samples.front().truth_full.cols());
+}
+
+/// Fit histories compare bitwise: streaming must reproduce the in-memory
+/// training trajectory float-for-float, not approximately.
+void expect_same_history(const train::TrainHistory& a,
+                         const train::TrainHistory& b) {
+  ASSERT_EQ(a.pretrain_loss.size(), b.pretrain_loss.size());
+  ASSERT_EQ(a.finetune_loss.size(), b.finetune_loss.size());
+  for (std::size_t i = 0; i < a.pretrain_loss.size(); ++i)
+    EXPECT_EQ(a.pretrain_loss[i], b.pretrain_loss[i]);
+  for (std::size_t i = 0; i < a.finetune_loss.size(); ++i)
+    EXPECT_EQ(a.finetune_loss[i], b.finetune_loss[i]);
+}
+
+void expect_same_weights(models::IrModel& a, models::IrModel& b) {
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    EXPECT_EQ(pa[i].data(), pb[i].data());  // bitwise float equality
+}
+
+struct TempCorpus {
+  explicit TempCorpus(const data::Dataset& ds, const std::string& name)
+      : path((std::filesystem::temp_directory_path() / name).string()) {
+    std::filesystem::remove_all(path);
+    data::write_corpus(ds, path, /*samples_per_shard=*/2);
+  }
+  ~TempCorpus() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+TEST(TrainStreaming, BitwiseMatchesInMemoryFit) {
+  const auto ds = tiny_dataset();
+  TempCorpus corpus_dir(ds, "lmmir_train_stream");
+  auto cfg = tiny_config();
+  cfg.finetune_epochs = 2;
+
+  models::LMMIR in_memory(tiny_model_config());
+  const auto h1 = train::fit(in_memory, ds, cfg);
+
+  data::ShardCorpus corpus(corpus_dir.path);
+  data::StreamingLoader loader(corpus, train::provider_options(cfg));
+  models::LMMIR streamed(tiny_model_config());
+  const auto h2 = train::fit(streamed, loader, cfg);
+
+  expect_same_history(h1, h2);
+  expect_same_weights(in_memory, streamed);
+}
+
+TEST(TrainStreaming, ThreadCountInvariant) {
+  const auto ds = tiny_dataset();
+  TempCorpus corpus_dir(ds, "lmmir_train_stream_threads");
+  data::ShardCorpus corpus(corpus_dir.path);
+  auto cfg = tiny_config();
+  cfg.pretrain_epochs = 0;
+  cfg.finetune_epochs = 2;
+  const std::size_t saved_threads = runtime::global_threads();
+
+  runtime::set_global_threads(1);
+  data::StreamingLoader serial_loader(corpus, train::provider_options(cfg));
+  models::LMMIR serial_model(tiny_model_config());
+  const auto h1 = train::fit(serial_model, serial_loader, cfg);
+
+  runtime::set_global_threads(3);
+  data::StreamingLoader threaded_loader(corpus, train::provider_options(cfg));
+  models::LMMIR threaded_model(tiny_model_config());
+  const auto h2 = train::fit(threaded_model, threaded_loader, cfg);
+  runtime::set_global_threads(saved_threads);
+
+  expect_same_history(h1, h2);
+  expect_same_weights(serial_model, threaded_model);
+}
+
+TEST(TrainStreaming, SteadyStateStepsAllocateNoBatchTensors) {
+  const auto ds = tiny_dataset();
+  auto cfg = tiny_config();
+  cfg.pretrain_epochs = 1;
+  cfg.finetune_epochs = 3;
+  models::LMMIR model(tiny_model_config());
+  const std::uint64_t before = data::batch_tensor_allocations();
+  train::fit(model, ds, cfg);
+  // The in-memory provider needs exactly one Batch generation (three
+  // tensors) for the whole multi-epoch, two-stage run.
+  EXPECT_EQ(data::batch_tensor_allocations() - before, 3u);
 }
 
 TEST(Evaluate, TestsetAppendsAvgRow) {
